@@ -1,0 +1,126 @@
+// Command forcebench regenerates the reproduction's experiment tables
+// (DESIGN.md §4, EXPERIMENTS.md):
+//
+//	F1  the paper's Selfsched DO macro-expansion listing
+//	T1  six-machine portability/conformance matrix
+//	T2  barrier algorithm comparison [AJ87]
+//	T3  prescheduled vs selfscheduled DOALL under skew
+//	T4  lock category comparison (spin / system / combined)
+//	T5  produce/consume: two-lock scheme vs HEP hardware full/empty
+//	T6  process creation models (fork-copy / shared fork / create-call)
+//	T7  Pcase and Askfor overhead
+//	T8  application speedups (matmul, gauss, jacobi, scan, quadrature)
+//	A1  ablation: the paper's barrier over every lock kind
+//	A2  ablation: selfscheduling chunk size
+//
+// Usage:
+//
+//	forcebench [-exp all|F1|T1|...] [-quick] [-maxnp N] [-runs R]
+//
+// Absolute numbers are machine-dependent; the tables exist to show the
+// paper's qualitative shapes (who wins, by what factor, where crossovers
+// fall).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// experiment is one regenerable table.
+type experiment struct {
+	id    string
+	title string
+	run   func(c config) error
+}
+
+// config carries harness-wide knobs.
+type config struct {
+	quick bool
+	maxNP int
+	runs  int
+}
+
+// npSweep returns the process counts used by sweeping experiments.
+func (c config) npSweep() []int {
+	all := []int{1, 2, 4, 8, 16, 32}
+	var out []int
+	for _, np := range all {
+		if np <= c.maxNP {
+			out = append(out, np)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (F1, T1..T8, A1, A2) or all")
+		quick = flag.Bool("quick", false, "smaller problem sizes and fewer repetitions")
+		maxNP = flag.Int("maxnp", 2*runtime.GOMAXPROCS(0), "largest force size in sweeps")
+		runs  = flag.Int("runs", 3, "timing repetitions per cell")
+	)
+	flag.Parse()
+	c := config{quick: *quick, maxNP: *maxNP, runs: *runs}
+
+	exps := experiments()
+	if *exp == "all" {
+		ids := make([]string, 0, len(exps))
+		for id := range exps {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if err := runOne(exps[id], c); err != nil {
+				fail(err)
+			}
+		}
+		return
+	}
+	e, ok := exps[strings.ToUpper(*exp)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "forcebench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err := runOne(e, c); err != nil {
+		fail(err)
+	}
+}
+
+func runOne(e experiment, c config) error {
+	fmt.Printf("### %s — %s\n\n", e.id, e.title)
+	return e.run(c)
+}
+
+func experiments() map[string]experiment {
+	list := []experiment{
+		{"F1", "Selfsched DO expansion listing (paper §4.2)", expF1},
+		{"T1", "six-machine portability matrix", expT1},
+		{"T2", "barrier algorithm comparison [AJ87]", expT2},
+		{"T3", "prescheduled vs selfscheduled DOALL", expT3},
+		{"T4", "lock category comparison (§4.1.3)", expT4},
+		{"T5", "produce/consume realizations (§4.2)", expT5},
+		{"T6", "process creation models (§4.1.1)", expT6},
+		{"T7", "Pcase and Askfor overhead (§3.3)", expT7},
+		{"T8", "application speedups", expT8},
+		{"A1", "ablation: two-lock barrier over lock kinds", expA1},
+		{"A2", "ablation: selfscheduling chunk size", expA2},
+	}
+	m := map[string]experiment{}
+	for _, e := range list {
+		m[e.id] = e
+	}
+	return m
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "forcebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,91 @@
+// Command forcec is the Force preprocessor/compiler driver, the
+// counterpart of the paper's three-step UNIX pipeline (§4.3).
+//
+// Modes:
+//
+//	forcec -expand [-machine generic|hep|flex32|encore|sequent|alliant|cray2] file.force
+//	    Run the two-pass macro pipeline (sed rules, then the two macro
+//	    layers) and print the Fortran-shaped expansion.  With the
+//	    default "generic" machine the low-level macros stay symbolic,
+//	    matching the paper's expansion listing.
+//
+//	forcec -go [-pkg main] [-np N] file.force
+//	    Parse and type-check the program and emit Go source targeting
+//	    the runtime library.
+//
+//	forcec -check file.force
+//	    Parse and type-check only.
+//
+// A file name of "-" reads standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/forcelang"
+	"repro/internal/maclib"
+)
+
+func main() {
+	var (
+		expand  = flag.Bool("expand", false, "run the sed+m4 macro pipeline and print the expansion")
+		goOut   = flag.Bool("go", false, "compile to Go source on stdout")
+		check   = flag.Bool("check", false, "parse and type-check only")
+		machine = flag.String("machine", "generic", "machine layer for -expand")
+		pkg     = flag.String("pkg", "main", "package name for -go")
+		np      = flag.Int("np", 4, "default force size baked into -go output")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: forcec [-expand|-go|-check] [flags] file.force")
+		os.Exit(2)
+	}
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	switch {
+	case *expand:
+		out, err := maclib.Expand(*machine, src)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(out)
+	case *goOut:
+		prog, err := forcelang.Parse(src)
+		if err != nil {
+			fail(err)
+		}
+		out, err := codegen.Generate(prog, codegen.Options{Package: *pkg, DefaultNP: *np})
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(out)
+	case *check:
+		if _, err := forcelang.Parse(src); err != nil {
+			fail(err)
+		}
+		fmt.Println("ok")
+	default:
+		fmt.Fprintln(os.Stderr, "forcec: one of -expand, -go or -check is required")
+		os.Exit(2)
+	}
+}
+
+func readSource(name string) (string, error) {
+	if name == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(name)
+	return string(b), err
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "forcec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command forcerun parses a Force program and executes it SPMD on the
+// runtime library:
+//
+//	forcerun [-np N] [-machine NAME] [-barrier ALG] file.force
+//
+// -machine selects a historical machine profile (hep, flex32, encore,
+// sequent, alliant, cray2) or "native" (default); -barrier selects the
+// global barrier algorithm (twolock, sense, tree, tournament,
+// dissemination, cond).  A file name of "-" reads standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/barrier"
+	"repro/internal/forcelang"
+	"repro/internal/interp"
+	"repro/internal/machine"
+)
+
+func main() {
+	var (
+		np      = flag.Int("np", 4, "number of force processes")
+		machF   = flag.String("machine", "native", "machine profile")
+		barF    = flag.String("barrier", "twolock", "barrier algorithm")
+		showAST = flag.Bool("ast", false, "print a program summary before running")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: forcerun [-np N] [-machine NAME] [-barrier ALG] file.force")
+		os.Exit(2)
+	}
+	src, err := readSource(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	prog, err := forcelang.Parse(src)
+	if err != nil {
+		fail(err)
+	}
+	prof, err := machine.ByName(*machF)
+	if err != nil {
+		fail(err)
+	}
+	bk, err := barrier.ParseKind(*barF)
+	if err != nil {
+		fail(err)
+	}
+	if *showAST {
+		fmt.Printf("program %s: %d declarations, %d subroutines, %d top-level statements\n",
+			prog.Name, len(prog.Decls), len(prog.Subs), len(prog.Body))
+	}
+	err = interp.Run(prog, interp.Config{
+		NP:      *np,
+		Machine: prof,
+		Barrier: bk,
+		Stdout:  os.Stdout,
+	})
+	if err != nil {
+		fail(err)
+	}
+}
+
+func readSource(name string) (string, error) {
+	if name == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(name)
+	return string(b), err
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "forcerun:", err)
+	os.Exit(1)
+}

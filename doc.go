@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of "The Force: A Highly
+// Portable Parallel Programming Language" (Jordan, Benten, Alaghband,
+// Jakob; University of Colorado CSDG 89-2 / ICPP 1989).
+//
+// The repository contains both halves of the paper:
+//
+//   - the Force runtime (internal/core and its substrates internal/lock,
+//     internal/barrier, internal/sched, internal/asyncvar, internal/shm,
+//     internal/machine): global-parallelism SPMD execution with barriers
+//     and barrier sections, named critical sections, prescheduled and
+//     selfscheduled DOALLs, Pcase, Askfor, Resolve, and full/empty
+//     asynchronous variables, all parameterized by emulated profiles of
+//     the six 1989 machines the Force was ported to;
+//
+//   - the portability architecture (internal/sedlite, internal/m4lite,
+//     internal/maclib, internal/forcelang, internal/interp,
+//     internal/codegen): the two-pass macro preprocessor with its
+//     machine-independent statement-macro layer over machine-dependent
+//     low-level layers, a front end and SPMD interpreter for the Force
+//     dialect, and a compiler back end emitting Go against the runtime.
+//
+// See README.md for the quickstart, DESIGN.md for the system inventory
+// and experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go and the cmd/forcebench harness
+// regenerate every experiment table.
+package repro

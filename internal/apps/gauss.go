@@ -1,0 +1,136 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// SeqSolve solves the n×n system a·x = b by Gaussian elimination with
+// partial pivoting, sequentially.  a and b are not modified.
+func SeqSolve(a, b []float64, n int) ([]float64, error) {
+	m := append([]float64(nil), a...)
+	rhs := append([]float64(nil), b...)
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		piv := k
+		for i := k + 1; i < n; i++ {
+			if math.Abs(m[Idx2(i, k, n)]) > math.Abs(m[Idx2(piv, k, n)]) {
+				piv = i
+			}
+		}
+		if m[Idx2(piv, k, n)] == 0 {
+			return nil, fmt.Errorf("apps: singular matrix at column %d", k)
+		}
+		if piv != k {
+			swapRows(m, rhs, piv, k, n)
+		}
+		for i := k + 1; i < n; i++ {
+			eliminateRow(m, rhs, i, k, n)
+		}
+	}
+	return backSubstitute(m, rhs, n), nil
+}
+
+// eliminateRow subtracts the pivot-row multiple from row i, columns k..n-1.
+// Row slices are hoisted so the kernel is identical for the sequential and
+// parallel versions.
+func eliminateRow(m, rhs []float64, i, k, n int) {
+	prow := m[k*n+k : k*n+n]
+	ri := m[i*n+k : i*n+n]
+	f := ri[0] / prow[0]
+	if f == 0 {
+		return
+	}
+	for j := range ri {
+		ri[j] -= f * prow[j]
+	}
+	rhs[i] -= f * rhs[k]
+}
+
+func swapRows(m, rhs []float64, r1, r2, n int) {
+	for j := 0; j < n; j++ {
+		m[Idx2(r1, j, n)], m[Idx2(r2, j, n)] = m[Idx2(r2, j, n)], m[Idx2(r1, j, n)]
+	}
+	rhs[r1], rhs[r2] = rhs[r2], rhs[r1]
+}
+
+func backSubstitute(m, rhs []float64, n int) []float64 {
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := rhs[i]
+		for j := i + 1; j < n; j++ {
+			s -= m[Idx2(i, j, n)] * x[j]
+		}
+		x[i] = s / m[Idx2(i, i, n)]
+	}
+	return x
+}
+
+// GaussState is the shared state of the parallel solver: the working copy
+// of the system and the result/error cells written in barrier sections.
+type GaussState struct {
+	M, RHS []float64
+	N      int
+	X      []float64
+	Err    error
+}
+
+// NewGaussState copies the system into working storage.
+func NewGaussState(a, b []float64, n int) *GaussState {
+	return &GaussState{
+		M:   append([]float64(nil), a...),
+		RHS: append([]float64(nil), b...),
+		N:   n,
+	}
+}
+
+// SolveProc runs Gaussian elimination with partial pivoting inside a
+// force: pivot selection and row swap happen in a barrier section (one
+// process while the force is suspended — the classic Force idiom), the
+// eliminations below the pivot are a selfscheduled DOALL over rows, and
+// back-substitution runs in a final barrier section.
+func SolveProc(p *core.Proc, st *GaussState) {
+	n := st.N
+	for k := 0; k < n; k++ {
+		kk := k
+		p.BarrierSection(func() {
+			if st.Err != nil {
+				return
+			}
+			piv := kk
+			for i := kk + 1; i < n; i++ {
+				if math.Abs(st.M[Idx2(i, kk, n)]) > math.Abs(st.M[Idx2(piv, kk, n)]) {
+					piv = i
+				}
+			}
+			if st.M[Idx2(piv, kk, n)] == 0 {
+				st.Err = fmt.Errorf("apps: singular matrix at column %d", kk)
+				return
+			}
+			if piv != kk {
+				swapRows(st.M, st.RHS, piv, kk, n)
+			}
+		})
+		if st.Err != nil {
+			// All processes observe the error after the section and
+			// leave the elimination loop together.
+			return
+		}
+		p.DoAll(sched.Chunk, sched.Range{Start: kk + 1, Last: n - 1, Incr: 1}, func(i int) {
+			eliminateRow(st.M, st.RHS, i, kk, n)
+		})
+	}
+	p.BarrierSection(func() {
+		st.X = backSubstitute(st.M, st.RHS, n)
+	})
+}
+
+// Solve runs the parallel solver on a fresh force program.
+func Solve(f *core.Force, a, b []float64, n int) ([]float64, error) {
+	st := NewGaussState(a, b, n)
+	runOn(f, func(p *core.Proc) { SolveProc(p, st) })
+	return st.X, st.Err
+}

@@ -1,0 +1,68 @@
+package apps
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// SeqHistogram bins data from [0, 1) into bins buckets sequentially.
+func SeqHistogram(data []float64, bins int) []int64 {
+	h := make([]int64, bins)
+	for _, x := range data {
+		h[binOf(x, bins)]++
+	}
+	return h
+}
+
+func binOf(x float64, bins int) int {
+	b := int(x * float64(bins))
+	if b < 0 {
+		b = 0
+	}
+	if b >= bins {
+		b = bins - 1
+	}
+	return b
+}
+
+// HistogramCriticalProc bins data inside a force with every increment
+// under one named critical section — the naive translation, used as the
+// contention ablation.
+func HistogramCriticalProc(p *core.Proc, data []float64, bins int, h []int64) {
+	p.ChunkDo(sched.Seq(len(data)), func(i int) {
+		b := binOf(data[i], bins)
+		p.Critical("hist", func() { h[b]++ })
+	})
+}
+
+// HistogramPrivateProc bins into per-process private histograms and merges
+// them once under the critical section — the private-variable idiom the
+// Force's variable classification encourages.
+func HistogramPrivateProc(p *core.Proc, data []float64, bins int, h []int64) {
+	local := make([]int64, bins)
+	p.ChunkDo(sched.Seq(len(data)), func(i int) {
+		local[binOf(data[i], bins)]++
+	})
+	p.Critical("hist-merge", func() {
+		for b, c := range local {
+			h[b] += c
+		}
+	})
+	p.Barrier() // all merges complete before any process reads h
+}
+
+// HistogramCritical runs the critical-per-increment version on a fresh
+// force program.
+func HistogramCritical(f *core.Force, data []float64, bins int) []int64 {
+	h := make([]int64, bins)
+	runOn(f, func(p *core.Proc) { HistogramCriticalProc(p, data, bins, h) })
+	return h
+}
+
+// HistogramPrivate runs the private-merge version on a fresh force
+// program.
+func HistogramPrivate(f *core.Force, data []float64, bins int) []int64 {
+	h := make([]int64, bins)
+	runOn(f, func(p *core.Proc) { HistogramPrivateProc(p, data, bins, h) })
+	return h
+}

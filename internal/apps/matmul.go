@@ -1,0 +1,51 @@
+package apps
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// SeqMatMul computes c = a·b for n×n row-major matrices sequentially.
+func SeqMatMul(a, b []float64, n int) []float64 {
+	c := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[Idx2(i, k, n)]
+			if aik == 0 {
+				continue
+			}
+			row := b[k*n : k*n+n]
+			out := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				out[j] += aik * row[j]
+			}
+		}
+	}
+	return c
+}
+
+// MatMulProc computes c = a·b inside a force: rows are a DOALL under the
+// chosen scheduling discipline.  The implicit loop-exit barrier makes c
+// complete in every process when the call returns.
+func MatMulProc(p *core.Proc, kind sched.Kind, a, b, c []float64, n int) {
+	p.DoAll(kind, sched.Seq(n), func(i int) {
+		for k := 0; k < n; k++ {
+			aik := a[Idx2(i, k, n)]
+			if aik == 0 {
+				continue
+			}
+			row := b[k*n : k*n+n]
+			out := c[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				out[j] += aik * row[j]
+			}
+		}
+	})
+}
+
+// MatMul runs MatMulProc on a fresh force program and returns c.
+func MatMul(f *core.Force, kind sched.Kind, a, b []float64, n int) []float64 {
+	c := make([]float64, n*n)
+	runOn(f, func(p *core.Proc) { MatMulProc(p, kind, a, b, c, n) })
+	return c
+}

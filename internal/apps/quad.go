@@ -1,0 +1,108 @@
+package apps
+
+import (
+	"math"
+
+	"repro/internal/core"
+)
+
+// Integrand is a one-dimensional function to integrate.
+type Integrand func(x float64) float64
+
+// Witch is the classic test integrand 4/(1+x²); its integral over [0,1]
+// is π.
+func Witch(x float64) float64 { return 4 / (1 + x*x) }
+
+// Spike is a sharply peaked integrand that defeats uniform partitioning,
+// the case adaptive quadrature (and hence Askfor) exists for.
+func Spike(x float64) float64 {
+	return 1/((x-0.3)*(x-0.3)+1e-3) + 1/((x-0.9)*(x-0.9)+4e-4)
+}
+
+// Costly wraps an integrand with units of extra deterministic work per
+// evaluation, modelling an expensive physics kernel; the experiments use
+// it to set the task grain (fine grains expose construct overhead, the
+// paper's §4.1.1 concern).
+func Costly(f Integrand, units int) Integrand {
+	return func(x float64) float64 {
+		acc := 0.0
+		for i := 1; i <= units; i++ {
+			acc += 1 / (float64(i) + x*x)
+		}
+		if acc < 0 { // never: acc is a sum of positive terms
+			return acc
+		}
+		return f(x)
+	}
+}
+
+// simpson is the three-point Simpson estimate on [a, b].
+func simpson(f Integrand, a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+// SeqQuad integrates f over [a, b] by adaptive Simpson recursion with the
+// given absolute tolerance.
+func SeqQuad(f Integrand, a, b, tol float64) float64 {
+	m := (a + b) / 2
+	fa, fm, fb := f(a), f(m), f(b)
+	return seqQuadStep(f, a, b, fa, fm, fb, simpson(f, a, b, fa, fm, fb), tol)
+}
+
+func seqQuadStep(f Integrand, a, b, fa, fm, fb, whole, tol float64) float64 {
+	m := (a + b) / 2
+	lm, rm := (a+m)/2, (m+b)/2
+	flm, frm := f(lm), f(rm)
+	left := simpson(f, a, m, fa, flm, fm)
+	right := simpson(f, m, b, fm, frm, fb)
+	if math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return seqQuadStep(f, a, m, fa, flm, fm, left, tol/2) +
+		seqQuadStep(f, m, b, fm, frm, fb, right, tol/2)
+}
+
+// quadTask is one Askfor work unit: an interval with cached endpoint
+// values and its Simpson estimate.
+type quadTask struct {
+	a, b       float64
+	fa, fm, fb float64
+	whole      float64
+	tol        float64
+}
+
+// QuadProc integrates inside a force using Askfor — the construct for
+// work whose degree of concurrency "is not known at compile time": each
+// interval either converges (its contribution folds into the shared sum
+// under a critical section) or splits, putting two subinterval tasks back
+// into the pool (§3.3, [LO83]).
+func QuadProc(p *core.Proc, f Integrand, a, b, tol float64, sum *float64) {
+	m := (a + b) / 2
+	fa, fm, fb := f(a), f(m), f(b)
+	seed := []any{quadTask{
+		a: a, b: b, fa: fa, fm: fm, fb: fb,
+		whole: simpson(f, a, b, fa, fm, fb), tol: tol,
+	}}
+	p.Askfor(seed, func(task any, put func(any)) {
+		tk := task.(quadTask)
+		mid := (tk.a + tk.b) / 2
+		lm, rm := (tk.a+mid)/2, (mid+tk.b)/2
+		flm, frm := f(lm), f(rm)
+		left := simpson(f, tk.a, mid, tk.fa, flm, tk.fm)
+		right := simpson(f, mid, tk.b, tk.fm, frm, tk.fb)
+		if math.Abs(left+right-tk.whole) <= 15*tk.tol {
+			contribution := left + right + (left+right-tk.whole)/15
+			p.Critical("quad-sum", func() { *sum += contribution })
+			return
+		}
+		put(quadTask{a: tk.a, b: mid, fa: tk.fa, fm: flm, fb: tk.fm, whole: left, tol: tk.tol / 2})
+		put(quadTask{a: mid, b: tk.b, fa: tk.fm, fm: frm, fb: tk.fb, whole: right, tol: tk.tol / 2})
+	})
+}
+
+// Quad runs the Askfor integration on a fresh force program.
+func Quad(f *core.Force, fn Integrand, a, b, tol float64) float64 {
+	var sum float64
+	runOn(f, func(p *core.Proc) { QuadProc(p, fn, a, b, tol, &sum) })
+	return sum
+}

@@ -1,0 +1,52 @@
+package apps
+
+import (
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// SeqScan computes the inclusive prefix sum of v sequentially.
+func SeqScan(v []float64) []float64 {
+	out := make([]float64, len(v))
+	run := 0.0
+	for i, x := range v {
+		run += x
+		out[i] = run
+	}
+	return out
+}
+
+// scanShared holds the double buffer of the parallel scan.
+type scanShared struct {
+	cur, next []float64
+}
+
+// ScanProc computes the inclusive prefix sum inside a force with the
+// Hillis–Steele log-step algorithm: ceil(log2 n) prescheduled DOALL
+// passes, the buffer swap in a barrier section after each pass.
+func ScanProc(p *core.Proc, st *scanShared) {
+	n := len(st.cur)
+	for d := 1; d < n; d *= 2 {
+		dd := d
+		p.PreschedBlockDo(sched.Seq(n), func(i int) {
+			if i >= dd {
+				st.next[i] = st.cur[i] + st.cur[i-dd]
+			} else {
+				st.next[i] = st.cur[i]
+			}
+		})
+		p.BarrierSection(func() {
+			st.cur, st.next = st.next, st.cur
+		})
+	}
+}
+
+// Scan runs the parallel prefix sum on a fresh force program.
+func Scan(f *core.Force, v []float64) []float64 {
+	st := &scanShared{
+		cur:  append([]float64(nil), v...),
+		next: make([]float64, len(v)),
+	}
+	runOn(f, func(p *core.Proc) { ScanProc(p, st) })
+	return st.cur
+}

@@ -1,0 +1,70 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestSORMatchesSeq(t *testing.T) {
+	const n = 24
+	grid := workload.Grid(n)
+	want := SeqSOR(grid, n, 1.5, 1e-4, 800)
+	for _, np := range []int{1, 3, 8} {
+		got := SOR(core.New(np), grid, n, 1.5, 1e-4, 800)
+		if got.Sweeps != want.Sweeps {
+			t.Errorf("np=%d: %d sweeps, want %d", np, got.Sweeps, want.Sweeps)
+		}
+		if !almostEqual(got.Grid, want.Grid, 1e-12) {
+			t.Errorf("np=%d: grid differs from sequential", np)
+		}
+	}
+}
+
+// TestSORBeatsJacobi: over-relaxation converges in fewer sweeps than
+// Jacobi on the same problem — the reason the method existed.
+func TestSORBeatsJacobi(t *testing.T) {
+	const n, tol, maxSweeps = 32, 1e-4, 4000
+	grid := workload.Grid(n)
+	jac := SeqJacobi(grid, n, tol, maxSweeps)
+	sor := SeqSOR(grid, n, 1.7, tol, maxSweeps)
+	if sor.Sweeps >= jac.Sweeps {
+		t.Errorf("SOR took %d sweeps, Jacobi %d — no acceleration", sor.Sweeps, jac.Sweeps)
+	}
+}
+
+// TestSOROmegaOneIsGaussSeidel: omega=1 must still converge (plain
+// red-black Gauss–Seidel) and respect boundaries.
+func TestSOROmegaOneIsGaussSeidel(t *testing.T) {
+	const n = 16
+	res := SOR(core.New(4), workload.Grid(n), n, 1.0, 1e-5, 5000)
+	if res.Sweeps >= 5000 {
+		t.Fatalf("did not converge in %d sweeps", res.Sweeps)
+	}
+	// Boundary rows/columns unchanged.
+	for j := 0; j < n; j++ {
+		if res.Grid[j] != 1 {
+			t.Fatalf("top boundary perturbed at %d", j)
+		}
+		if res.Grid[(n-1)*n+j] != 0 {
+			t.Fatalf("bottom boundary perturbed at %d", j)
+		}
+	}
+	// Interior values must lie strictly between the boundary values.
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			v := res.Grid[i*n+j]
+			if v <= 0 || v >= 1 {
+				t.Fatalf("interior (%d,%d) = %g outside (0,1)", i, j, v)
+			}
+		}
+	}
+}
+
+func TestSORRespectsMaxSweeps(t *testing.T) {
+	res := SOR(core.New(2), workload.Grid(12), 12, 1.5, 0, 9)
+	if res.Sweeps != 9 {
+		t.Errorf("sweeps = %d, want 9", res.Sweeps)
+	}
+}

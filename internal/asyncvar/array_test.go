@@ -1,0 +1,84 @@
+package asyncvar
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/lock"
+)
+
+func TestArrayBasics(t *testing.T) {
+	for _, impl := range Impls() {
+		a := NewArray[int](impl, lock.Factory(lock.TTAS), 8)
+		if a.Len() != 8 {
+			t.Fatalf("%v: Len = %d", impl, a.Len())
+		}
+		if a.FullCount() != 0 {
+			t.Errorf("%v: fresh array has full cells", impl)
+		}
+		a.Produce(3, 33)
+		a.Produce(5, 55)
+		if a.FullCount() != 2 {
+			t.Errorf("%v: FullCount = %d, want 2", impl, a.FullCount())
+		}
+		if got := a.Copy(3); got != 33 {
+			t.Errorf("%v: Copy(3) = %d", impl, got)
+		}
+		if got := a.Consume(3); got != 33 {
+			t.Errorf("%v: Consume(3) = %d", impl, got)
+		}
+		if a.At(5).IsFull() != true || a.At(3).IsFull() != false {
+			t.Errorf("%v: cell independence broken", impl)
+		}
+		a.VoidAll()
+		if a.FullCount() != 0 {
+			t.Errorf("%v: VoidAll left full cells", impl)
+		}
+	}
+}
+
+// TestArrayCellsIndependent: producing one cell never unblocks a consumer
+// of a different cell.
+func TestArrayCellsIndependent(t *testing.T) {
+	a := NewArray[int](Channel, nil, 4)
+	got := make(chan int, 1)
+	go func() { got <- a.Consume(2) }()
+	a.Produce(1, 11) // different cell: consumer must stay blocked
+	select {
+	case v := <-got:
+		t.Fatalf("Consume(2) returned %d after Produce(1)", v)
+	default:
+	}
+	a.Produce(2, 22)
+	if v := <-got; v != 22 {
+		t.Fatalf("Consume(2) = %d, want 22", v)
+	}
+}
+
+// TestArrayWavefront uses per-cell full/empty state for dataflow-style
+// dependency propagation, the HEP's signature idiom: each worker consumes
+// its predecessor cell and produces its own.
+func TestArrayWavefront(t *testing.T) {
+	for _, impl := range Impls() {
+		const n = 32
+		a := NewArray[int](impl, lock.Factory(lock.System), n)
+		var wg sync.WaitGroup
+		for i := 1; i < n; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				prev := a.Consume(i - 1) // wait for predecessor
+				a.Produce(i-1, prev)     // refill for verification
+				a.Produce(i, prev+1)
+			}()
+		}
+		a.Produce(0, 100)
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if got := a.Consume(i); got != 100+i {
+				t.Fatalf("%v: cell %d = %d, want %d", impl, i, got, 100+i)
+			}
+		}
+	}
+}

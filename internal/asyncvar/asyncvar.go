@@ -1,0 +1,297 @@
+// Package asyncvar implements the Force's asynchronous variables: shared
+// variables of class Async carrying a full/empty state changed atomically
+// with read and write access (paper §3.2, §3.4, §4.2).
+//
+// The operations are the paper's:
+//
+//   - Produce waits for the variable to be empty, writes the value, and
+//     sets the state to full;
+//   - Consume waits for the variable to be full, reads the value, and sets
+//     the state to empty;
+//   - Void sets the state to empty regardless of its previous state
+//     (initialization);
+//   - IsFull tests the state without changing it.
+//
+// Copy (wait for full, read, leave full) comes from the Force User's
+// Manual [JBAR87] and is included for the application codes that need a
+// broadcast-style read.
+//
+// Three implementations reproduce the portability story.  On the HEP every
+// memory cell had a hardware full/empty bit; on every other machine the
+// Force synthesized the state from two locks E and F: "An empty state
+// corresponds to E being locked and F unlocked.  A full state corresponds
+// to F being locked and E unlocked."  The two-lock implementation here
+// follows that protocol literally; the channel implementation stands in
+// for the HEP hardware (a capacity-1 channel is a full/empty cell); the
+// condition-variable implementation is the parked, system-call shape.
+package asyncvar
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/lock"
+)
+
+// V is a full/empty asynchronous variable holding values of type T.
+//
+// Void (and only Void) must not race with in-flight Produce/Consume on the
+// same variable: the paper positions it as state initialization, and the
+// two-lock realization has no atomic way to cancel an in-flight transfer —
+// a constraint inherited faithfully from the original.
+type V[T any] interface {
+	// Produce waits for empty, writes v, and marks the variable full.
+	Produce(v T)
+	// Consume waits for full, reads the value, and marks it empty.
+	Consume() T
+	// Copy waits for full and reads the value, leaving it full.
+	Copy() T
+	// Void forces the state to empty, discarding any value.
+	Void()
+	// IsFull reports the current state without modifying it.  The answer
+	// is advisory: it may be stale by the time the caller acts on it,
+	// exactly as a tested full/empty bit was on the HEP.
+	IsFull() bool
+}
+
+// Impl names an asynchronous-variable implementation.
+type Impl int
+
+const (
+	// TwoLock synthesizes full/empty from two locks E and F, the paper's
+	// protocol for every non-HEP machine.
+	TwoLock Impl = iota
+	// Channel models the HEP's hardware full/empty bit with a capacity-1
+	// channel.
+	Channel
+	// CondVar parks waiters on a condition variable (system-call
+	// category).
+	CondVar
+)
+
+var implNames = map[Impl]string{
+	TwoLock: "twolock",
+	Channel: "channel",
+	CondVar: "condvar",
+}
+
+// String returns the implementation's short name.
+func (i Impl) String() string {
+	if s, ok := implNames[i]; ok {
+		return s
+	}
+	return fmt.Sprintf("asyncvar.Impl(%d)", int(i))
+}
+
+// ParseImpl converts a short name into an Impl.
+func ParseImpl(s string) (Impl, error) {
+	for i, n := range implNames {
+		if n == s {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("asyncvar: unknown impl %q", s)
+}
+
+// Impls lists the implementations in presentation order.
+func Impls() []Impl { return []Impl{TwoLock, Channel, CondVar} }
+
+// New creates an empty asynchronous variable.  The lock factory supplies E
+// and F for the TwoLock implementation (nil defaults to system locks) and
+// is ignored by the others.
+func New[T any](impl Impl, factory func() lock.Lock) V[T] {
+	switch impl {
+	case TwoLock:
+		if factory == nil {
+			factory = lock.Factory(lock.System)
+		}
+		v := &twoLockVar[T]{e: factory(), f: factory()}
+		// Empty state: E locked, F unlocked.
+		v.e.Lock()
+		return v
+	case Channel:
+		return &chanVar[T]{ch: make(chan T, 1)}
+	case CondVar:
+		cv := &condVar[T]{}
+		cv.cond = sync.NewCond(&cv.mu)
+		return cv
+	default:
+		panic(fmt.Sprintf("asyncvar: unknown impl %d", int(impl)))
+	}
+}
+
+// twoLockVar is the paper's two-lock realization.  State invariant when no
+// operation is in flight: empty ⇔ E locked ∧ F unlocked; full ⇔ F locked ∧
+// E unlocked.  During a transfer both are briefly locked, which is what
+// serializes concurrent producers (they queue on F) and concurrent
+// consumers (they queue on E).
+type twoLockVar[T any] struct {
+	e, f lock.Lock
+	val  T
+	// full mirrors the lock-encoded state for IsFull/Void; writes happen
+	// while both locks are held, so a mutex-free bool would race only
+	// with the advisory readers — we guard it with its own tiny lock to
+	// stay race-detector clean.
+	stMu sync.Mutex
+	full bool
+}
+
+var _ V[int] = (*twoLockVar[int])(nil)
+
+// Produce follows the paper: "Lock F / Write to the asynchronous variable /
+// Unlock E."  Other producers find F locked and wait.
+func (v *twoLockVar[T]) Produce(x T) {
+	v.f.Lock()
+	v.val = x
+	v.setFull(true)
+	v.e.Unlock()
+}
+
+// Consume follows the paper: "Lock E / Read from the asynchronous variable /
+// Unlock F."  While a Produce is in progress a consumer waits until E is
+// unlocked.
+func (v *twoLockVar[T]) Consume() T {
+	v.e.Lock()
+	x := v.val
+	v.setFull(false)
+	v.f.Unlock()
+	return x
+}
+
+// Copy waits for full (E unlocked), reads, and restores E, leaving the
+// variable full.
+func (v *twoLockVar[T]) Copy() T {
+	v.e.Lock()
+	x := v.val
+	v.e.Unlock()
+	return x
+}
+
+// Void forces the empty state.  If the variable is full it performs the
+// lock half of a Consume and discards the value; if already empty it is a
+// no-op.  See the interface comment for the non-concurrency requirement.
+func (v *twoLockVar[T]) Void() {
+	v.stMu.Lock()
+	wasFull := v.full
+	v.stMu.Unlock()
+	if !wasFull {
+		return
+	}
+	v.e.Lock()
+	var zero T
+	v.val = zero
+	v.setFull(false)
+	v.f.Unlock()
+}
+
+// IsFull reports the advisory state.
+func (v *twoLockVar[T]) IsFull() bool {
+	v.stMu.Lock()
+	defer v.stMu.Unlock()
+	return v.full
+}
+
+func (v *twoLockVar[T]) setFull(b bool) {
+	v.stMu.Lock()
+	v.full = b
+	v.stMu.Unlock()
+}
+
+// chanVar models the HEP hardware full/empty cell with a capacity-1
+// channel: send ⇔ produce (blocks while full), receive ⇔ consume (blocks
+// while empty).
+type chanVar[T any] struct {
+	ch chan T
+}
+
+var _ V[int] = (*chanVar[int])(nil)
+
+// Produce sends into the cell, blocking while it is full.
+func (v *chanVar[T]) Produce(x T) { v.ch <- x }
+
+// Consume receives from the cell, blocking while it is empty.
+func (v *chanVar[T]) Consume() T { return <-v.ch }
+
+// Copy reads the value and immediately restores it.  The cell is briefly
+// observable as empty between the two steps; the HEP's read-preserving
+// access had no such window, but no Force construct depends on its absence.
+func (v *chanVar[T]) Copy() T {
+	x := <-v.ch
+	v.ch <- x
+	return x
+}
+
+// Void drains the cell if it holds a value.
+func (v *chanVar[T]) Void() {
+	select {
+	case <-v.ch:
+	default:
+	}
+}
+
+// IsFull reports whether the cell currently holds a value.
+func (v *chanVar[T]) IsFull() bool { return len(v.ch) == 1 }
+
+// condVar is the parked implementation: one mutex, one condition variable,
+// an explicit full bit.
+type condVar[T any] struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	val  T
+	full bool
+}
+
+var _ V[int] = (*condVar[int])(nil)
+
+// Produce waits for empty under the mutex, writes, and wakes waiters.
+func (v *condVar[T]) Produce(x T) {
+	v.mu.Lock()
+	for v.full {
+		v.cond.Wait()
+	}
+	v.val = x
+	v.full = true
+	v.mu.Unlock()
+	v.cond.Broadcast()
+}
+
+// Consume waits for full under the mutex, reads, and wakes waiters.
+func (v *condVar[T]) Consume() T {
+	v.mu.Lock()
+	for !v.full {
+		v.cond.Wait()
+	}
+	x := v.val
+	v.full = false
+	v.mu.Unlock()
+	v.cond.Broadcast()
+	return x
+}
+
+// Copy waits for full and reads without emptying.
+func (v *condVar[T]) Copy() T {
+	v.mu.Lock()
+	for !v.full {
+		v.cond.Wait()
+	}
+	x := v.val
+	v.mu.Unlock()
+	return x
+}
+
+// Void forces the empty state.
+func (v *condVar[T]) Void() {
+	v.mu.Lock()
+	var zero T
+	v.val = zero
+	v.full = false
+	v.mu.Unlock()
+	v.cond.Broadcast()
+}
+
+// IsFull reports the current state.
+func (v *condVar[T]) IsFull() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.full
+}

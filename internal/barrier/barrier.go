@@ -1,0 +1,594 @@
+// Package barrier implements the Force barrier construct (paper §3.4) and
+// the family of barrier algorithms compared in the companion report the
+// paper cites as [AJ87] (Arenstorf & Jordan, "Comparing Barrier
+// Algorithms").
+//
+// Force barrier semantics are stronger than a plain rendezvous: at a
+// barrier, all processes wait for each other; one arbitrary process is then
+// allowed to execute the *barrier section*; all other processes stay
+// suspended until that single process leaves the section, after which the
+// whole force proceeds.  A barrier with a nil section degenerates to the
+// usual rendezvous.
+//
+// Every implementation in this package is reusable (the same barrier object
+// is used episode after episode) and guarantees that no process can enter
+// episode k+1 before every process has left episode k — the property the
+// paper's BARWIN/BARWOT lock pair exists to provide.
+package barrier
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lock"
+)
+
+// Barrier is a reusable Force barrier for a fixed number of processes.
+//
+// Sync blocks until all N() processes of the episode have arrived, runs
+// section (if non-nil) in exactly one of them, and releases everyone only
+// after the section returns.  pid must be in [0, N()) and each pid must
+// participate exactly once per episode.  Within one episode every process
+// must agree on whether a section is supplied (the Force's SPMD model
+// guarantees this: a barrier is a single program statement).
+type Barrier interface {
+	Sync(pid int, section func())
+	// N returns the number of participating processes.
+	N() int
+}
+
+// Wait is the sectionless rendezvous: Wait(b, pid) == b.Sync(pid, nil).
+func Wait(b Barrier, pid int) { b.Sync(pid, nil) }
+
+// Kind names a barrier algorithm.
+type Kind int
+
+const (
+	// TwoLock is the paper's own algorithm: an arrival counter ZZNBAR
+	// guarded by the BARWIN lock during the entry phase and by the BARWOT
+	// lock during the exit phase (§4.2, Barrier and the Selfsched DO
+	// expansion listing).
+	TwoLock Kind = iota
+	// CentralSense is a central counter with sense reversal; arrivals
+	// decrement atomically and spin on a shared sense flag.
+	CentralSense
+	// Tree is a combining-tree barrier: arrivals propagate up a k-ary
+	// tree of counters, release propagates down.
+	Tree
+	// Tournament pairs processes in log2(n) rounds; statically determined
+	// winners advance and the champion releases everyone.
+	Tournament
+	// Dissemination runs ceil(log2 n) rounds of pairwise signalling after
+	// which every process knows all have arrived; pid 0 is elected to run
+	// the barrier section, with an extra release phase.
+	Dissemination
+	// Butterfly is Brooks' barrier from the [AJ87] comparison: in round
+	// r, process p exchanges with partner p XOR 2^r.  It requires a
+	// power-of-two force; New falls back to Dissemination otherwise
+	// (the generalization [AJ87] itself discusses).
+	Butterfly
+	// CondBroadcast parks waiters on a sync.Cond; the "system call"
+	// barrier built directly on scheduler services (Cray category).
+	CondBroadcast
+)
+
+var kindNames = map[Kind]string{
+	TwoLock:       "twolock",
+	CentralSense:  "sense",
+	Tree:          "tree",
+	Tournament:    "tournament",
+	Dissemination: "dissemination",
+	Butterfly:     "butterfly",
+	CondBroadcast: "cond",
+}
+
+// String returns the short algorithm name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("barrier.Kind(%d)", int(k))
+}
+
+// ParseKind converts a short name into a Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("barrier: unknown kind %q", s)
+}
+
+// Kinds lists all implemented algorithms in presentation order.
+func Kinds() []Kind {
+	return []Kind{TwoLock, CentralSense, Tree, Tournament, Dissemination, Butterfly, CondBroadcast}
+}
+
+// New constructs a barrier of the given kind for n processes.  Lock-based
+// algorithms receive their locks from factory; algorithms that do not use
+// locks ignore it.  A nil factory defaults to system locks.
+func New(k Kind, n int, factory func() lock.Lock) Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("barrier: n = %d, need n >= 1", n))
+	}
+	if factory == nil {
+		factory = lock.Factory(lock.System)
+	}
+	switch k {
+	case TwoLock:
+		return NewTwoLock(n, factory)
+	case CentralSense:
+		return NewCentralSense(n)
+	case Tree:
+		return NewTree(n, 4)
+	case Tournament:
+		return NewTournament(n)
+	case Dissemination:
+		return NewDissemination(n)
+	case Butterfly:
+		if n&(n-1) != 0 {
+			// Brooks' pairing needs a power of two; dissemination is
+			// its general-n counterpart.
+			return NewDissemination(n)
+		}
+		return NewButterfly(n)
+	case CondBroadcast:
+		return NewCondBroadcast(n)
+	default:
+		panic(fmt.Sprintf("barrier: unknown kind %d", int(k)))
+	}
+}
+
+// spinWait spins on pred with periodic yields until it reports true.
+func spinWait(pred func() bool) {
+	for i := 0; !pred(); i++ {
+		if i%32 == 31 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// padded64 keeps a per-process counter on its own cache line so spinning
+// neighbours do not false-share.
+type padded64 struct {
+	v uint64
+	_ [56]byte
+}
+
+// TwoLockBarrier is the paper's barrier.  A shared arrival counter ZZNBAR
+// is protected by two locks: BARWIN is open (unlocked) while the barrier
+// fills, BARWOT while it drains; at every instant at most one of the two is
+// open and ownership relays from process to process.
+//
+// Entry (the paper's "loop entry code"): acquire BARWIN, increment ZZNBAR;
+// the last arrival keeps BARWIN closed — so no process can start the next
+// episode — runs the barrier section, and opens BARWOT; every earlier
+// arrival re-opens BARWIN and queues on BARWOT.
+//
+// Exit (the paper's "loop exit code"): acquire BARWOT, decrement ZZNBAR;
+// the last to leave re-opens BARWIN for the next episode, leaving BARWOT
+// closed; everyone else relays BARWOT onward.
+type TwoLockBarrier struct {
+	n      int
+	barwin lock.Lock
+	barwot lock.Lock
+	zznbar int // guarded by whichever of the two locks is open
+}
+
+var _ Barrier = (*TwoLockBarrier)(nil)
+
+// NewTwoLock builds the paper's two-lock barrier for n processes using
+// locks from factory.
+func NewTwoLock(n int, factory func() lock.Lock) *TwoLockBarrier {
+	b := &TwoLockBarrier{n: n, barwin: factory(), barwot: factory()}
+	// BARWOT starts closed: the barrier begins in the filling phase.
+	b.barwot.Lock()
+	return b
+}
+
+// N returns the number of participants.
+func (b *TwoLockBarrier) N() int { return b.n }
+
+// Sync implements the entry/section/exit protocol from the paper's
+// Selfsched DO expansion listing.
+func (b *TwoLockBarrier) Sync(pid int, section func()) {
+	// Entry phase: report arrival under BARWIN.
+	b.barwin.Lock()
+	b.zznbar++
+	if b.zznbar == b.n {
+		// Last arrival: every other process is queued on BARWOT (or
+		// about to be).  Run the barrier section while they are
+		// suspended, then open the drain.  BARWIN stays closed.
+		if section != nil {
+			section()
+		}
+		b.barwot.Unlock()
+	} else {
+		b.barwin.Unlock()
+	}
+	// Exit phase: report departure under BARWOT.
+	b.barwot.Lock()
+	b.zznbar--
+	if b.zznbar == 0 {
+		// Last to leave re-opens the entry phase for the next
+		// episode; BARWOT stays closed behind it.
+		b.barwin.Unlock()
+	} else {
+		b.barwot.Unlock()
+	}
+}
+
+// CentralSenseBarrier is the classic central-counter, sense-reversing
+// barrier: arrivals decrement a shared counter; the last arrival runs the
+// section, resets the counter and flips the global sense; everyone else
+// spins on the sense.
+type CentralSenseBarrier struct {
+	n     int
+	count atomic.Int64
+	sense atomic.Uint64
+	epoch []padded64 // per-pid episode number; entry pid only
+}
+
+var _ Barrier = (*CentralSenseBarrier)(nil)
+
+// NewCentralSense builds a sense-reversing central barrier for n processes.
+func NewCentralSense(n int) *CentralSenseBarrier {
+	b := &CentralSenseBarrier{n: n, epoch: make([]padded64, n)}
+	b.count.Store(int64(n))
+	return b
+}
+
+// N returns the number of participants.
+func (b *CentralSenseBarrier) N() int { return b.n }
+
+// Sync performs one sense-reversed episode.
+func (b *CentralSenseBarrier) Sync(pid int, section func()) {
+	b.epoch[pid].v++
+	target := b.epoch[pid].v
+	if b.count.Add(-1) == 0 {
+		if section != nil {
+			section()
+		}
+		b.count.Store(int64(b.n))
+		b.sense.Store(target)
+		return
+	}
+	spinWait(func() bool { return b.sense.Load() == target })
+}
+
+// TreeBarrier is a combining-tree barrier: processes are grouped into
+// fan-in sized teams; the last arrival at each node climbs to the parent,
+// and the process reaching the root runs the section.  The release wave
+// resets every node's counter and then publishes the new episode number to
+// every node, leaves first, so a released process re-entering the next
+// episode always observes a fresh leaf before any ancestor it may wait on.
+type TreeBarrier struct {
+	n     int
+	fanIn int
+	nodes []treeNode
+	epoch []padded64 // per-pid episode number; entry pid only
+}
+
+type treeNode struct {
+	count  atomic.Int64
+	expect int64
+	parent int           // -1 at root
+	sense  atomic.Uint64 // completed-episode number
+	_      [32]byte
+}
+
+var _ Barrier = (*TreeBarrier)(nil)
+
+// NewTree builds a combining-tree barrier for n processes with the given
+// fan-in (values below 2 are raised to 2).
+func NewTree(n, fanIn int) *TreeBarrier {
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	type layer struct{ start, size int }
+	var layers []layer
+	size := (n + fanIn - 1) / fanIn
+	total := 0
+	for {
+		layers = append(layers, layer{total, size})
+		total += size
+		if size == 1 {
+			break
+		}
+		size = (size + fanIn - 1) / fanIn
+	}
+	b := &TreeBarrier{n: n, fanIn: fanIn, nodes: make([]treeNode, total), epoch: make([]padded64, n)}
+	for li, l := range layers {
+		for i := 0; i < l.size; i++ {
+			idx := l.start + i
+			if li+1 < len(layers) {
+				b.nodes[idx].parent = layers[li+1].start + i/fanIn
+			} else {
+				b.nodes[idx].parent = -1
+			}
+		}
+	}
+	// Expected arrivals: leaves count their processes, interior nodes
+	// their children.
+	for p := 0; p < n; p++ {
+		b.nodes[layers[0].start+p/fanIn].expect++
+	}
+	for i := range b.nodes {
+		if p := b.nodes[i].parent; p >= 0 {
+			b.nodes[p].expect++
+		}
+	}
+	for i := range b.nodes {
+		b.nodes[i].count.Store(b.nodes[i].expect)
+	}
+	return b
+}
+
+// N returns the number of participants.
+func (b *TreeBarrier) N() int { return b.n }
+
+// Sync climbs the combining tree; losers wait for their node to publish the
+// current episode, the root winner runs the section and performs the
+// release wave.
+func (b *TreeBarrier) Sync(pid int, section func()) {
+	b.epoch[pid].v++
+	target := b.epoch[pid].v
+	node := pid / b.fanIn
+	for {
+		if b.nodes[node].count.Add(-1) > 0 {
+			// Not the last arrival here: wait for this node to see
+			// the current episode's release.  The node's sense may
+			// lag behind (previous release wave still in flight);
+			// equality on the episode number tolerates that.
+			spinWait(func() bool { return b.nodes[node].sense.Load() == target })
+			return
+		}
+		parent := b.nodes[node].parent
+		if parent < 0 {
+			// Reached the root: the whole force has arrived.
+			if section != nil {
+				section()
+			}
+			// Reset all counters before publishing the episode
+			// anywhere, then publish leaves-upward (ascending
+			// index) so re-entrants always find fresh leaves.
+			for i := range b.nodes {
+				b.nodes[i].count.Store(b.nodes[i].expect)
+			}
+			for i := range b.nodes {
+				b.nodes[i].sense.Add(1)
+			}
+			return
+		}
+		node = parent
+	}
+}
+
+// TournamentBarrier plays ceil(log2 n) statically scheduled rounds.  In
+// round r, a process whose pid is a multiple of 2^(r+1) is the winner and
+// waits for the arrival flag of loser pid+2^r (when that pid exists); the
+// loser posts its flag and then waits for the champion's release.  Pid 0
+// wins every round, runs the section, and publishes the release episode.
+type TournamentBarrier struct {
+	n       int
+	rounds  int
+	arrive  [][]padded64 // [round][pid], written only by pid
+	release atomic.Uint64
+	epoch   []padded64
+}
+
+var _ Barrier = (*TournamentBarrier)(nil)
+
+// NewTournament builds a tournament barrier for n processes.
+func NewTournament(n int) *TournamentBarrier {
+	rounds := 0
+	for 1<<rounds < n {
+		rounds++
+	}
+	b := &TournamentBarrier{n: n, rounds: rounds, epoch: make([]padded64, n)}
+	b.arrive = make([][]padded64, rounds)
+	for r := range b.arrive {
+		b.arrive[r] = make([]padded64, n)
+	}
+	return b
+}
+
+// N returns the number of participants.
+func (b *TournamentBarrier) N() int { return b.n }
+
+// Sync plays the tournament for one episode.
+func (b *TournamentBarrier) Sync(pid int, section func()) {
+	b.epoch[pid].v++
+	target := b.epoch[pid].v
+	for r := 0; r < b.rounds; r++ {
+		bit := 1 << r
+		if pid&((bit<<1)-1) == 0 {
+			// Winner of round r: absorb the loser's arrival if a
+			// loser exists at this population.
+			loser := pid + bit
+			if loser < b.n {
+				slot := &b.arrive[r][loser]
+				spinWait(func() bool { return atomic.LoadUint64(&slot.v) == target })
+			}
+			continue
+		}
+		// Loser: post arrival, then wait out the episode.
+		atomic.StoreUint64(&b.arrive[r][pid].v, target)
+		spinWait(func() bool { return b.release.Load() == target })
+		return
+	}
+	// Champion (pid 0): the force has arrived.
+	if section != nil {
+		section()
+	}
+	b.release.Store(target)
+}
+
+// DisseminationBarrier runs ceil(log2 n) rounds in which process p signals
+// process (p+2^r) mod n and waits for a signal from (p-2^r) mod n; after
+// the rounds every process has transitively heard from all others.  Flags
+// are counting (monotone), which makes the barrier reusable under arbitrary
+// process skew: an early signal from a fast neighbour's next episode simply
+// over-satisfies the >= test.  Because no process naturally owns the
+// barrier, the Force barrier section is provided by electing pid 0 and
+// adding a release phase.
+type DisseminationBarrier struct {
+	n      int
+	rounds int
+	flags  [][]atomic.Uint64 // [round][pid]
+	relSns atomic.Uint64
+	epoch  []padded64
+}
+
+var _ Barrier = (*DisseminationBarrier)(nil)
+
+// NewDissemination builds a dissemination barrier for n processes.
+func NewDissemination(n int) *DisseminationBarrier {
+	rounds := 0
+	for 1<<rounds < n {
+		rounds++
+	}
+	b := &DisseminationBarrier{n: n, rounds: rounds, epoch: make([]padded64, n)}
+	b.flags = make([][]atomic.Uint64, rounds)
+	for r := range b.flags {
+		b.flags[r] = make([]atomic.Uint64, n)
+	}
+	return b
+}
+
+// N returns the number of participants.
+func (b *DisseminationBarrier) N() int { return b.n }
+
+// Sync runs the signalling rounds, then the optional elected section.
+func (b *DisseminationBarrier) Sync(pid int, section func()) {
+	b.epoch[pid].v++
+	episode := b.epoch[pid].v
+	for r := 0; r < b.rounds; r++ {
+		to := (pid + 1<<r) % b.n
+		b.flags[r][to].Add(1)
+		slot := &b.flags[r][pid]
+		spinWait(func() bool { return slot.Load() >= episode })
+	}
+	if section == nil {
+		return
+	}
+	if pid == 0 {
+		section()
+		b.relSns.Store(episode)
+		return
+	}
+	spinWait(func() bool { return b.relSns.Load() >= episode })
+}
+
+// ButterflyBarrier is Brooks' algorithm as compared in [AJ87]: log2(n)
+// rounds in which process p and its partner p XOR 2^r signal each other
+// with counting flags.  Unlike dissemination's one-directional ring
+// signalling, every exchange is symmetric.  n must be a power of two.
+type ButterflyBarrier struct {
+	n      int
+	rounds int
+	flags  [][]atomic.Uint64 // [round][pid]
+	relSns atomic.Uint64
+	epoch  []padded64
+}
+
+var _ Barrier = (*ButterflyBarrier)(nil)
+
+// NewButterfly builds a butterfly barrier; n must be a power of two.
+func NewButterfly(n int) *ButterflyBarrier {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("barrier: butterfly requires a power-of-two force, got %d", n))
+	}
+	rounds := 0
+	for 1<<rounds < n {
+		rounds++
+	}
+	b := &ButterflyBarrier{n: n, rounds: rounds, epoch: make([]padded64, n)}
+	b.flags = make([][]atomic.Uint64, rounds)
+	for r := range b.flags {
+		b.flags[r] = make([]atomic.Uint64, n)
+	}
+	return b
+}
+
+// N returns the number of participants.
+func (b *ButterflyBarrier) N() int { return b.n }
+
+// Sync runs the symmetric exchange rounds, then the optional elected
+// section (pid 0, as for dissemination).
+func (b *ButterflyBarrier) Sync(pid int, section func()) {
+	b.epoch[pid].v++
+	episode := b.epoch[pid].v
+	for r := 0; r < b.rounds; r++ {
+		partner := pid ^ (1 << r)
+		b.flags[r][partner].Add(1)
+		slot := &b.flags[r][pid]
+		spinWait(func() bool { return slot.Load() >= episode })
+	}
+	if section == nil {
+		return
+	}
+	if pid == 0 {
+		section()
+		b.relSns.Store(episode)
+		return
+	}
+	spinWait(func() bool { return b.relSns.Load() >= episode })
+}
+
+// CondBroadcastBarrier parks waiters on a condition variable — the shape a
+// purely system-call-based implementation (the paper's Cray lock category)
+// takes when the scheduler, not spinning, suspends waiting processes.
+type CondBroadcastBarrier struct {
+	n       int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	count   int
+	episode uint64
+}
+
+var _ Barrier = (*CondBroadcastBarrier)(nil)
+
+// NewCondBroadcast builds a condition-variable barrier for n processes.
+func NewCondBroadcast(n int) *CondBroadcastBarrier {
+	b := &CondBroadcastBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// N returns the number of participants.
+func (b *CondBroadcastBarrier) N() int { return b.n }
+
+// Sync parks on the condition variable until the episode advances.
+func (b *CondBroadcastBarrier) Sync(pid int, section func()) {
+	b.mu.Lock()
+	e := b.episode
+	b.count++
+	if b.count == b.n {
+		if section != nil {
+			section()
+		}
+		b.count = 0
+		b.episode++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for b.episode == e {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Rounds reports the number of signalling rounds a log-depth algorithm
+// uses for n processes (useful in benchmarks and documentation).
+func Rounds(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

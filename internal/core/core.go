@@ -1,0 +1,611 @@
+// Package core implements the Force runtime: the paper's global-parallelism
+// execution model in which a fixed force of NP processes executes one SPMD
+// program, with work distributed by constructs rather than assigned to
+// named processes (paper §3).
+//
+// The package provides every Force language concept:
+//
+//   - program structure: New/Run (the generated Force driver: create the
+//     force, run the program in every process, Join at the end) and
+//     parallel subroutines (any Go function taking a *Proc);
+//   - variable classes: shared variables are whatever the program shares
+//     through closures (the Go analogue of Force shared declarations),
+//     private variables are locals of the process body, and asynchronous
+//     variables come from the machine profile via NewAsync;
+//   - work distribution: prescheduled and selfscheduled DOALL loops over
+//     Fortran-style ranges, singly and doubly nested; prescheduled and
+//     selfscheduled Pcase with optional per-block conditions; Askfor work
+//     pools with run-time work generation; Resolve (the paper's "yet
+//     unimplemented concept", built here as scoped sub-forces);
+//   - synchronization: barriers with single-process barrier sections,
+//     named critical sections, and produce/consume on async variables.
+//
+// Every construct is generic in the paper's sense — no process identifiers
+// appear in synchronization operations — and programs are written to be
+// independent of the number of processes, which is fixed only when the
+// force is created.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/asyncvar"
+	"repro/internal/barrier"
+	"repro/internal/lock"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Force is a force of NP processes together with the shared parallel
+// environment the preprocessor would have generated: the global barrier,
+// the named lock set, and the per-construct scheduler table.
+type Force struct {
+	np      int
+	profile machine.Profile
+	barKind barrier.Kind
+	bar     barrier.Barrier
+	locks   *lock.Set
+	chunk   int             // chunk size for chunked selfscheduling
+	tr      *trace.Recorder // nil unless WithTrace was given
+
+	entries sync.Map // construct seq (uint64) -> *constructEntry
+	stats   Stats
+}
+
+// Stats counts construct executions; all fields are updated atomically and
+// may be read at any time.
+type Stats struct {
+	Barriers    atomic.Int64
+	Loops       atomic.Int64
+	Criticals   atomic.Int64
+	PcaseBlocks atomic.Int64
+	AskforTasks atomic.Int64
+}
+
+// Option configures a Force.
+type Option func(*Force)
+
+// WithMachine selects the machine profile supplying locks, async-variable
+// realization and creation cost.  Default: machine.Native.
+func WithMachine(p machine.Profile) Option {
+	return func(f *Force) { f.profile = p }
+}
+
+// WithBarrier selects the global barrier algorithm.  Default: the paper's
+// two-lock barrier.
+func WithBarrier(k barrier.Kind) Option {
+	return func(f *Force) { f.barKind = k }
+}
+
+// WithChunk sets the chunk size used by chunked selfscheduled loops.
+func WithChunk(n int) Option {
+	return func(f *Force) { f.chunk = n }
+}
+
+// WithTrace attaches an execution-trace recorder; every construct edge
+// (barrier enter/leave, section and critical boundaries, loop iterations,
+// Pcase blocks, Askfor tasks) is recorded for post-run validation.
+func WithTrace(r *trace.Recorder) Option {
+	return func(f *Force) { f.tr = r }
+}
+
+// Trace returns the attached recorder (nil when tracing is off).
+func (f *Force) Trace() *trace.Recorder { return f.tr }
+
+// New creates a force of np processes.  The force is reusable: Run may be
+// called repeatedly (sequentially) with different programs.
+func New(np int, opts ...Option) *Force {
+	if np <= 0 {
+		panic(fmt.Sprintf("core: np = %d, need np >= 1", np))
+	}
+	f := &Force{np: np, profile: machine.Native, barKind: barrier.TwoLock}
+	for _, o := range opts {
+		o(f)
+	}
+	f.bar = barrier.New(f.barKind, np, f.profile.LockFactory())
+	f.locks = lock.NewSet(f.profile.LockFactory())
+	return f
+}
+
+// NP returns the number of processes in the force.
+func (f *Force) NP() int { return f.np }
+
+// NewAsync creates an asynchronous (full/empty) variable realized with the
+// force's machine profile: hardware-style on the HEP, the two-lock scheme
+// elsewhere.  (A free function because Go methods cannot introduce type
+// parameters.)
+func NewAsync[T any](f *Force) asyncvar.V[T] {
+	return machine.NewAsync[T](f.profile)
+}
+
+// NewAsyncArray creates an array of n asynchronous cells realized with the
+// force's machine profile — the HEP's per-cell full/empty idiom.  On
+// two-lock machines each cell costs a lock pair, the paper's "locks may
+// be scarce resources" caveat.
+func NewAsyncArray[T any](f *Force, n int) *asyncvar.Array[T] {
+	return asyncvar.NewArray[T](f.profile.Async, f.profile.LockFactory(), n)
+}
+
+// Machine returns the machine profile the force runs under.
+func (f *Force) Machine() machine.Profile { return f.profile }
+
+// Stats returns the construct counters.
+func (f *Force) Stats() *Stats { return &f.stats }
+
+// Run executes program as a Force main program: it creates the force (one
+// goroutine per process, each paying the machine's creation cost), runs
+// program in every process with that process's private *Proc, and joins
+// the force when all return — the Join statement of the paper, executed by
+// the generated driver.  If any process panics, Run re-panics with the
+// first panic value after all processes have stopped; note that a process
+// which panics while its peers are inside a barrier leaves them blocked,
+// exactly as an aborted process did on the 1989 machines, so recovery is
+// only useful for whole-force failures.  Run must not be invoked
+// concurrently on the same force.
+func (f *Force) Run(program func(p *Proc)) {
+	var wg sync.WaitGroup
+	panics := make(chan any, f.np)
+	for id := 0; id < f.np; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			// §4.1.1: creation cost is paid per process by the
+			// driver; fork models pay more than create-call.
+			f.profile.PayCreationCost()
+			program(&Proc{id: id, f: f})
+		}(id)
+	}
+	wg.Wait()
+	close(panics)
+	if r, ok := <-panics; ok {
+		panic(r)
+	}
+}
+
+// constructEntry is the shared state of one dynamic construct instance
+// (one execution of a DOALL, Pcase or Askfor site).  All processes of the
+// force reach the same construct sites in the same order — the SPMD
+// discipline the Force assumes — so a per-process sequence number
+// identifies the instance, and the first process to arrive materializes
+// the shared state.
+type constructEntry struct {
+	once  sync.Once
+	state any
+}
+
+func (f *Force) entry(seq uint64, build func() any) any {
+	v, _ := f.entries.LoadOrStore(seq, &constructEntry{})
+	e := v.(*constructEntry)
+	e.once.Do(func() { e.state = build() })
+	return e.state
+}
+
+func (f *Force) dropEntry(seq uint64) { f.entries.Delete(seq) }
+
+// Proc is one process's private view of the force: its unique process
+// identifier, and the private construct-sequence cursor.  A *Proc must be
+// used only by the goroutine it was handed to.
+type Proc struct {
+	id  int
+	f   *Force
+	seq uint64
+}
+
+// ID returns the process identifier, in [0, NP()).
+func (p *Proc) ID() int { return p.id }
+
+// NP returns the number of processes in the force.
+func (p *Proc) NP() int { return p.f.np }
+
+// Force returns the force this process belongs to.
+func (p *Proc) Force() *Force { return p.f }
+
+// nextSeq advances the private construct cursor.  Constructs executed in
+// SPMD order yield identical sequences in every process.
+func (p *Proc) nextSeq() uint64 {
+	p.seq++
+	return p.seq
+}
+
+// Barrier suspends the process until the whole force arrives (§3.4).
+func (p *Proc) Barrier() {
+	p.f.stats.Barriers.Add(1)
+	p.f.tr.Record(p.id, trace.BarrierEnter, "", 0)
+	p.f.bar.Sync(p.id, nil)
+	p.f.tr.Record(p.id, trace.BarrierLeave, "", 0)
+}
+
+// BarrierSection is a barrier with a barrier section: all processes wait,
+// exactly one arbitrary process executes section while the others remain
+// suspended, and the force proceeds when it completes.
+func (p *Proc) BarrierSection(section func()) {
+	p.f.stats.Barriers.Add(1)
+	p.f.tr.Record(p.id, trace.BarrierEnter, "", 0)
+	if p.f.tr != nil && section != nil {
+		inner := section
+		section = func() {
+			p.f.tr.Record(p.id, trace.SectionStart, "", 0)
+			inner()
+			p.f.tr.Record(p.id, trace.SectionEnd, "", 0)
+		}
+	}
+	p.f.bar.Sync(p.id, section)
+	p.f.tr.Record(p.id, trace.BarrierLeave, "", 0)
+}
+
+// Critical executes body inside the named critical section: at most one
+// process of the force runs inside any section with the same name at a
+// time (§3.4).  Lock variables are created on first use with the
+// machine's lock mechanism, the Force's define_lock/init_lock.
+func (p *Proc) Critical(name string, body func()) {
+	p.f.stats.Criticals.Add(1)
+	p.f.locks.With(name, func() {
+		p.f.tr.Record(p.id, trace.CriticalEnter, name, 0)
+		body()
+		p.f.tr.Record(p.id, trace.CriticalLeave, name, 0)
+	})
+}
+
+// loop is the shared implementation of every DOALL variant: materialize
+// the instance's scheduler, drive it, and close the construct with the
+// paper's exit synchronization (no process leaves before all have arrived;
+// the loop cannot be reentered before all have left).
+func (p *Proc) loop(kind sched.Kind, r sched.Range, body func(i int)) {
+	p.f.stats.Loops.Add(1)
+	seq := p.nextSeq()
+	cfg := sched.Config{ChunkSize: p.f.chunk, LockFactory: p.f.profile.LockFactory()}
+	s := p.f.entry(seq, func() any { return sched.New(kind, p.f.np, r, cfg) }).(sched.Scheduler)
+	p.f.tr.Record(p.id, trace.LoopStart, kind.String(), int64(seq))
+	sched.Drive(s, p.id, r, func(_, i int) {
+		p.f.tr.Record(p.id, trace.LoopIter, kind.String(), int64(i))
+		body(i)
+	})
+	p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
+	p.f.tr.Record(p.id, trace.LoopEnd, kind.String(), int64(seq))
+}
+
+// PreschedDo is the prescheduled DOALL: indices are dealt cyclically as a
+// pure function of the process id — "completely machine independent, since
+// only the number of executing processes is needed" (§4.2).
+func (p *Proc) PreschedDo(r sched.Range, body func(i int)) {
+	p.loop(sched.PreschedCyclic, r, body)
+}
+
+// PreschedBlockDo is the blocked prescheduled variant (contiguous index
+// blocks per process).
+func (p *Proc) PreschedBlockDo(r sched.Range, body func(i int)) {
+	p.loop(sched.PreschedBlock, r, body)
+}
+
+// SelfschedDo is the selfscheduled DOALL of the paper's expansion listing:
+// a shared loop index behind the machine's lock, advanced by processes
+// looking for more work.
+func (p *Proc) SelfschedDo(r sched.Range, body func(i int)) {
+	p.loop(sched.SelfLock, r, body)
+}
+
+// SelfschedAtomicDo is the fetch-and-add ablation of the selfscheduled
+// loop.
+func (p *Proc) SelfschedAtomicDo(r sched.Range, body func(i int)) {
+	p.loop(sched.SelfAtomic, r, body)
+}
+
+// ChunkDo is chunked selfscheduling (chunk size from WithChunk).
+func (p *Proc) ChunkDo(r sched.Range, body func(i int)) {
+	p.loop(sched.Chunk, r, body)
+}
+
+// GuidedDo is guided selfscheduling: chunks of remaining/NP, shrinking to
+// single iterations.
+func (p *Proc) GuidedDo(r sched.Range, body func(i int)) {
+	p.loop(sched.Guided, r, body)
+}
+
+// DoAll runs the loop under an explicitly chosen discipline.
+func (p *Proc) DoAll(kind sched.Kind, r sched.Range, body func(i int)) {
+	p.loop(kind, r, body)
+}
+
+// loop2 flattens a doubly nested loop into one ordinal space so that index
+// *pairs* are the unit of distribution, the paper's "doubly nested loops"
+// (§3.3).
+func (p *Proc) loop2(kind sched.Kind, r1, r2 sched.Range, body func(i, j int)) {
+	n2 := r2.Count()
+	flat := sched.Seq(r1.Count() * n2)
+	p.loop(kind, flat, func(k int) {
+		body(r1.Index(k/n2), r2.Index(k%n2))
+	})
+}
+
+// PreschedDo2 distributes the index pairs of a doubly nested loop
+// prescheduled.
+func (p *Proc) PreschedDo2(r1, r2 sched.Range, body func(i, j int)) {
+	p.loop2(sched.PreschedCyclic, r1, r2, body)
+}
+
+// SelfschedDo2 distributes the index pairs of a doubly nested loop
+// selfscheduled.
+func (p *Proc) SelfschedDo2(r1, r2 sched.Range, body func(i, j int)) {
+	p.loop2(sched.SelfLock, r1, r2, body)
+}
+
+// Block is one Pcase section: an independent single-stream code block,
+// optionally guarded by a condition.  A nil Cond means unconditional.
+// Conditions are evaluated by the process that would execute the block —
+// "any number of conditions may be true simultaneously" (§3.3).
+type Block struct {
+	Cond func() bool
+	Body func()
+}
+
+// Case builds an unconditional block.
+func Case(body func()) Block { return Block{Body: body} }
+
+// CaseIf builds a conditional block.
+func CaseIf(cond func() bool, body func()) Block { return Block{Cond: cond, Body: body} }
+
+// Pcase distributes the blocks over the force prescheduled: block b goes
+// to process b mod NP, "allocat[ing] the blocks sequentially to the
+// processes and ... thus completely machine independent" (§4.2).  Each
+// block executes at most once (exactly once when its condition holds); no
+// execution order may be assumed.  The construct closes with the implicit
+// exit barrier.
+func (p *Proc) Pcase(blocks ...Block) {
+	seq := p.nextSeq()
+	for b := p.id; b < len(blocks); b += p.f.np {
+		p.runBlock(blocks[b])
+	}
+	p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
+}
+
+// SelfschedPcase distributes the blocks over the force selfscheduled,
+// using a shared block counter behind the machine's lock — the paper's
+// "asynchronous variable ... needed for work distribution" (§4.2).
+func (p *Proc) SelfschedPcase(blocks ...Block) {
+	seq := p.nextSeq()
+	cfg := sched.Config{LockFactory: p.f.profile.LockFactory()}
+	s := p.f.entry(seq, func() any {
+		return sched.New(sched.SelfLock, p.f.np, sched.Seq(len(blocks)), cfg)
+	}).(sched.Scheduler)
+	for {
+		lo, _, ok := s.Next(p.id)
+		if !ok {
+			break
+		}
+		p.runBlock(blocks[lo])
+	}
+	p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
+}
+
+func (p *Proc) runBlock(b Block) {
+	if b.Body == nil {
+		return
+	}
+	if b.Cond != nil && !b.Cond() {
+		return
+	}
+	p.f.stats.PcaseBlocks.Add(1)
+	p.f.tr.Record(p.id, trace.PcaseBlock, "", 0)
+	b.Body()
+}
+
+// askforState is the shared pool of one Askfor instance.
+type askforState struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []any
+	outstanding int // queued + currently executing tasks
+}
+
+// Askfor is the most general work-distribution construct (§3.3, citing
+// [LO83]): "the degree of concurrency is not known at compile time.
+// Rather the program can request during run time that a new concurrent
+// instance of the code segment is executed."
+//
+// Every process of the force repeatedly draws a task from the shared pool
+// and runs body(task, put); body may call put to request new concurrent
+// task instances.  The first process to reach the construct seeds the pool
+// from its seed argument, so SPMD callers must pass the same seed in every
+// process.  The construct terminates when the pool is empty and no task is
+// executing; all processes then proceed.
+func (p *Proc) Askfor(seed []any, body func(task any, put func(any))) {
+	seq := p.nextSeq()
+	st := p.f.entry(seq, func() any {
+		s := &askforState{}
+		s.cond = sync.NewCond(&s.mu)
+		s.queue = append(s.queue, seed...)
+		s.outstanding = len(s.queue)
+		return s
+	}).(*askforState)
+
+	put := func(t any) {
+		st.mu.Lock()
+		st.queue = append(st.queue, t)
+		st.outstanding++
+		st.mu.Unlock()
+		st.cond.Signal()
+	}
+
+	for {
+		st.mu.Lock()
+		for len(st.queue) == 0 && st.outstanding > 0 {
+			st.cond.Wait()
+		}
+		if st.outstanding == 0 {
+			st.mu.Unlock()
+			break
+		}
+		task := st.queue[len(st.queue)-1]
+		st.queue = st.queue[:len(st.queue)-1]
+		st.mu.Unlock()
+
+		p.f.stats.AskforTasks.Add(1)
+		p.f.tr.Record(p.id, trace.AskforTask, "", 0)
+		body(task, put)
+
+		st.mu.Lock()
+		st.outstanding--
+		done := st.outstanding == 0
+		st.mu.Unlock()
+		if done {
+			st.cond.Broadcast()
+		}
+	}
+	// Close the construct; the pool object is dropped by the last
+	// process through the exit barrier.
+	p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
+}
+
+// Component is one parallel code section of a Resolve: a weight (relative
+// share of the force) and a body executed by the component's sub-force.
+type Component struct {
+	Weight int
+	Body   func(sp *Proc)
+}
+
+// Resolve partitions the force into subsets executing different parallel
+// code sections concurrently — the concept the paper lists as "yet
+// unimplemented" (§3.3); this implementation is the repository's
+// extension, documented in DESIGN.md.
+//
+// Processes are divided among the components in proportion to their
+// weights (every component receives at least one process when NP allows;
+// otherwise trailing components are executed by the force sequentially in
+// a second pass, preserving the all-components-execute guarantee).  Each
+// component's body runs on a scoped sub-force: inside it, sp.ID() ranges
+// over the component's processes, sp.NP() is the component's size, and
+// barriers, loops and critical sections are private to the component.
+// The construct closes with a full-force barrier.
+func (p *Proc) Resolve(components ...Component) {
+	seq := p.nextSeq()
+	if len(components) == 0 {
+		p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
+		return
+	}
+	plan := p.f.entry(seq, func() any {
+		return planResolve(p.f, components)
+	}).(*resolvePlan)
+
+	a := plan.assign[p.id]
+	if a.component >= 0 {
+		sub := &Proc{id: a.rank, f: plan.sub[a.component]}
+		components[a.component].Body(sub)
+	}
+	// Components that received no processes run after an intermediate
+	// full barrier, executed by the whole force as one sub-force each,
+	// in order.
+	if len(plan.leftover) > 0 {
+		p.f.bar.Sync(p.id, nil)
+		for _, ci := range plan.leftover {
+			sub := &Proc{id: p.id, f: plan.sub[ci]}
+			components[ci].Body(sub)
+		}
+	}
+	p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
+}
+
+type resolveAssign struct {
+	component int // -1: unassigned (cannot happen after planning)
+	rank      int
+}
+
+type resolvePlan struct {
+	assign   []resolveAssign
+	sub      []*Force
+	leftover []int // components that received zero processes
+}
+
+// planResolve allocates processes to components by largest-remainder
+// apportionment over the weights.
+func planResolve(f *Force, components []Component) *resolvePlan {
+	np, nc := f.np, len(components)
+	weights := make([]int, nc)
+	total := 0
+	for i, c := range components {
+		w := c.Weight
+		if w <= 0 {
+			w = 1
+		}
+		weights[i] = w
+		total += w
+	}
+	counts := make([]int, nc)
+	assigned := 0
+	type rem struct{ idx, num int }
+	rems := make([]rem, nc)
+	for i, w := range weights {
+		counts[i] = np * w / total
+		rems[i] = rem{i, np * w % total}
+		assigned += counts[i]
+	}
+	// Distribute the remainder to the largest fractional parts, stable
+	// by index for determinism.
+	for assigned < np {
+		best := -1
+		for j := range rems {
+			if best == -1 || rems[j].num > rems[best].num {
+				best = j
+			}
+		}
+		counts[rems[best].idx]++
+		rems[best].num = -1
+		assigned++
+	}
+	// Guarantee progress for every component while NP allows: steal one
+	// process from the largest allocation for each empty component.
+	for i := 0; i < nc; i++ {
+		if counts[i] > 0 {
+			continue
+		}
+		big, bigCount := -1, 1
+		for j := 0; j < nc; j++ {
+			if counts[j] > bigCount {
+				big, bigCount = j, counts[j]
+			}
+		}
+		if big >= 0 {
+			counts[big]--
+			counts[i]++
+		}
+	}
+
+	plan := &resolvePlan{assign: make([]resolveAssign, np), sub: make([]*Force, nc)}
+	pid := 0
+	for i := 0; i < nc; i++ {
+		if counts[i] == 0 {
+			plan.leftover = append(plan.leftover, i)
+			// Leftover components execute on the full force.
+			plan.sub[i] = newSubForce(f, np)
+			continue
+		}
+		plan.sub[i] = newSubForce(f, counts[i])
+		for r := 0; r < counts[i]; r++ {
+			plan.assign[pid] = resolveAssign{component: i, rank: r}
+			pid++
+		}
+	}
+	return plan
+}
+
+// newSubForce builds a scoped force sharing the parent's machine profile
+// but with its own barrier, locks, construct table and stats.
+func newSubForce(parent *Force, np int) *Force {
+	sub := &Force{
+		np:      np,
+		profile: parent.profile,
+		barKind: parent.barKind,
+		chunk:   parent.chunk,
+		tr:      parent.tr,
+	}
+	sub.bar = barrier.New(sub.barKind, np, sub.profile.LockFactory())
+	sub.locks = lock.NewSet(sub.profile.LockFactory())
+	return sub
+}

@@ -1,0 +1,374 @@
+// Package forcelang implements the front end for the Force dialect: a
+// lexer, parser, AST and semantic checker for the Fortran-flavoured
+// surface syntax the paper and the Force User's Manual [JBAR87] use.
+//
+// The dialect keeps the paper's statement forms — Force/ident headers,
+// shared/private/async declarations, Presched and Selfsched DO loops,
+// Barrier sections, Critical sections, Pcase with Usect/Csect blocks,
+// Produce/Consume/Copy/Void, Join — over a small structured Fortran
+// subset (assignments, IF/ELSE, sequential DO, PRINT, CALL).  Programs
+// parsed here are executed SPMD by internal/interp and translated to Go
+// by internal/codegen.
+package forcelang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/shm"
+)
+
+// Type is a Force variable type.
+type Type int
+
+const (
+	// TInt is Fortran INTEGER.
+	TInt Type = iota
+	// TReal is Fortran REAL (Go float64).
+	TReal
+	// TLogical is Fortran LOGICAL.
+	TLogical
+)
+
+// String returns the Fortran spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "INTEGER"
+	case TReal:
+		return "REAL"
+	case TLogical:
+		return "LOGICAL"
+	default:
+		return fmt.Sprintf("forcelang.Type(%d)", int(t))
+	}
+}
+
+// Decl is one variable declaration.
+type Decl struct {
+	Class shm.Class
+	Type  Type
+	Name  string
+	Dims  []int // nil for scalars; 1 or 2 dimensions for arrays
+	Line  int
+}
+
+// Size returns the element count (1 for scalars).
+func (d Decl) Size() int {
+	n := 1
+	for _, dim := range d.Dims {
+		n *= dim
+	}
+	return n
+}
+
+// Program is a parsed Force program.
+type Program struct {
+	Name  string
+	NPVar string // the "of" identifier, bound to the number of processes
+	MeVar string // the "ident" identifier, bound to the process id
+	Decls []Decl
+	Subs  []*Subroutine
+	Body  []Stmt
+}
+
+// Sub looks up a parallel subroutine by name.
+func (p *Program) Sub(name string) *Subroutine {
+	for _, s := range p.Subs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Subroutine is a Forcesub: a parallel subroutine executed by all
+// processes concurrently (§3.1).  Parameters are passed by reference and
+// must be variable names at call sites.
+type Subroutine struct {
+	Name   string
+	Params []string
+	Decls  []Decl
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+	// Pos returns the source line.
+	Pos() int
+}
+
+type stmtBase struct{ Line int }
+
+func (s stmtBase) stmtNode() {}
+
+// Pos returns the source line of the statement.
+func (s stmtBase) Pos() int { return s.Line }
+
+// Assign is target = expr.
+type Assign struct {
+	stmtBase
+	Target Ref
+	Expr   Expr
+}
+
+// If is a structured IF (cond) THEN ... [ELSE ...] END IF.
+type If struct {
+	stmtBase
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// SeqDo is a sequential (private) DO loop.
+type SeqDo struct {
+	stmtBase
+	Var      string
+	From, To Expr
+	Step     Expr // nil means 1
+	Body     []Stmt
+}
+
+// WhileDo is a sequential DO WHILE (cond) loop.  Like every sequential
+// statement it executes SPMD in each process; convergence loops test a
+// shared flag that a barrier section maintains.
+type WhileDo struct {
+	stmtBase
+	Cond Expr
+	Body []Stmt
+}
+
+// SchedKind is the scheduling discipline of a parallel loop.
+type SchedKind int
+
+const (
+	// Presched distributes indices cyclically at compile time.
+	Presched SchedKind = iota
+	// Selfsched distributes indices through a shared counter at run time.
+	Selfsched
+)
+
+// String returns the dialect keyword.
+func (k SchedKind) String() string {
+	if k == Presched {
+		return "Presched"
+	}
+	return "Selfsched"
+}
+
+// ParDo is a DOALL: Presched DO or Selfsched DO.  Doubly nested DOALLs are
+// expressed with Inner, which distributes the index pairs.
+type ParDo struct {
+	stmtBase
+	Sched    SchedKind
+	Var      string
+	From, To Expr
+	Step     Expr // nil means 1
+	// Inner, when non-nil, makes this a two-index DOALL over (Var, Inner.Var).
+	Inner *ParDoInner
+	Body  []Stmt
+}
+
+// ParDoInner is the second index of a doubly nested DOALL.
+type ParDoInner struct {
+	Var      string
+	From, To Expr
+	Step     Expr
+}
+
+// BarrierStmt is Barrier ... End Barrier; Section holds the barrier
+// section executed by exactly one process.
+type BarrierStmt struct {
+	stmtBase
+	Section []Stmt
+}
+
+// CriticalStmt is Critical name ... End Critical.
+type CriticalStmt struct {
+	stmtBase
+	Name string
+	Body []Stmt
+}
+
+// PcaseBlock is one Usect/Csect block.
+type PcaseBlock struct {
+	Cond Expr // nil for Usect
+	Body []Stmt
+	Line int
+}
+
+// PcaseStmt is Pcase [Selfsched] ... End Pcase.
+type PcaseStmt struct {
+	stmtBase
+	Selfsched bool
+	Blocks    []PcaseBlock
+}
+
+// ProduceStmt is Produce var = expr, or Produce var(sub) = expr for an
+// asynchronous array element (Sub nil for scalars).  Async arrays are the
+// HEP idiom — a full/empty bit on every cell — and are one-dimensional.
+type ProduceStmt struct {
+	stmtBase
+	Var  string
+	Sub  Expr // nil for scalar async variables
+	Expr Expr
+}
+
+// ConsumeStmt is Consume var[(sub)] into target.
+type ConsumeStmt struct {
+	stmtBase
+	Var    string
+	Sub    Expr // nil for scalar async variables
+	Target Ref
+}
+
+// CopyStmt is Copy var[(sub)] into target (read a full async variable
+// without emptying it).
+type CopyStmt struct {
+	stmtBase
+	Var    string
+	Sub    Expr // nil for scalar async variables
+	Target Ref
+}
+
+// VoidStmt is Void var[(sub)].
+type VoidStmt struct {
+	stmtBase
+	Var string
+	Sub Expr // nil for scalar async variables
+}
+
+// PrintStmt is Print item {, item}; items are expressions or string
+// literals.
+type PrintStmt struct {
+	stmtBase
+	Items []Expr
+}
+
+// CallStmt is Call name(args); arguments are variable references passed by
+// reference.
+type CallStmt struct {
+	stmtBase
+	Name string
+	Args []Ref
+}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	// Pos returns the source line.
+	Pos() int
+}
+
+type exprBase struct{ Line int }
+
+func (e exprBase) exprNode() {}
+
+// Pos returns the source line of the expression.
+func (e exprBase) Pos() int { return e.Line }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// RealLit is a real literal.
+type RealLit struct {
+	exprBase
+	Value float64
+}
+
+// BoolLit is .TRUE. or .FALSE..
+type BoolLit struct {
+	exprBase
+	Value bool
+}
+
+// StrLit is a string literal (Print only).
+type StrLit struct {
+	exprBase
+	Value string
+}
+
+// Ref is an lvalue: a scalar variable or an array element.
+type Ref struct {
+	exprBase
+	Name string
+	Subs []Expr // nil for scalars
+}
+
+// BinOp is a binary operator.
+type BinOp int
+
+// Binary operators, in precedence groups.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpEq: ".EQ.", OpNe: ".NE.", OpLt: ".LT.", OpLe: ".LE.", OpGt: ".GT.", OpGe: ".GE.",
+	OpAnd: ".AND.", OpOr: ".OR.",
+}
+
+// String returns the Fortran spelling of the operator.
+func (op BinOp) String() string {
+	if s, ok := binOpNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("BinOp(%d)", int(op))
+}
+
+// Bin is a binary expression.
+type Bin struct {
+	exprBase
+	Op   BinOp
+	L, R Expr
+}
+
+// Un is unary minus or .NOT..
+type Un struct {
+	exprBase
+	Neg bool // true: -x, false: .NOT. x
+	X   Expr
+}
+
+// Intrinsic is a call to a builtin function: ABS, MIN, MAX, MOD, SQRT,
+// INT, REAL, NINT.
+type Intrinsic struct {
+	exprBase
+	Name string
+	Args []Expr
+}
+
+// Intrinsics lists the supported intrinsic function names.
+func Intrinsics() []string {
+	return []string{"ABS", "MIN", "MAX", "MOD", "SQRT", "INT", "REAL", "NINT"}
+}
+
+// IsIntrinsic reports whether name (upper case) is an intrinsic.
+func IsIntrinsic(name string) bool {
+	for _, n := range Intrinsics() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// normalize upper-cases an identifier (Fortran is case-insensitive).
+func normalize(s string) string { return strings.ToUpper(s) }

@@ -1,0 +1,536 @@
+package forcelang
+
+import (
+	"fmt"
+
+	"repro/internal/shm"
+)
+
+// Scope is a resolved symbol table for one compilation unit (the main
+// program or a subroutine body).
+type Scope struct {
+	vars map[string]Decl
+}
+
+// Lookup resolves a name in the scope.
+func (s *Scope) Lookup(name string) (Decl, bool) {
+	d, ok := s.vars[normalize(name)]
+	return d, ok
+}
+
+// Names returns the declared names (unspecified order).
+func (s *Scope) Names() []string {
+	out := make([]string, 0, len(s.vars))
+	for n := range s.vars {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Check runs semantic analysis: declaration consistency, name resolution,
+// type checking, async-variable usage rules, and call-site validation.
+// It follows the Force model: shared and async variables are global
+// (COMMON-like) and visible inside subroutines; private main-program
+// variables are not.
+func Check(prog *Program) error {
+	c := &checker{prog: prog}
+	global, err := c.buildScope(prog.Decls, nil, prog)
+	if err != nil {
+		return err
+	}
+	c.global = global
+	if err := c.stmts(prog.Body, global); err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, sub := range prog.Subs {
+		if seen[sub.Name] {
+			return fmt.Errorf("line %d: duplicate subroutine %s", sub.Line, sub.Name)
+		}
+		seen[sub.Name] = true
+		scope, err := c.buildSubScope(sub)
+		if err != nil {
+			return err
+		}
+		if err := c.stmts(sub.Body, scope); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GlobalScope returns the main program's resolved scope (declarations plus
+// the implicit NP and ident variables); it is used by the interpreter and
+// the code generator.
+func GlobalScope(prog *Program) (*Scope, error) {
+	c := &checker{prog: prog}
+	return c.buildScope(prog.Decls, nil, prog)
+}
+
+// SubScope returns a subroutine's resolved scope.
+func SubScope(prog *Program, sub *Subroutine) (*Scope, error) {
+	c := &checker{prog: prog}
+	return c.buildSubScope(sub)
+}
+
+// TypeOf infers the type of an expression in a resolved scope; it is used
+// by the code generator to place numeric conversions.
+func TypeOf(prog *Program, s *Scope, e Expr) (Type, error) {
+	c := &checker{prog: prog}
+	return c.exprType(e, s)
+}
+
+type checker struct {
+	prog   *Program
+	global *Scope
+}
+
+// buildScope assembles a scope from declarations.  When base is non-nil
+// its shared/async entries are inherited (subroutine case).  When prog is
+// non-nil the implicit NPVar (shared integer) and MeVar (private integer)
+// are added.
+func (c *checker) buildScope(decls []Decl, base *Scope, prog *Program) (*Scope, error) {
+	s := &Scope{vars: map[string]Decl{}}
+	if base != nil {
+		for n, d := range base.vars {
+			if d.Class.IsShared() {
+				s.vars[n] = d
+			}
+		}
+	}
+	if prog != nil {
+		np := normalize(prog.NPVar)
+		me := normalize(prog.MeVar)
+		if np == me {
+			return nil, fmt.Errorf("force header: NP variable and ident variable are both %s", np)
+		}
+		s.vars[np] = Decl{Class: shm.Shared, Type: TInt, Name: np}
+		s.vars[me] = Decl{Class: shm.Private, Type: TInt, Name: me}
+	}
+	for _, d := range decls {
+		n := normalize(d.Name)
+		if prior, dup := s.vars[n]; dup && base == nil {
+			return nil, fmt.Errorf("line %d: %s already declared (line %d)", d.Line, n, prior.Line)
+		}
+		if d.Class == shm.Async {
+			if len(d.Dims) > 1 {
+				return nil, fmt.Errorf("line %d: async variable %s may have at most one dimension", d.Line, n)
+			}
+			if d.Type == TLogical {
+				return nil, fmt.Errorf("line %d: async variable %s must be numeric", d.Line, n)
+			}
+		}
+		d.Name = n
+		s.vars[n] = d
+	}
+	return s, nil
+}
+
+func (c *checker) buildSubScope(sub *Subroutine) (*Scope, error) {
+	if c.global == nil {
+		g, err := c.buildScope(c.prog.Decls, nil, c.prog)
+		if err != nil {
+			return nil, err
+		}
+		c.global = g
+	}
+	s, err := c.buildScope(sub.Decls, c.global, c.prog)
+	if err != nil {
+		return nil, err
+	}
+	// Every parameter must be declared in the subroutine's declaration
+	// section (Fortran style), and cannot be Async: the full/empty cell
+	// has no by-reference representation.
+	for _, param := range sub.Params {
+		d, ok := s.Lookup(param)
+		if !ok {
+			return nil, fmt.Errorf("line %d: parameter %s of %s not declared", sub.Line, param, sub.Name)
+		}
+		if d.Class == shm.Async {
+			return nil, fmt.Errorf("line %d: parameter %s of %s cannot be Async", sub.Line, param, sub.Name)
+		}
+	}
+	return s, nil
+}
+
+func (c *checker) stmts(list []Stmt, s *Scope) error {
+	for _, st := range list {
+		if err := c.stmt(st, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(st Stmt, s *Scope) error {
+	switch t := st.(type) {
+	case *Assign:
+		lt, err := c.refType(&t.Target, s)
+		if err != nil {
+			return err
+		}
+		rt, err := c.exprType(t.Expr, s)
+		if err != nil {
+			return err
+		}
+		return assignable(lt, rt, t.Pos())
+	case *If:
+		ct, err := c.exprType(t.Cond, s)
+		if err != nil {
+			return err
+		}
+		if ct != TLogical {
+			return fmt.Errorf("line %d: IF condition must be LOGICAL", t.Pos())
+		}
+		if err := c.stmts(t.Then, s); err != nil {
+			return err
+		}
+		return c.stmts(t.Else, s)
+	case *SeqDo:
+		if err := c.loopVar(t.Var, s, t.Pos(), false); err != nil {
+			return err
+		}
+		if err := c.loopBounds(t.From, t.To, t.Step, s, t.Pos()); err != nil {
+			return err
+		}
+		return c.stmts(t.Body, s)
+	case *WhileDo:
+		ct, err := c.exprType(t.Cond, s)
+		if err != nil {
+			return err
+		}
+		if ct != TLogical {
+			return fmt.Errorf("line %d: DO WHILE condition must be LOGICAL", t.Pos())
+		}
+		return c.stmts(t.Body, s)
+	case *ParDo:
+		if err := c.loopVar(t.Var, s, t.Pos(), true); err != nil {
+			return err
+		}
+		if err := c.loopBounds(t.From, t.To, t.Step, s, t.Pos()); err != nil {
+			return err
+		}
+		if t.Inner != nil {
+			if err := c.loopVar(t.Inner.Var, s, t.Pos(), true); err != nil {
+				return err
+			}
+			if err := c.loopBounds(t.Inner.From, t.Inner.To, t.Inner.Step, s, t.Pos()); err != nil {
+				return err
+			}
+			if normalize(t.Inner.Var) == normalize(t.Var) {
+				return fmt.Errorf("line %d: doubly nested DOALL uses the same index twice", t.Pos())
+			}
+		}
+		return c.stmts(t.Body, s)
+	case *BarrierStmt:
+		return c.stmts(t.Section, s)
+	case *CriticalStmt:
+		return c.stmts(t.Body, s)
+	case *PcaseStmt:
+		for _, b := range t.Blocks {
+			if b.Cond != nil {
+				ct, err := c.exprType(b.Cond, s)
+				if err != nil {
+					return err
+				}
+				if ct != TLogical {
+					return fmt.Errorf("line %d: Csect condition must be LOGICAL", b.Line)
+				}
+			}
+			if err := c.stmts(b.Body, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ProduceStmt:
+		d, err := c.asyncVar(t.Var, t.Sub, s, t.Pos())
+		if err != nil {
+			return err
+		}
+		et, err := c.exprType(t.Expr, s)
+		if err != nil {
+			return err
+		}
+		return assignable(d.Type, et, t.Pos())
+	case *ConsumeStmt:
+		return c.asyncTransfer(t.Var, t.Sub, &t.Target, s, t.Pos())
+	case *CopyStmt:
+		return c.asyncTransfer(t.Var, t.Sub, &t.Target, s, t.Pos())
+	case *VoidStmt:
+		_, err := c.asyncVar(t.Var, t.Sub, s, t.Pos())
+		return err
+	case *PrintStmt:
+		for _, item := range t.Items {
+			if _, ok := item.(*StrLit); ok {
+				continue
+			}
+			if _, err := c.exprType(item, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *CallStmt:
+		sub := c.prog.Sub(t.Name)
+		if sub == nil {
+			return fmt.Errorf("line %d: call of undefined subroutine %s", t.Pos(), t.Name)
+		}
+		if len(t.Args) != len(sub.Params) {
+			return fmt.Errorf("line %d: %s takes %d arguments, got %d",
+				t.Pos(), sub.Name, len(sub.Params), len(t.Args))
+		}
+		subScope, err := c.buildSubScope(sub)
+		if err != nil {
+			return err
+		}
+		for i := range t.Args {
+			argDecl, ok := s.Lookup(t.Args[i].Name)
+			if !ok {
+				return fmt.Errorf("line %d: undeclared argument %s", t.Pos(), t.Args[i].Name)
+			}
+			if argDecl.Class == shm.Async {
+				return fmt.Errorf("line %d: async variable %s cannot be a subroutine argument", t.Pos(), t.Args[i].Name)
+			}
+			paramDecl, _ := subScope.Lookup(sub.Params[i])
+			// Whole-array argument: dims must match; element or
+			// scalar argument: param must be scalar.
+			argDims := len(argDecl.Dims)
+			if len(t.Args[i].Subs) > 0 {
+				if _, err := c.refType(&t.Args[i], s); err != nil {
+					return err
+				}
+				argDims = 0
+			}
+			if argDims != len(paramDecl.Dims) {
+				return fmt.Errorf("line %d: argument %d of %s: array shape mismatch",
+					t.Pos(), i+1, sub.Name)
+			}
+			if argDecl.Type != paramDecl.Type {
+				return fmt.Errorf("line %d: argument %d of %s: type %s does not match parameter %s",
+					t.Pos(), i+1, sub.Name, argDecl.Type, paramDecl.Type)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("line %d: unhandled statement %T", st.Pos(), st)
+	}
+}
+
+func (c *checker) loopVar(name string, s *Scope, line int, mustPrivate bool) error {
+	d, ok := s.Lookup(name)
+	if !ok {
+		return fmt.Errorf("line %d: undeclared loop variable %s", line, name)
+	}
+	if d.Type != TInt || len(d.Dims) != 0 {
+		return fmt.Errorf("line %d: loop variable %s must be a scalar INTEGER", line, name)
+	}
+	if mustPrivate && d.Class != shm.Private {
+		return fmt.Errorf("line %d: DOALL index %s must be Private (each process holds its own copy)", line, name)
+	}
+	return nil
+}
+
+func (c *checker) loopBounds(from, to, step Expr, s *Scope, line int) error {
+	for _, e := range []Expr{from, to, step} {
+		if e == nil {
+			continue
+		}
+		t, err := c.exprType(e, s)
+		if err != nil {
+			return err
+		}
+		if t != TInt {
+			return fmt.Errorf("line %d: loop bounds must be INTEGER", line)
+		}
+	}
+	return nil
+}
+
+// asyncVar resolves an async variable use, checking its subscript against
+// the declaration shape: arrays require exactly one integer subscript,
+// scalars none.
+func (c *checker) asyncVar(name string, sub Expr, s *Scope, line int) (Decl, error) {
+	d, ok := s.Lookup(name)
+	if !ok {
+		return Decl{}, fmt.Errorf("line %d: undeclared async variable %s", line, name)
+	}
+	if d.Class != shm.Async {
+		return Decl{}, fmt.Errorf("line %d: %s is not an Async variable", line, name)
+	}
+	switch {
+	case len(d.Dims) == 1 && sub == nil:
+		return Decl{}, fmt.Errorf("line %d: async array %s used without a subscript", line, name)
+	case len(d.Dims) == 0 && sub != nil:
+		return Decl{}, fmt.Errorf("line %d: async scalar %s used with a subscript", line, name)
+	case sub != nil:
+		st, err := c.exprType(sub, s)
+		if err != nil {
+			return Decl{}, err
+		}
+		if st != TInt {
+			return Decl{}, fmt.Errorf("line %d: subscript of %s must be INTEGER", line, name)
+		}
+	}
+	return d, nil
+}
+
+func (c *checker) asyncTransfer(name string, sub Expr, target *Ref, s *Scope, line int) error {
+	d, err := c.asyncVar(name, sub, s, line)
+	if err != nil {
+		return err
+	}
+	tt, err := c.refType(target, s)
+	if err != nil {
+		return err
+	}
+	return assignable(tt, d.Type, line)
+}
+
+// refType resolves a variable or array-element reference.  Async variables
+// may not be referenced directly.
+func (c *checker) refType(r *Ref, s *Scope) (Type, error) {
+	d, ok := s.Lookup(r.Name)
+	if !ok {
+		return 0, fmt.Errorf("line %d: undeclared variable %s", r.Pos(), r.Name)
+	}
+	if d.Class == shm.Async {
+		return 0, fmt.Errorf("line %d: async variable %s may only be used with Produce/Consume/Copy/Void", r.Pos(), r.Name)
+	}
+	if len(r.Subs) != len(d.Dims) {
+		if len(r.Subs) == 0 {
+			return 0, fmt.Errorf("line %d: array %s used without subscripts", r.Pos(), r.Name)
+		}
+		return 0, fmt.Errorf("line %d: %s has %d dimension(s), subscripted with %d",
+			r.Pos(), r.Name, len(d.Dims), len(r.Subs))
+	}
+	for _, sub := range r.Subs {
+		st, err := c.exprType(sub, s)
+		if err != nil {
+			return 0, err
+		}
+		if st != TInt {
+			return 0, fmt.Errorf("line %d: subscript of %s must be INTEGER", r.Pos(), r.Name)
+		}
+	}
+	return d.Type, nil
+}
+
+// exprType infers an expression's type.
+func (c *checker) exprType(e Expr, s *Scope) (Type, error) {
+	switch t := e.(type) {
+	case *IntLit:
+		return TInt, nil
+	case *RealLit:
+		return TReal, nil
+	case *BoolLit:
+		return TLogical, nil
+	case *StrLit:
+		return 0, fmt.Errorf("line %d: string literal only allowed in Print", t.Pos())
+	case *Ref:
+		return c.refType(t, s)
+	case *Un:
+		xt, err := c.exprType(t.X, s)
+		if err != nil {
+			return 0, err
+		}
+		if t.Neg {
+			if xt == TLogical {
+				return 0, fmt.Errorf("line %d: cannot negate a LOGICAL", t.Pos())
+			}
+			return xt, nil
+		}
+		if xt != TLogical {
+			return 0, fmt.Errorf("line %d: .NOT. requires a LOGICAL", t.Pos())
+		}
+		return TLogical, nil
+	case *Bin:
+		lt, err := c.exprType(t.L, s)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := c.exprType(t.R, s)
+		if err != nil {
+			return 0, err
+		}
+		switch t.Op {
+		case OpAdd, OpSub, OpMul, OpDiv:
+			if lt == TLogical || rt == TLogical {
+				return 0, fmt.Errorf("line %d: arithmetic on LOGICAL", t.Pos())
+			}
+			if lt == TReal || rt == TReal {
+				return TReal, nil
+			}
+			return TInt, nil
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			if (lt == TLogical) != (rt == TLogical) {
+				return 0, fmt.Errorf("line %d: comparison mixes LOGICAL and numeric", t.Pos())
+			}
+			if lt == TLogical && t.Op != OpEq && t.Op != OpNe {
+				return 0, fmt.Errorf("line %d: LOGICALs only compare with .EQ./.NE.", t.Pos())
+			}
+			return TLogical, nil
+		case OpAnd, OpOr:
+			if lt != TLogical || rt != TLogical {
+				return 0, fmt.Errorf("line %d: %s requires LOGICAL operands", t.Pos(), t.Op)
+			}
+			return TLogical, nil
+		default:
+			return 0, fmt.Errorf("line %d: unhandled operator %s", t.Pos(), t.Op)
+		}
+	case *Intrinsic:
+		return c.intrinsicType(t, s)
+	default:
+		return 0, fmt.Errorf("unhandled expression %T", e)
+	}
+}
+
+func (c *checker) intrinsicType(t *Intrinsic, s *Scope) (Type, error) {
+	argTypes := make([]Type, len(t.Args))
+	for i, a := range t.Args {
+		at, err := c.exprType(a, s)
+		if err != nil {
+			return 0, err
+		}
+		if at == TLogical {
+			return 0, fmt.Errorf("line %d: %s does not accept LOGICAL arguments", t.Pos(), t.Name)
+		}
+		argTypes[i] = at
+	}
+	wantArgs := map[string]int{"ABS": 1, "SQRT": 1, "INT": 1, "REAL": 1, "NINT": 1, "MOD": 2}
+	if want, ok := wantArgs[t.Name]; ok && len(t.Args) != want {
+		return 0, fmt.Errorf("line %d: %s takes %d argument(s), got %d", t.Pos(), t.Name, want, len(t.Args))
+	}
+	if (t.Name == "MIN" || t.Name == "MAX") && len(t.Args) < 2 {
+		return 0, fmt.Errorf("line %d: %s takes at least 2 arguments", t.Pos(), t.Name)
+	}
+	switch t.Name {
+	case "SQRT", "REAL":
+		return TReal, nil
+	case "INT", "NINT":
+		return TInt, nil
+	case "MOD":
+		if argTypes[0] == TReal || argTypes[1] == TReal {
+			return TReal, nil
+		}
+		return TInt, nil
+	case "ABS":
+		return argTypes[0], nil
+	case "MIN", "MAX":
+		for _, at := range argTypes {
+			if at == TReal {
+				return TReal, nil
+			}
+		}
+		return TInt, nil
+	default:
+		return 0, fmt.Errorf("line %d: unknown intrinsic %s", t.Pos(), t.Name)
+	}
+}
+
+// assignable checks numeric coercion rules: int and real interconvert,
+// logical only assigns to logical.
+func assignable(dst, src Type, line int) error {
+	if (dst == TLogical) != (src == TLogical) {
+		return fmt.Errorf("line %d: cannot assign %s to %s", line, src, dst)
+	}
+	return nil
+}

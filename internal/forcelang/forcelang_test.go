@@ -1,0 +1,344 @@
+package forcelang
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/shm"
+)
+
+// sample is a program exercising every statement form.
+const sample = `
+C A sample Force program
+Force DEMO of NP ident ME
+Shared Real A(8,8), S
+Shared Integer N
+Private Integer I, J
+Private Real T
+Async Real V
+End Declarations
+      N = 8
+      Barrier
+      S = 0.0
+      End Barrier
+      Presched DO I = 1, N
+        A(I, 1) = REAL(I)
+      End Presched DO
+      Selfsched DO J = 1, N, 1
+        A(1, J) = 2.0 * REAL(J)
+      End Selfsched DO
+      Presched DO I = 1, N also J = 1, N
+        A(I, J) = A(I, J) + 1.0   ! touch every pair
+      End Presched DO
+      DO I = 1, 3
+        T = T + A(I, I)
+      End DO
+      IF (ME .EQ. 0) THEN
+        Produce V = T
+      ELSE
+        Print 'waiting', ME
+      End IF
+      IF (ME .EQ. 1 .OR. NP .EQ. 1) THEN
+        Consume V into T
+      End IF
+      Critical SUMLOCK
+        S = S + T
+      End Critical
+      Pcase
+      Usect
+        S = S + 1.0
+      Csect (N .GT. 4)
+        S = S + 2.0
+      End Pcase
+      Void V
+      Call SCALE(A, S)
+Join
+Forcesub SCALE(X, F)
+Shared Real X(8,8)
+Shared Real F
+Private Integer K
+End Declarations
+      Presched DO K = 1, 8
+        X(K, K) = X(K, K) * F
+      End Presched DO
+Endsub
+`
+
+func TestParseSample(t *testing.T) {
+	prog, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "DEMO" || prog.NPVar != "NP" || prog.MeVar != "ME" {
+		t.Errorf("header: %q of %q ident %q", prog.Name, prog.NPVar, prog.MeVar)
+	}
+	if len(prog.Decls) != 7 {
+		t.Errorf("got %d declarations, want 7", len(prog.Decls))
+	}
+	if len(prog.Subs) != 1 || prog.Subs[0].Name != "SCALE" {
+		t.Fatalf("subs: %+v", prog.Subs)
+	}
+	if got := len(prog.Subs[0].Params); got != 2 {
+		t.Errorf("SCALE has %d params, want 2", got)
+	}
+	if prog.Sub("SCALE") == nil || prog.Sub("NOPE") != nil {
+		t.Error("Sub lookup broken")
+	}
+	// Spot-check statement kinds in order.
+	kinds := []string{}
+	for _, s := range prog.Body {
+		kinds = append(kinds, strings.TrimPrefix(fmt.Sprintf("%T", s), "*forcelang."))
+	}
+	want := []string{"Assign", "BarrierStmt", "ParDo", "ParDo", "ParDo", "SeqDo",
+		"If", "If", "CriticalStmt", "PcaseStmt", "VoidStmt", "CallStmt"}
+	if len(kinds) != len(want) {
+		t.Fatalf("body kinds %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("stmt %d is %s, want %s", i, kinds[i], want[i])
+		}
+	}
+	// The third ParDo is doubly nested.
+	pd := prog.Body[4].(*ParDo)
+	if pd.Inner == nil || pd.Inner.Var != "J" {
+		t.Error("doubly nested DOALL not parsed")
+	}
+	// Pcase block structure.
+	pc := prog.Body[9].(*PcaseStmt)
+	if len(pc.Blocks) != 2 || pc.Blocks[0].Cond != nil || pc.Blocks[1].Cond == nil {
+		t.Errorf("pcase blocks: %+v", pc.Blocks)
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	prog, err := Parse("force f OF np IDENT me\nshared integer n\nEND DECLARATIONS\nn = 1\njoin\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "F" || prog.NPVar != "NP" {
+		t.Errorf("%+v", prog)
+	}
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	src := "C full line comment\n* another\n! bang comment\n\nForce P of NP ident ME\nEnd Declarations\nPrint 'x' ! trailing comment\nJoin\n"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		"Force P of NP ident ME\nEnd Declarations\nPrint 'unterminated\nJoin\n",
+		"Force P of NP ident ME\nEnd Declarations\nX = 1 .XX. 2\nJoin\n",
+		"Force P of NP ident ME\nEnd Declarations\nX = #\nJoin\n",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing header":   "Shared Integer N\nEnd Declarations\nJoin\n",
+		"missing end decl": "Force P of NP ident ME\nShared Integer N\nJoin\n",
+		"missing join":     "Force P of NP ident ME\nEnd Declarations\nN = 1\n",
+		"bad decl class":   "Force P of NP ident ME\nGlobal Integer N\nEnd Declarations\nJoin\n",
+		"bad type":         "Force P of NP ident ME\nShared COMPLEX N\nEnd Declarations\nJoin\n",
+		"neg dim":          "Force P of NP ident ME\nShared Real A(0)\nEnd Declarations\nJoin\n",
+		"3 dims":           "Force P of NP ident ME\nShared Real A(2,2,2)\nEnd Declarations\nJoin\n",
+		"empty pcase":      "Force P of NP ident ME\nEnd Declarations\nPcase\nEnd Pcase\nJoin\n",
+		"stray else":       "Force P of NP ident ME\nEnd Declarations\nElse\nJoin\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	header := "Force P of NP ident ME\n"
+	cases := map[string]string{
+		"dup decl":        header + "Shared Integer N\nShared Real N\nEnd Declarations\nJoin\n",
+		"np=me":           "Force P of X ident X\nEnd Declarations\nJoin\n",
+		"undeclared":      header + "End Declarations\nX = 1\nJoin\n",
+		"async 2d array":  header + "Async Real V(4,4)\nEnd Declarations\nJoin\n",
+		"async arr bare":  header + "Async Real V(4)\nEnd Declarations\nProduce V = 1.0\nJoin\n",
+		"async scal sub":  header + "Async Real V\nEnd Declarations\nProduce V(1) = 1.0\nJoin\n",
+		"async real sub":  header + "Async Real V(4)\nEnd Declarations\nProduce V(1.5) = 1.0\nJoin\n",
+		"async logical":   header + "Async Logical V\nEnd Declarations\nJoin\n",
+		"async in expr":   header + "Async Real V\nShared Real X\nEnd Declarations\nX = V + 1.0\nJoin\n",
+		"produce non-asy": header + "Shared Real X\nEnd Declarations\nProduce X = 1.0\nJoin\n",
+		"logical arith":   header + "Shared Logical L\nEnd Declarations\nL = L + 1\nJoin\n",
+		"if not logical":  header + "End Declarations\nIF (ME) THEN\nEnd IF\nJoin\n",
+		"shared index":    header + "Shared Integer I\nEnd Declarations\nPresched DO I = 1, 4\nEnd Presched DO\nJoin\n",
+		"real loop var":   header + "Private Real R\nEnd Declarations\nDO R = 1, 4\nEnd DO\nJoin\n",
+		"real bounds":     header + "Private Integer I\nShared Real X\nEnd Declarations\nDO I = 1, X\nEnd DO\nJoin\n",
+		"arity":           header + "Shared Real A(4,4)\nShared Real X\nEnd Declarations\nX = A(1)\nJoin\n",
+		"scalar subs":     header + "Shared Real X, Y\nEnd Declarations\nX = Y(1)\nJoin\n",
+		"real subscript":  header + "Shared Real A(4), X\nEnd Declarations\nX = A(1.5)\nJoin\n",
+		"undef sub":       header + "End Declarations\nCall NOPE(ME)\nJoin\n",
+		"assign logical":  header + "Shared Logical L\nShared Real X\nEnd Declarations\nX = L\nJoin\n",
+		"mod args":        header + "Shared Real X\nEnd Declarations\nX = MOD(1)\nJoin\n",
+		"min one arg":     header + "Shared Real X\nEnd Declarations\nX = MIN(1)\nJoin\n",
+		"sqrt logical":    header + "Shared Logical L\nShared Real X\nEnd Declarations\nX = SQRT(L)\nJoin\n",
+		"same 2d index":   header + "Private Integer I\nEnd Declarations\nPresched DO I = 1, 2 also I = 1, 2\nEnd Presched DO\nJoin\n",
+		"csect numeric":   header + "End Declarations\nPcase\nCsect (ME)\nEnd Pcase\nJoin\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: check passed, want error", name)
+		}
+	}
+}
+
+func TestCallArgumentChecking(t *testing.T) {
+	base := `Force P of NP ident ME
+Shared Real A(4)
+Shared Integer N
+End Declarations
+%s
+Join
+Forcesub S(X, K)
+Shared Real X(4)
+Shared Integer K
+End Declarations
+K = 1
+Endsub
+`
+	good := strings.Replace(base, "%s", "Call S(A, N)", 1)
+	if _, err := Parse(good); err != nil {
+		t.Errorf("valid call rejected: %v", err)
+	}
+	for name, call := range map[string]string{
+		"too few":     "Call S(A)",
+		"shape":       "Call S(N, N)",
+		"type":        "Call S(A, A)",
+		"element arg": "Call S(A(1), N)",
+	} {
+		src := strings.Replace(base, "%s", call, 1)
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSubroutineSeesSharedNotPrivate(t *testing.T) {
+	src := `Force P of NP ident ME
+Shared Real G
+Private Real PLOCAL
+End Declarations
+Join
+Forcesub S()
+End Declarations
+G = 1.0
+Endsub
+`
+	if _, err := Parse(src); err != nil {
+		t.Errorf("shared global not visible in sub: %v", err)
+	}
+	bad := strings.Replace(src, "G = 1.0", "PLOCAL = 1.0", 1)
+	if _, err := Parse(bad); err == nil {
+		t.Error("private main variable visible in sub")
+	}
+}
+
+func TestGlobalScope(t *testing.T) {
+	prog := MustParse(sample)
+	scope, err := GlobalScope(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := scope.Lookup("A"); !ok || len(d.Dims) != 2 || d.Class != shm.Shared {
+		t.Errorf("A: %+v ok=%v", d, ok)
+	}
+	if d, ok := scope.Lookup("ME"); !ok || d.Class != shm.Private || d.Type != TInt {
+		t.Errorf("ME: %+v ok=%v", d, ok)
+	}
+	if d, ok := scope.Lookup("NP"); !ok || d.Class != shm.Shared {
+		t.Errorf("NP: %+v ok=%v", d, ok)
+	}
+	if d, ok := scope.Lookup("v"); !ok || d.Class != shm.Async {
+		t.Errorf("case-insensitive lookup of V: %+v ok=%v", d, ok)
+	}
+	if len(scope.Names()) != 9 { // 7 decls + NP + ME
+		t.Errorf("Names() = %v", scope.Names())
+	}
+}
+
+func TestSubScope(t *testing.T) {
+	prog := MustParse(sample)
+	scope, err := SubScope(prog, prog.Subs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := scope.Lookup("K"); !ok {
+		t.Error("sub local K missing")
+	}
+	if _, ok := scope.Lookup("S"); !ok {
+		t.Error("global shared S not inherited")
+	}
+	if _, ok := scope.Lookup("I"); ok {
+		t.Error("main private I leaked into sub scope")
+	}
+}
+
+func TestDeclSize(t *testing.T) {
+	if (Decl{}).Size() != 1 {
+		t.Error("scalar size != 1")
+	}
+	if (Decl{Dims: []int{4, 8}}).Size() != 32 {
+		t.Error("2D size wrong")
+	}
+}
+
+func TestTypeAndOpStrings(t *testing.T) {
+	if TInt.String() != "INTEGER" || TReal.String() != "REAL" || TLogical.String() != "LOGICAL" {
+		t.Error("type strings")
+	}
+	if Type(9).String() != "forcelang.Type(9)" {
+		t.Error("unknown type string")
+	}
+	if OpLe.String() != ".LE." || OpMul.String() != "*" {
+		t.Error("op strings")
+	}
+	if BinOp(99).String() != "BinOp(99)" {
+		t.Error("unknown op string")
+	}
+	if Presched.String() != "Presched" || Selfsched.String() != "Selfsched" {
+		t.Error("sched strings")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("not a program")
+}
+
+func TestNumericLiterals(t *testing.T) {
+	src := `Force P of NP ident ME
+Shared Real X
+End Declarations
+X = 1.5 + 2. + .25 + 1E2 + 1.5E-1 + 3e+2
+Join
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	prog := MustParse("Force P of NP ident ME\nEnd Declarations\nPrint 'it''s fine'\nJoin\n")
+	ps := prog.Body[0].(*PrintStmt)
+	if got := ps.Items[0].(*StrLit).Value; got != "it's fine" {
+		t.Errorf("string = %q", got)
+	}
+}

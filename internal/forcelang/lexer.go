@@ -1,0 +1,182 @@
+package forcelang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokEOL
+	tokIdent
+	tokInt
+	tokReal
+	tokString
+	tokDotOp  // .EQ. .NE. .LT. .LE. .GT. .GE. .AND. .OR. .NOT. .TRUE. .FALSE.
+	tokSymbol // ( ) , = + - * /
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers upper-cased; dot-ops upper-cased with dots
+	ival int64
+	rval float64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokEOL:
+		return "end of line"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex tokenizes a whole source text.  Comment lines start with C, c, * or
+// ! in column one; a ! elsewhere comments to end of line.  Blank lines are
+// dropped; every remaining line ends with a tokEOL.
+func lex(src string) ([]token, error) {
+	var toks []token
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		// Column-one comment (classic Fortran) — only when the marker
+		// is followed by a space or the line is just the marker, so
+		// identifiers like "Consume" are not eaten.
+		trimmedRight := strings.TrimRight(line, " \t")
+		if len(trimmedRight) > 0 {
+			c := trimmedRight[0]
+			if c == '*' || c == '!' ||
+				((c == 'C' || c == 'c') && (len(trimmedRight) == 1 || trimmedRight[1] == ' ' || trimmedRight[1] == '\t')) {
+				continue
+			}
+		}
+		lineToks, err := lexLine(line, lineNo+1)
+		if err != nil {
+			return nil, err
+		}
+		if len(lineToks) == 0 {
+			continue
+		}
+		toks = append(toks, lineToks...)
+		toks = append(toks, token{kind: tokEOL, line: lineNo + 1})
+	}
+	toks = append(toks, token{kind: tokEOF, line: strings.Count(src, "\n") + 1})
+	return toks, nil
+}
+
+func lexLine(line string, lineNo int) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '!':
+			return toks, nil // comment to end of line
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for j < n {
+				if line[j] == '\'' {
+					if j+1 < n && line[j+1] == '\'' { // doubled quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(line[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("line %d: unterminated string", lineNo)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), line: lineNo})
+			i = j + 1
+		case c == '.' && i+1 < n && isLetter(line[i+1]):
+			j := i + 1
+			for j < n && isLetter(line[j]) {
+				j++
+			}
+			if j >= n || line[j] != '.' {
+				return nil, fmt.Errorf("line %d: malformed dot-operator at %q", lineNo, line[i:])
+			}
+			op := strings.ToUpper(line[i : j+1])
+			switch op {
+			case ".EQ.", ".NE.", ".LT.", ".LE.", ".GT.", ".GE.", ".AND.", ".OR.", ".NOT.", ".TRUE.", ".FALSE.":
+				toks = append(toks, token{kind: tokDotOp, text: op, line: lineNo})
+			default:
+				return nil, fmt.Errorf("line %d: unknown operator %s", lineNo, op)
+			}
+			i = j + 1
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(line[i+1])):
+			j := i
+			isReal := false
+			for j < n && isDigit(line[j]) {
+				j++
+			}
+			if j < n && line[j] == '.' && (j+1 >= n || !isLetter(line[j+1])) {
+				isReal = true
+				j++
+				for j < n && isDigit(line[j]) {
+					j++
+				}
+			}
+			if j < n && (line[j] == 'E' || line[j] == 'e') {
+				k := j + 1
+				if k < n && (line[k] == '+' || line[k] == '-') {
+					k++
+				}
+				if k < n && isDigit(line[k]) {
+					isReal = true
+					j = k
+					for j < n && isDigit(line[j]) {
+						j++
+					}
+				}
+			}
+			text := line[i:j]
+			if isReal {
+				v, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad real %q: %v", lineNo, text, err)
+				}
+				toks = append(toks, token{kind: tokReal, text: text, rval: v, line: lineNo})
+			} else {
+				v, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad integer %q: %v", lineNo, text, err)
+				}
+				toks = append(toks, token{kind: tokInt, text: text, ival: v, line: lineNo})
+			}
+			i = j
+		case isLetter(c) || c == '_':
+			j := i
+			for j < n && (isLetter(line[j]) || isDigit(line[j]) || line[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: strings.ToUpper(line[i:j]), line: lineNo})
+			i = j
+		case strings.ContainsRune("(),=+-*/", rune(c)):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), line: lineNo})
+			i++
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", lineNo, string(c))
+		}
+	}
+	return toks, nil
+}
+
+func isLetter(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }

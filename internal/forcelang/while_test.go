@@ -1,0 +1,134 @@
+package forcelang
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseWhileDo(t *testing.T) {
+	prog := MustParse(`Force W of NP ident ME
+Private Integer I
+Shared Logical GO
+End Declarations
+I = 0
+DO WHILE (I .LT. 10 .AND. .NOT. GO)
+  I = I + 1
+End DO
+Join
+`)
+	wd, ok := prog.Body[1].(*WhileDo)
+	if !ok {
+		t.Fatalf("statement 1 is %T, want *WhileDo", prog.Body[1])
+	}
+	if len(wd.Body) != 1 {
+		t.Errorf("body has %d statements", len(wd.Body))
+	}
+}
+
+func TestWhileDoNesting(t *testing.T) {
+	// DO WHILE containing a plain DO, both closed by End DO, must nest
+	// correctly.
+	prog := MustParse(`Force W of NP ident ME
+Private Integer I, J, S
+End Declarations
+S = 0
+DO WHILE (S .LT. 5)
+  DO J = 1, 2
+    S = S + 1
+  End DO
+End DO
+Join
+`)
+	wd := prog.Body[1].(*WhileDo)
+	if _, ok := wd.Body[0].(*SeqDo); !ok {
+		t.Fatalf("inner statement is %T, want *SeqDo", wd.Body[0])
+	}
+}
+
+func TestWhileDoErrors(t *testing.T) {
+	cases := map[string]string{
+		"numeric cond": `Force W of NP ident ME
+Private Integer I
+End Declarations
+DO WHILE (I)
+End DO
+Join
+`,
+		"missing paren": `Force W of NP ident ME
+End Declarations
+DO WHILE ME .EQ. 0
+End DO
+Join
+`,
+		"unclosed": `Force W of NP ident ME
+End Declarations
+DO WHILE (ME .EQ. 0)
+Join
+`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestQuickParserNeverPanics feeds structured garbage to the parser: the
+// contract is error-or-Program, never a panic.
+func TestQuickParserNeverPanics(t *testing.T) {
+	words := []string{
+		"Force", "of", "ident", "End", "Declarations", "Join", "Barrier",
+		"Presched", "Selfsched", "DO", "WHILE", "Pcase", "Usect", "Csect",
+		"Critical", "Produce", "Consume", "Copy", "Void", "into", "Print",
+		"Call", "IF", "THEN", "ELSE", "Endsub", "Forcesub", "also",
+		"X", "Y", "1", "2.5", "'s'", "(", ")", ",", "=", "+", "-", "*", "/",
+		".EQ.", ".AND.", ".NOT.", ".TRUE.", "\n",
+	}
+	prop := func(picks []uint16) bool {
+		var sb strings.Builder
+		sb.WriteString("Force P of NP ident ME\nEnd Declarations\n")
+		for _, p := range picks {
+			sb.WriteString(words[int(p)%len(words)])
+			sb.WriteByte(' ')
+		}
+		sb.WriteString("\nJoin\n")
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", sb.String(), r)
+			}
+		}()
+		_, _ = Parse(sb.String())
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsyncArrayDeclarationAndUse(t *testing.T) {
+	prog := MustParse(`Force AA of NP ident ME
+Async Real PIPE(8)
+Private Real X
+Private Integer I
+End Declarations
+I = 3
+Produce PIPE(I) = 1.5
+Consume PIPE(I) into X
+Copy PIPE(1) into X
+Void PIPE(2)
+Join
+`)
+	ps := prog.Body[1].(*ProduceStmt)
+	if ps.Sub == nil {
+		t.Error("Produce subscript not parsed")
+	}
+	cs := prog.Body[2].(*ConsumeStmt)
+	if cs.Sub == nil {
+		t.Error("Consume subscript not parsed")
+	}
+	vs := prog.Body[4].(*VoidStmt)
+	if vs.Sub == nil {
+		t.Error("Void subscript not parsed")
+	}
+}

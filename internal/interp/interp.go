@@ -1,0 +1,822 @@
+// Package interp executes parsed Force programs SPMD on the core runtime:
+// a force of goroutine processes runs the program body, with every Force
+// construct mapped onto its internal/core implementation — DOALLs onto the
+// scheduler-backed loops, Barrier sections onto the two-lock barrier,
+// Critical onto named machine locks, Pcase onto block distribution,
+// Produce/Consume onto the machine profile's asynchronous variables.
+//
+// Storage follows the paper's variable classification: shared and async
+// variables (of the main program and of every subroutine, COMMON-like)
+// are allocated once per run and shared by all processes; private
+// variables live per process, and subroutine-local privates per call.
+// Shared accesses are serialized by a per-run mutex, so even an
+// improperly synchronized Force program is a well-defined (if
+// nondeterministic) Go program.
+//
+// Error handling matches the original system's reality: a runtime error
+// (subscript out of range, division by zero) aborts the erring process
+// and, like an aborted process on the 1989 machines, may leave the rest
+// of the force blocked at the next barrier if the error did not occur
+// SPMD-uniformly.  Run reports the error once the force stops.
+package interp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+
+	"repro/internal/asyncvar"
+	"repro/internal/barrier"
+	"repro/internal/core"
+	"repro/internal/forcelang"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/shm"
+	"repro/internal/trace"
+)
+
+// Config configures one interpreter run.
+type Config struct {
+	// NP is the number of processes in the force (default 4).
+	NP int
+	// Machine is the machine profile (default machine.Native).
+	Machine machine.Profile
+	// Barrier is the global barrier algorithm (default the paper's
+	// two-lock barrier).
+	Barrier barrier.Kind
+	// Stdout receives Print output (default io.Discard).
+	Stdout io.Writer
+	// Trace, when non-nil, records every construct edge the program
+	// crosses for post-run validation (see internal/trace).
+	Trace *trace.Recorder
+}
+
+// Run executes the program and returns the first runtime error, if any.
+func Run(prog *forcelang.Program, cfg Config) (err error) {
+	if cfg.NP <= 0 {
+		cfg.NP = 4
+	}
+	if cfg.Machine.Name == "" {
+		cfg.Machine = machine.Native
+	}
+	if cfg.Stdout == nil {
+		cfg.Stdout = io.Discard
+	}
+	in := newInstance(prog, cfg)
+	f := core.New(cfg.NP, core.WithMachine(cfg.Machine), core.WithBarrier(cfg.Barrier),
+		core.WithTrace(cfg.Trace))
+	defer func() {
+		flushErr := in.flush()
+		if r := recover(); r != nil {
+			if ie, ok := r.(runtimeErr); ok {
+				err = error(ie)
+				return
+			}
+			panic(r)
+		}
+		err = flushErr
+	}()
+	f.Run(func(p *core.Proc) {
+		pr := &proc{in: in, p: p}
+		pr.runMain()
+	})
+	return nil
+}
+
+// runtimeErr is a Force runtime error carried by panic through the SPMD
+// machinery.
+type runtimeErr struct{ error }
+
+func rtErrf(line int, format string, args ...any) runtimeErr {
+	return runtimeErr{fmt.Errorf("force runtime: line %d: %s", line, fmt.Sprintf(format, args...))}
+}
+
+// value is a Force runtime value.
+type value struct {
+	t forcelang.Type
+	i int64
+	r float64
+	b bool
+}
+
+func intVal(i int64) value    { return value{t: forcelang.TInt, i: i} }
+func realVal(r float64) value { return value{t: forcelang.TReal, r: r} }
+func boolVal(b bool) value    { return value{t: forcelang.TLogical, b: b} }
+func (v value) asReal() float64 {
+	if v.t == forcelang.TInt {
+		return float64(v.i)
+	}
+	return v.r
+}
+
+// coerce converts v to type t (numeric conversions only; the checker has
+// already rejected logical/numeric mixing).
+func coerce(v value, t forcelang.Type, line int) value {
+	if v.t == t {
+		return v
+	}
+	switch t {
+	case forcelang.TInt:
+		return intVal(int64(v.asReal())) // Fortran truncation
+	case forcelang.TReal:
+		return realVal(v.asReal())
+	default:
+		panic(rtErrf(line, "cannot coerce %v to %s", v.t, t))
+	}
+}
+
+func (v value) String() string {
+	switch v.t {
+	case forcelang.TInt:
+		return fmt.Sprintf("%d", v.i)
+	case forcelang.TReal:
+		return formatReal(v.r)
+	case forcelang.TLogical:
+		if v.b {
+			return "T"
+		}
+		return "F"
+	default:
+		return "?"
+	}
+}
+
+// formatReal renders reals compactly but always distinguishably from
+// integers (Fortran list-directed style, simplified).
+func formatReal(r float64) string {
+	s := fmt.Sprintf("%g", r)
+	if !strings.ContainsAny(s, ".eE") && !math.IsInf(r, 0) && !math.IsNaN(r) {
+		s += ".0"
+	}
+	return s
+}
+
+// arrayVal is array storage with Fortran 1-based column-ignorant indexing
+// (row-major over the declared dims).
+type arrayVal struct {
+	dims []int
+	data []value
+}
+
+func newArray(d forcelang.Decl) *arrayVal {
+	a := &arrayVal{dims: d.Dims, data: make([]value, d.Size())}
+	zero := value{t: d.Type}
+	for i := range a.data {
+		a.data[i] = zero
+	}
+	return a
+}
+
+// offset converts 1-based subscripts to a flat offset.
+func (a *arrayVal) offset(subs []int64, name string, line int) int {
+	if len(subs) != len(a.dims) {
+		panic(rtErrf(line, "%s: %d subscripts for %d dims", name, len(subs), len(a.dims)))
+	}
+	off := 0
+	for k, s := range subs {
+		if s < 1 || s > int64(a.dims[k]) {
+			panic(rtErrf(line, "subscript %d of %s out of range: %d not in [1,%d]", k+1, name, s, a.dims[k]))
+		}
+		off = off*a.dims[k] + int(s-1)
+	}
+	return off
+}
+
+// binding is one variable's storage: a scalar cell or an array.
+type binding struct {
+	decl   forcelang.Decl
+	p      *value
+	a      *arrayVal
+	shared bool
+}
+
+func newBinding(d forcelang.Decl, shared bool) *binding {
+	b := &binding{decl: d, shared: shared}
+	if len(d.Dims) > 0 {
+		b.a = newArray(d)
+	} else {
+		v := value{t: d.Type}
+		b.p = &v
+	}
+	return b
+}
+
+// instance is the shared state of one interpreter run.
+type instance struct {
+	prog *forcelang.Program
+	cfg  Config
+
+	mu     sync.Mutex // serializes shared storage access
+	shared map[string]map[string]*binding
+	asyncs map[string]*asyncEntry
+
+	outMu  sync.Mutex
+	out    *bufio.Writer
+	outErr error
+}
+
+// asyncCell is the method set of asyncvar.V[value], named locally to keep
+// the instance struct readable.
+type asyncCell interface {
+	Produce(v value)
+	Consume() value
+	Copy() value
+	Void()
+	IsFull() bool
+}
+
+// asyncEntry is one asynchronous variable: a scalar cell or an array of
+// cells (the HEP's per-cell full/empty idiom).
+type asyncEntry struct {
+	cell asyncCell
+	arr  *asyncvar.Array[value]
+}
+
+// at resolves the cell for a use with optional 1-based subscript sub
+// (subPresent false for scalar uses; the checker has already matched use
+// shape to declaration shape).
+func (e *asyncEntry) at(sub int64, subPresent bool, name string, line int) asyncCell {
+	if !subPresent {
+		return e.cell
+	}
+	if e.arr == nil {
+		panic(rtErrf(line, "async scalar %s used with a subscript", name))
+	}
+	if sub < 1 || sub > int64(e.arr.Len()) {
+		panic(rtErrf(line, "subscript of async array %s out of range: %d not in [1,%d]", name, sub, e.arr.Len()))
+	}
+	return e.arr.At(int(sub - 1))
+}
+
+func newInstance(prog *forcelang.Program, cfg Config) *instance {
+	in := &instance{
+		prog:   prog,
+		cfg:    cfg,
+		shared: map[string]map[string]*binding{},
+		asyncs: map[string]*asyncEntry{},
+		out:    bufio.NewWriter(cfg.Stdout),
+	}
+	allocUnit := func(unit string, decls []forcelang.Decl, params []string) {
+		isParam := func(name string) bool {
+			for _, p := range params {
+				if p == name {
+					return true
+				}
+			}
+			return false
+		}
+		m := map[string]*binding{}
+		for _, d := range decls {
+			if isParam(d.Name) {
+				// Parameters alias caller storage at call time.
+				continue
+			}
+			switch d.Class {
+			case shm.Shared:
+				m[d.Name] = newBinding(d, true)
+			case shm.Async:
+				e := &asyncEntry{}
+				if len(d.Dims) == 1 {
+					e.arr = asyncvar.NewArray[value](cfg.Machine.Async, cfg.Machine.LockFactory(), d.Dims[0])
+				} else {
+					e.cell = machine.NewAsync[value](cfg.Machine)
+				}
+				in.asyncs[unit+"."+d.Name] = e
+			}
+		}
+		in.shared[unit] = m
+	}
+	allocUnit("", prog.Decls, nil)
+	for _, sub := range prog.Subs {
+		allocUnit(sub.Name, sub.Decls, sub.Params)
+	}
+	// NP is a shared integer every unit can read.
+	npDecl := forcelang.Decl{Class: shm.Shared, Type: forcelang.TInt, Name: prog.NPVar}
+	npB := newBinding(npDecl, true)
+	npB.p.i = int64(cfg.NP)
+	in.shared[""][prog.NPVar] = npB
+	return in
+}
+
+func (in *instance) flush() error {
+	in.outMu.Lock()
+	defer in.outMu.Unlock()
+	if err := in.out.Flush(); err != nil && in.outErr == nil {
+		in.outErr = err
+	}
+	return in.outErr
+}
+
+// asyncFor resolves an async variable visible from unit: unit-local entry
+// first, then the main program's (COMMON-like) entry.
+func (in *instance) asyncFor(unit, name string, line int) *asyncEntry {
+	if e, ok := in.asyncs[unit+"."+name]; ok {
+		return e
+	}
+	if e, ok := in.asyncs["."+name]; ok {
+		return e
+	}
+	panic(rtErrf(line, "async variable %s not found", name))
+}
+
+// frame is one call frame: the name-to-binding map for the executing unit.
+type frame struct {
+	unit string
+	vars map[string]*binding
+}
+
+// proc is one force process executing the program.
+type proc struct {
+	in *instance
+	p  *core.Proc
+}
+
+// newMainFrame builds the main program's frame for this process: private
+// declarations fresh, shared declarations from the instance, ME bound to
+// the process id.
+func (pr *proc) newMainFrame() *frame {
+	f := &frame{unit: "", vars: map[string]*binding{}}
+	for _, d := range pr.in.prog.Decls {
+		switch d.Class {
+		case shm.Private:
+			f.vars[d.Name] = newBinding(d, false)
+		case shm.Shared:
+			f.vars[d.Name] = pr.in.shared[""][d.Name]
+		}
+	}
+	f.vars[pr.in.prog.NPVar] = pr.in.shared[""][pr.in.prog.NPVar]
+	me := newBinding(forcelang.Decl{Class: shm.Private, Type: forcelang.TInt, Name: pr.in.prog.MeVar}, false)
+	me.p.i = int64(pr.p.ID())
+	f.vars[pr.in.prog.MeVar] = me
+	return f
+}
+
+func (pr *proc) runMain() {
+	f := pr.newMainFrame()
+	pr.stmts(pr.in.prog.Body, f)
+}
+
+// lookup resolves a name in the frame, falling back to main shared
+// variables (COMMON) when executing a subroutine.
+func (pr *proc) lookup(f *frame, name string, line int) *binding {
+	if b, ok := f.vars[name]; ok {
+		return b
+	}
+	if f.unit != "" {
+		if b, ok := pr.in.shared[""][name]; ok {
+			return b
+		}
+	}
+	panic(rtErrf(line, "undefined variable %s", name))
+}
+
+// loadScalar reads a scalar binding under the shared mutex when needed.
+func (pr *proc) loadScalar(b *binding, line int) value {
+	if b.p == nil {
+		panic(rtErrf(line, "%s is an array", b.decl.Name))
+	}
+	if b.shared {
+		pr.in.mu.Lock()
+		defer pr.in.mu.Unlock()
+	}
+	return *b.p
+}
+
+func (pr *proc) storeScalar(b *binding, v value, line int) {
+	if b.p == nil {
+		panic(rtErrf(line, "%s is an array", b.decl.Name))
+	}
+	v = coerce(v, b.decl.Type, line)
+	if b.shared {
+		pr.in.mu.Lock()
+		defer pr.in.mu.Unlock()
+	}
+	*b.p = v
+}
+
+func (pr *proc) loadElem(b *binding, subs []int64, name string, line int) value {
+	off := b.a.offset(subs, name, line)
+	if b.shared {
+		pr.in.mu.Lock()
+		defer pr.in.mu.Unlock()
+	}
+	return b.a.data[off]
+}
+
+func (pr *proc) storeElem(b *binding, subs []int64, v value, name string, line int) {
+	off := b.a.offset(subs, name, line)
+	v = coerce(v, b.decl.Type, line)
+	if b.shared {
+		pr.in.mu.Lock()
+		defer pr.in.mu.Unlock()
+	}
+	b.a.data[off] = v
+}
+
+// --- statements --------------------------------------------------------
+
+func (pr *proc) stmts(list []forcelang.Stmt, f *frame) {
+	for _, st := range list {
+		pr.stmt(st, f)
+	}
+}
+
+func (pr *proc) stmt(st forcelang.Stmt, f *frame) {
+	switch t := st.(type) {
+	case *forcelang.Assign:
+		v := pr.eval(t.Expr, f)
+		pr.assign(&t.Target, v, f)
+	case *forcelang.If:
+		if pr.evalBool(t.Cond, f) {
+			pr.stmts(t.Then, f)
+		} else {
+			pr.stmts(t.Else, f)
+		}
+	case *forcelang.SeqDo:
+		from, to, step := pr.loopBounds(t.From, t.To, t.Step, f)
+		lv := pr.lookup(f, t.Var, t.Pos())
+		for i := from; (step > 0 && i <= to) || (step < 0 && i >= to); i += step {
+			pr.storeScalar(lv, intVal(i), t.Pos())
+			pr.stmts(t.Body, f)
+		}
+	case *forcelang.WhileDo:
+		for pr.evalBool(t.Cond, f) {
+			pr.stmts(t.Body, f)
+		}
+	case *forcelang.ParDo:
+		pr.parDo(t, f)
+	case *forcelang.BarrierStmt:
+		pr.p.BarrierSection(func() { pr.stmts(t.Section, f) })
+	case *forcelang.CriticalStmt:
+		pr.p.Critical(t.Name, func() { pr.stmts(t.Body, f) })
+	case *forcelang.PcaseStmt:
+		blocks := make([]core.Block, len(t.Blocks))
+		for i := range t.Blocks {
+			b := t.Blocks[i]
+			var cond func() bool
+			if b.Cond != nil {
+				cond = func() bool { return pr.evalBool(b.Cond, f) }
+			}
+			blocks[i] = core.Block{Cond: cond, Body: func() { pr.stmts(b.Body, f) }}
+		}
+		if t.Selfsched {
+			pr.p.SelfschedPcase(blocks...)
+		} else {
+			pr.p.Pcase(blocks...)
+		}
+	case *forcelang.ProduceStmt:
+		cell := pr.asyncCellFor(f, t.Var, t.Sub, t.Pos())
+		cell.Produce(pr.eval(t.Expr, f))
+	case *forcelang.ConsumeStmt:
+		cell := pr.asyncCellFor(f, t.Var, t.Sub, t.Pos())
+		pr.assign(&t.Target, cell.Consume(), f)
+	case *forcelang.CopyStmt:
+		cell := pr.asyncCellFor(f, t.Var, t.Sub, t.Pos())
+		pr.assign(&t.Target, cell.Copy(), f)
+	case *forcelang.VoidStmt:
+		pr.asyncCellFor(f, t.Var, t.Sub, t.Pos()).Void()
+	case *forcelang.PrintStmt:
+		pr.print(t, f)
+	case *forcelang.CallStmt:
+		pr.call(t, f)
+	default:
+		panic(rtErrf(st.Pos(), "unhandled statement %T", st))
+	}
+}
+
+// asyncCellFor resolves the cell addressed by an async statement,
+// evaluating the optional subscript.
+func (pr *proc) asyncCellFor(f *frame, name string, sub forcelang.Expr, line int) asyncCell {
+	e := pr.in.asyncFor(f.unit, name, line)
+	if sub == nil {
+		return e.at(0, false, name, line)
+	}
+	return e.at(pr.evalInt(sub, f), true, name, line)
+}
+
+func (pr *proc) loopBounds(fromE, toE, stepE forcelang.Expr, f *frame) (from, to, step int64) {
+	from = pr.evalInt(fromE, f)
+	to = pr.evalInt(toE, f)
+	step = 1
+	if stepE != nil {
+		step = pr.evalInt(stepE, f)
+		if step == 0 {
+			panic(rtErrf(fromE.Pos(), "loop step is zero"))
+		}
+	}
+	return
+}
+
+func (pr *proc) parDo(t *forcelang.ParDo, f *frame) {
+	from, to, step := pr.loopBounds(t.From, t.To, t.Step, f)
+	r := sched.Range{Start: int(from), Last: int(to), Incr: int(step)}
+	lv := pr.lookup(f, t.Var, t.Pos())
+	if t.Inner == nil {
+		body := func(i int) {
+			pr.storeScalar(lv, intVal(int64(i)), t.Pos())
+			pr.stmts(t.Body, f)
+		}
+		if t.Sched == forcelang.Presched {
+			pr.p.PreschedDo(r, body)
+		} else {
+			pr.p.SelfschedDo(r, body)
+		}
+		return
+	}
+	ifrom, ito, istep := pr.loopBounds(t.Inner.From, t.Inner.To, t.Inner.Step, f)
+	r2 := sched.Range{Start: int(ifrom), Last: int(ito), Incr: int(istep)}
+	ilv := pr.lookup(f, t.Inner.Var, t.Pos())
+	body := func(i, j int) {
+		pr.storeScalar(lv, intVal(int64(i)), t.Pos())
+		pr.storeScalar(ilv, intVal(int64(j)), t.Pos())
+		pr.stmts(t.Body, f)
+	}
+	if t.Sched == forcelang.Presched {
+		pr.p.PreschedDo2(r, r2, body)
+	} else {
+		pr.p.SelfschedDo2(r, r2, body)
+	}
+}
+
+func (pr *proc) print(t *forcelang.PrintStmt, f *frame) {
+	parts := make([]string, len(t.Items))
+	for i, item := range t.Items {
+		if s, ok := item.(*forcelang.StrLit); ok {
+			parts[i] = s.Value
+			continue
+		}
+		parts[i] = pr.eval(item, f).String()
+	}
+	line := strings.Join(parts, " ") + "\n"
+	pr.in.outMu.Lock()
+	if _, err := pr.in.out.WriteString(line); err != nil && pr.in.outErr == nil {
+		pr.in.outErr = err
+	}
+	pr.in.outMu.Unlock()
+}
+
+func (pr *proc) call(t *forcelang.CallStmt, f *frame) {
+	sub := pr.in.prog.Sub(t.Name)
+	if sub == nil {
+		panic(rtErrf(t.Pos(), "undefined subroutine %s", t.Name))
+	}
+	nf := &frame{unit: sub.Name, vars: map[string]*binding{}}
+	// Parameters bind by reference to the caller's storage.
+	for i, param := range sub.Params {
+		arg := t.Args[i]
+		ab := pr.lookup(f, arg.Name, t.Pos())
+		if len(arg.Subs) > 0 {
+			// Element reference: alias the single cell.
+			subs := pr.evalSubs(arg.Subs, f)
+			off := ab.a.offset(subs, arg.Name, t.Pos())
+			pb := &binding{
+				decl:   forcelang.Decl{Class: ab.decl.Class, Type: ab.decl.Type, Name: param},
+				p:      &ab.a.data[off],
+				shared: ab.shared,
+			}
+			nf.vars[param] = pb
+			continue
+		}
+		alias := *ab
+		alias.decl.Name = param
+		nf.vars[param] = &alias
+	}
+	paramSet := map[string]bool{}
+	for _, p := range sub.Params {
+		paramSet[p] = true
+	}
+	// Locals: private fresh per call; shared from the instance.
+	for _, d := range sub.Decls {
+		if paramSet[d.Name] {
+			continue
+		}
+		switch d.Class {
+		case shm.Private:
+			nf.vars[d.Name] = newBinding(d, false)
+		case shm.Shared:
+			nf.vars[d.Name] = pr.in.shared[sub.Name][d.Name]
+		}
+	}
+	// NP and ME are visible everywhere.
+	nf.vars[pr.in.prog.NPVar] = pr.in.shared[""][pr.in.prog.NPVar]
+	me := newBinding(forcelang.Decl{Class: shm.Private, Type: forcelang.TInt, Name: pr.in.prog.MeVar}, false)
+	me.p.i = int64(pr.p.ID())
+	nf.vars[pr.in.prog.MeVar] = me
+	pr.stmts(sub.Body, nf)
+}
+
+func (pr *proc) assign(target *forcelang.Ref, v value, f *frame) {
+	b := pr.lookup(f, target.Name, target.Pos())
+	if len(target.Subs) == 0 {
+		pr.storeScalar(b, v, target.Pos())
+		return
+	}
+	subs := pr.evalSubs(target.Subs, f)
+	pr.storeElem(b, subs, v, target.Name, target.Pos())
+}
+
+func (pr *proc) evalSubs(subs []forcelang.Expr, f *frame) []int64 {
+	out := make([]int64, len(subs))
+	for i, s := range subs {
+		out[i] = pr.evalInt(s, f)
+	}
+	return out
+}
+
+// --- expressions -------------------------------------------------------
+
+func (pr *proc) eval(e forcelang.Expr, f *frame) value {
+	switch t := e.(type) {
+	case *forcelang.IntLit:
+		return intVal(t.Value)
+	case *forcelang.RealLit:
+		return realVal(t.Value)
+	case *forcelang.BoolLit:
+		return boolVal(t.Value)
+	case *forcelang.StrLit:
+		panic(rtErrf(t.Pos(), "string in expression"))
+	case *forcelang.Ref:
+		b := pr.lookup(f, t.Name, t.Pos())
+		if len(t.Subs) == 0 {
+			return pr.loadScalar(b, t.Pos())
+		}
+		return pr.loadElem(b, pr.evalSubs(t.Subs, f), t.Name, t.Pos())
+	case *forcelang.Un:
+		x := pr.eval(t.X, f)
+		if t.Neg {
+			if x.t == forcelang.TInt {
+				return intVal(-x.i)
+			}
+			return realVal(-x.r)
+		}
+		return boolVal(!x.b)
+	case *forcelang.Bin:
+		return pr.evalBin(t, f)
+	case *forcelang.Intrinsic:
+		return pr.evalIntrinsic(t, f)
+	default:
+		panic(rtErrf(e.Pos(), "unhandled expression %T", e))
+	}
+}
+
+func (pr *proc) evalBool(e forcelang.Expr, f *frame) bool {
+	v := pr.eval(e, f)
+	if v.t != forcelang.TLogical {
+		panic(rtErrf(e.Pos(), "expected LOGICAL, got %s", v.t))
+	}
+	return v.b
+}
+
+func (pr *proc) evalInt(e forcelang.Expr, f *frame) int64 {
+	return coerce(pr.eval(e, f), forcelang.TInt, e.Pos()).i
+}
+
+func (pr *proc) evalBin(t *forcelang.Bin, f *frame) value {
+	// Short-circuit logical operators.
+	switch t.Op {
+	case forcelang.OpAnd:
+		return boolVal(pr.evalBool(t.L, f) && pr.evalBool(t.R, f))
+	case forcelang.OpOr:
+		return boolVal(pr.evalBool(t.L, f) || pr.evalBool(t.R, f))
+	}
+	l := pr.eval(t.L, f)
+	r := pr.eval(t.R, f)
+	switch t.Op {
+	case forcelang.OpAdd, forcelang.OpSub, forcelang.OpMul, forcelang.OpDiv:
+		if l.t == forcelang.TInt && r.t == forcelang.TInt {
+			switch t.Op {
+			case forcelang.OpAdd:
+				return intVal(l.i + r.i)
+			case forcelang.OpSub:
+				return intVal(l.i - r.i)
+			case forcelang.OpMul:
+				return intVal(l.i * r.i)
+			default:
+				if r.i == 0 {
+					panic(rtErrf(t.Pos(), "integer division by zero"))
+				}
+				return intVal(l.i / r.i)
+			}
+		}
+		lf, rf := l.asReal(), r.asReal()
+		switch t.Op {
+		case forcelang.OpAdd:
+			return realVal(lf + rf)
+		case forcelang.OpSub:
+			return realVal(lf - rf)
+		case forcelang.OpMul:
+			return realVal(lf * rf)
+		default:
+			return realVal(lf / rf) // IEEE semantics for real division
+		}
+	case forcelang.OpEq, forcelang.OpNe:
+		if l.t == forcelang.TLogical || r.t == forcelang.TLogical {
+			eq := l.b == r.b
+			if t.Op == forcelang.OpNe {
+				eq = !eq
+			}
+			return boolVal(eq)
+		}
+		fallthrough
+	case forcelang.OpLt, forcelang.OpLe, forcelang.OpGt, forcelang.OpGe:
+		var cmp int
+		if l.t == forcelang.TInt && r.t == forcelang.TInt {
+			switch {
+			case l.i < r.i:
+				cmp = -1
+			case l.i > r.i:
+				cmp = 1
+			}
+		} else {
+			lf, rf := l.asReal(), r.asReal()
+			switch {
+			case lf < rf:
+				cmp = -1
+			case lf > rf:
+				cmp = 1
+			}
+		}
+		switch t.Op {
+		case forcelang.OpEq:
+			return boolVal(cmp == 0)
+		case forcelang.OpNe:
+			return boolVal(cmp != 0)
+		case forcelang.OpLt:
+			return boolVal(cmp < 0)
+		case forcelang.OpLe:
+			return boolVal(cmp <= 0)
+		case forcelang.OpGt:
+			return boolVal(cmp > 0)
+		default:
+			return boolVal(cmp >= 0)
+		}
+	default:
+		panic(rtErrf(t.Pos(), "unhandled operator %s", t.Op))
+	}
+}
+
+func (pr *proc) evalIntrinsic(t *forcelang.Intrinsic, f *frame) value {
+	args := make([]value, len(t.Args))
+	for i, a := range t.Args {
+		args[i] = pr.eval(a, f)
+	}
+	switch t.Name {
+	case "ABS":
+		if args[0].t == forcelang.TInt {
+			if args[0].i < 0 {
+				return intVal(-args[0].i)
+			}
+			return args[0]
+		}
+		return realVal(math.Abs(args[0].r))
+	case "SQRT":
+		x := args[0].asReal()
+		if x < 0 {
+			panic(rtErrf(t.Pos(), "SQRT of negative value %g", x))
+		}
+		return realVal(math.Sqrt(x))
+	case "INT":
+		return intVal(int64(args[0].asReal()))
+	case "NINT":
+		return intVal(int64(math.Round(args[0].asReal())))
+	case "REAL":
+		return realVal(args[0].asReal())
+	case "MOD":
+		if args[0].t == forcelang.TInt && args[1].t == forcelang.TInt {
+			if args[1].i == 0 {
+				panic(rtErrf(t.Pos(), "MOD by zero"))
+			}
+			return intVal(args[0].i % args[1].i)
+		}
+		return realVal(math.Mod(args[0].asReal(), args[1].asReal()))
+	case "MIN", "MAX":
+		allInt := true
+		for _, a := range args {
+			if a.t != forcelang.TInt {
+				allInt = false
+			}
+		}
+		if allInt {
+			best := args[0].i
+			for _, a := range args[1:] {
+				if (t.Name == "MIN" && a.i < best) || (t.Name == "MAX" && a.i > best) {
+					best = a.i
+				}
+			}
+			return intVal(best)
+		}
+		best := args[0].asReal()
+		for _, a := range args[1:] {
+			x := a.asReal()
+			if (t.Name == "MIN" && x < best) || (t.Name == "MAX" && x > best) {
+				best = x
+			}
+		}
+		return realVal(best)
+	default:
+		panic(rtErrf(t.Pos(), "unknown intrinsic %s", t.Name))
+	}
+}

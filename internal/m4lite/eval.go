@@ -1,0 +1,213 @@
+package m4lite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// evalExpr evaluates the integer expression language of the eval builtin:
+// decimal literals; unary - and !; binary * / %, + -, the comparisons
+// == != < <= > >=, && and ||; parentheses.  Comparisons and logical
+// operators yield 0 or 1, as in m4.
+func evalExpr(src string) (int64, error) {
+	p := &exprParser{src: []rune(src)}
+	v, err := p.parseOr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.i < len(p.src) {
+		return 0, fmt.Errorf("m4lite: eval: trailing input %q", string(p.src[p.i:]))
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src []rune
+	i   int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.i < len(p.src) && (p.src[p.i] == ' ' || p.src[p.i] == '\t' || p.src[p.i] == '\n') {
+		p.i++
+	}
+}
+
+// peekOp matches one of the given operators (longest first caller-side)
+// and consumes it on success.
+func (p *exprParser) peekOp(ops ...string) (string, bool) {
+	p.skipSpace()
+	for _, op := range ops {
+		if strings.HasPrefix(string(p.src[p.i:]), op) {
+			p.i += len(op)
+			return op, true
+		}
+	}
+	return "", false
+}
+
+func (p *exprParser) parseOr() (int64, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		if _, ok := p.peekOp("||"); !ok {
+			return left, nil
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return 0, err
+		}
+		left = b2i(left != 0 || right != 0)
+	}
+}
+
+func (p *exprParser) parseAnd() (int64, error) {
+	left, err := p.parseCmp()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		if _, ok := p.peekOp("&&"); !ok {
+			return left, nil
+		}
+		right, err := p.parseCmp()
+		if err != nil {
+			return 0, err
+		}
+		left = b2i(left != 0 && right != 0)
+	}
+}
+
+func (p *exprParser) parseCmp() (int64, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op, ok := p.peekOp("==", "!=", "<=", ">=", "<", ">")
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseAdd()
+		if err != nil {
+			return 0, err
+		}
+		switch op {
+		case "==":
+			left = b2i(left == right)
+		case "!=":
+			left = b2i(left != right)
+		case "<=":
+			left = b2i(left <= right)
+		case ">=":
+			left = b2i(left >= right)
+		case "<":
+			left = b2i(left < right)
+		case ">":
+			left = b2i(left > right)
+		}
+	}
+}
+
+func (p *exprParser) parseAdd() (int64, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op, ok := p.peekOp("+", "-")
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseMul()
+		if err != nil {
+			return 0, err
+		}
+		if op == "+" {
+			left += right
+		} else {
+			left -= right
+		}
+	}
+}
+
+func (p *exprParser) parseMul() (int64, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		op, ok := p.peekOp("*", "/", "%")
+		if !ok {
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return 0, err
+		}
+		switch op {
+		case "*":
+			left *= right
+		case "/":
+			if right == 0 {
+				return 0, fmt.Errorf("m4lite: eval: division by zero")
+			}
+			left /= right
+		case "%":
+			if right == 0 {
+				return 0, fmt.Errorf("m4lite: eval: modulo by zero")
+			}
+			left %= right
+		}
+	}
+}
+
+func (p *exprParser) parseUnary() (int64, error) {
+	if _, ok := p.peekOp("-"); ok {
+		v, err := p.parseUnary()
+		return -v, err
+	}
+	if _, ok := p.peekOp("!"); ok {
+		v, err := p.parseUnary()
+		return b2i(v == 0), err
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (int64, error) {
+	p.skipSpace()
+	if p.i >= len(p.src) {
+		return 0, fmt.Errorf("m4lite: eval: unexpected end of expression")
+	}
+	if p.src[p.i] == '(' {
+		p.i++
+		v, err := p.parseOr()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.i >= len(p.src) || p.src[p.i] != ')' {
+			return 0, fmt.Errorf("m4lite: eval: missing )")
+		}
+		p.i++
+		return v, nil
+	}
+	start := p.i
+	for p.i < len(p.src) && p.src[p.i] >= '0' && p.src[p.i] <= '9' {
+		p.i++
+	}
+	if start == p.i {
+		return 0, fmt.Errorf("m4lite: eval: expected number at %q", string(p.src[start:]))
+	}
+	return strconv.ParseInt(string(p.src[start:p.i]), 10, 64)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

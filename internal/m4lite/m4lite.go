@@ -1,0 +1,513 @@
+// Package m4lite is a macro processor in the style of Unix m4: the second
+// of the two preprocessor passes in the Force compilation pipeline (paper
+// §4.3: "the macro processor m4 replaces the function macros with Fortran
+// code and the language extensions supporting parallel programming").
+//
+// Supported semantics, matching m4 where the Force macro layers rely on
+// it:
+//
+//   - user macros via define(name, body) with $0-$9, $#, $* and $@
+//     parameter substitution, expanded with rescanning (expansion text is
+//     pushed back onto the input);
+//   - bare user-macro names expand with zero arguments; argument-taking
+//     builtins are recognized only when immediately followed by ( (GNU m4
+//     behaviour, so that prose containing "define" or "index" survives);
+//     a call's arguments are themselves expanded during collection, with
+//     leading unquoted whitespace of each argument skipped;
+//   - quoting with ` and ' (changeable via changequote): quoted text is
+//     copied with one quote level stripped and is not expanded;
+//   - # comments are copied through verbatim to end of line;
+//   - builtins: define, undefine, ifdef, ifelse (chained), eval, incr,
+//     decr, len, index, substr, shift, dnl, changequote.
+//
+// Omissions relative to real m4 (not needed by the Force layers, checked
+// by the tests): diversions, include, translit, defn, patsubst.
+package m4lite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// maxOps bounds total macro expansions per Expand call and maxInput bounds
+// the rescanned input size, converting runaway recursion (define(x, `x y'))
+// into an error instead of a hang.
+const (
+	maxOps   = 20000
+	maxInput = 1 << 22
+)
+
+// Processor holds macro definitions and quote characters.  A zero
+// Processor is not usable; call NewProcessor.
+type Processor struct {
+	user     map[string]string
+	builtins map[string]builtin
+	lquote   rune
+	rquote   rune
+}
+
+type scanState struct {
+	in  []rune
+	i   int
+	ops int
+}
+
+type builtin func(p *Processor, st *scanState, args []string) (string, error)
+
+// NewProcessor creates a processor with the default ` and ' quotes and all
+// builtins installed.
+func NewProcessor() *Processor {
+	p := &Processor{
+		user:   make(map[string]string),
+		lquote: '`',
+		rquote: '\'',
+	}
+	p.builtins = map[string]builtin{
+		"define":      biDefine,
+		"undefine":    biUndefine,
+		"ifdef":       biIfdef,
+		"ifelse":      biIfelse,
+		"eval":        biEval,
+		"incr":        biIncr,
+		"decr":        biDecr,
+		"len":         biLen,
+		"index":       biIndex,
+		"substr":      biSubstr,
+		"shift":       biShift,
+		"dnl":         biDnl,
+		"changequote": biChangequote,
+	}
+	return p
+}
+
+// Define installs a user macro, replacing any previous definition.
+func (p *Processor) Define(name, body string) { p.user[name] = body }
+
+// Defined reports whether name is a user macro or a builtin.
+func (p *Processor) Defined(name string) bool {
+	if _, ok := p.user[name]; ok {
+		return true
+	}
+	_, ok := p.builtins[name]
+	return ok
+}
+
+// Load expands a macro-definition file for its side effects, requiring
+// that it produce only whitespace (the Force macro layers end every
+// definition with dnl); any other output is reported as an error, which
+// catches malformed layer files early.
+func (p *Processor) Load(src string) error {
+	out, err := p.Expand(src)
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(out) != "" {
+		return fmt.Errorf("m4lite: macro file produced non-whitespace output %q", firstLine(out))
+	}
+	return nil
+}
+
+func firstLine(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 60 {
+		s = s[:60] + "..."
+	}
+	return s
+}
+
+// Expand processes input and returns the expanded text.
+func (p *Processor) Expand(input string) (string, error) {
+	st := &scanState{in: []rune(input)}
+	var out strings.Builder
+
+	// Call-frame stack for argument collection.
+	type frame struct {
+		name   string
+		args   []string
+		cur    strings.Builder
+		depth  int // unquoted paren nesting inside the current argument
+		skipWS bool
+	}
+	var stack []*frame
+
+	emit := func(s string) {
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if top.skipWS {
+				s = strings.TrimLeft(s, " \t\n")
+				if s == "" {
+					return
+				}
+				top.skipWS = false
+			}
+			top.cur.WriteString(s)
+			return
+		}
+		out.WriteString(s)
+	}
+	pushback := func(s string) {
+		if s == "" {
+			return
+		}
+		rest := st.in[st.i:]
+		merged := make([]rune, 0, len(s)+len(rest))
+		merged = append(merged, []rune(s)...)
+		merged = append(merged, rest...)
+		st.in = merged
+		st.i = 0
+	}
+	// invoke runs a macro (name already recognized) with args.
+	invoke := func(name string, args []string) error {
+		st.ops++
+		if st.ops > maxOps || len(st.in) > maxInput {
+			return fmt.Errorf("m4lite: expansion limit exceeded (recursive macro %q?)", name)
+		}
+		if body, ok := p.user[name]; ok {
+			pushback(p.substitute(name, body, args))
+			return nil
+		}
+		bi := p.builtins[name]
+		res, err := bi(p, st, args)
+		if err != nil {
+			return err
+		}
+		pushback(res)
+		return nil
+	}
+
+	for st.i < len(st.in) {
+		c := st.in[st.i]
+		switch {
+		case c == p.lquote:
+			text, err := p.scanQuoted(st)
+			if err != nil {
+				return "", err
+			}
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				top.skipWS = false
+			}
+			emit(text)
+
+		case c == '#':
+			// Comment: copied verbatim through end of line.
+			j := st.i
+			for j < len(st.in) && st.in[j] != '\n' {
+				j++
+			}
+			if j < len(st.in) {
+				j++ // include the newline
+			}
+			emit(string(st.in[st.i:j]))
+			st.i = j
+
+		case isNameStart(c):
+			j := st.i + 1
+			for j < len(st.in) && isNameRune(st.in[j]) {
+				j++
+			}
+			name := string(st.in[st.i:j])
+			if !p.Defined(name) {
+				emit(name)
+				st.i = j
+				continue
+			}
+			// GNU m4 semantics: argument-taking builtins are only
+			// recognized when immediately followed by ( — a bare
+			// "index" or "define" in program text passes through.
+			// User macros and dnl expand bare.
+			if _, isUser := p.user[name]; !isUser && name != "dnl" {
+				if j >= len(st.in) || st.in[j] != '(' {
+					emit(name)
+					st.i = j
+					continue
+				}
+			}
+			st.i = j
+			if st.i < len(st.in) && st.in[st.i] == '(' {
+				// Open a call frame and collect arguments.
+				st.i++
+				stack = append(stack, &frame{name: name, skipWS: true})
+				continue
+			}
+			// Bare macro: expand with zero arguments.
+			if err := invoke(name, nil); err != nil {
+				return "", err
+			}
+
+		case len(stack) > 0 && c == ',' && stack[len(stack)-1].depth == 0:
+			top := stack[len(stack)-1]
+			top.args = append(top.args, top.cur.String())
+			top.cur.Reset()
+			top.skipWS = true
+			st.i++
+
+		case len(stack) > 0 && c == ')' && stack[len(stack)-1].depth == 0:
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			args := append(top.args, top.cur.String())
+			// A call with genuinely no arguments: name() yields one
+			// empty argument in m4; keep that behaviour.
+			st.i++
+			if err := invoke(top.name, args); err != nil {
+				return "", err
+			}
+
+		case len(stack) > 0 && c == '(':
+			stack[len(stack)-1].depth++
+			emit("(")
+			st.i++
+
+		case len(stack) > 0 && c == ')':
+			stack[len(stack)-1].depth--
+			emit(")")
+			st.i++
+
+		default:
+			emit(string(c))
+			st.i++
+		}
+	}
+	if len(stack) > 0 {
+		return "", fmt.Errorf("m4lite: unterminated call of %q", stack[len(stack)-1].name)
+	}
+	return out.String(), nil
+}
+
+// MustExpand is Expand panicking on error, for compiled-in inputs.
+func (p *Processor) MustExpand(input string) string {
+	out, err := p.Expand(input)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// scanQuoted consumes a quoted string starting at the left quote and
+// returns its contents with one quote level stripped.
+func (p *Processor) scanQuoted(st *scanState) (string, error) {
+	depth := 1
+	var sb strings.Builder
+	j := st.i + 1
+	for j < len(st.in) {
+		switch st.in[j] {
+		case p.lquote:
+			depth++
+		case p.rquote:
+			depth--
+			if depth == 0 {
+				st.i = j + 1
+				return sb.String(), nil
+			}
+		}
+		sb.WriteRune(st.in[j])
+		j++
+	}
+	return "", fmt.Errorf("m4lite: unterminated quote")
+}
+
+// substitute expands $-parameters in a user macro body.
+func (p *Processor) substitute(name, body string, args []string) string {
+	var out strings.Builder
+	r := []rune(body)
+	for i := 0; i < len(r); i++ {
+		if r[i] != '$' || i+1 >= len(r) {
+			out.WriteRune(r[i])
+			continue
+		}
+		next := r[i+1]
+		switch {
+		case next >= '0' && next <= '9':
+			n := int(next - '0')
+			if n == 0 {
+				out.WriteString(name)
+			} else if n <= len(args) {
+				out.WriteString(args[n-1])
+			}
+			i++
+		case next == '#':
+			out.WriteString(strconv.Itoa(len(args)))
+			i++
+		case next == '*':
+			out.WriteString(strings.Join(args, ","))
+			i++
+		case next == '@':
+			for k, a := range args {
+				if k > 0 {
+					out.WriteRune(',')
+				}
+				out.WriteRune(p.lquote)
+				out.WriteString(a)
+				out.WriteRune(p.rquote)
+			}
+			i++
+		default:
+			out.WriteRune('$')
+		}
+	}
+	return out.String()
+}
+
+func isNameStart(c rune) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameRune(c rune) bool {
+	return isNameStart(c) || (c >= '0' && c <= '9')
+}
+
+func arg(args []string, n int) string {
+	if n < len(args) {
+		return args[n]
+	}
+	return ""
+}
+
+func biDefine(p *Processor, _ *scanState, args []string) (string, error) {
+	name := arg(args, 0)
+	if name == "" {
+		return "", fmt.Errorf("m4lite: define with empty name")
+	}
+	if !isValidName(name) {
+		return "", fmt.Errorf("m4lite: define of invalid name %q", name)
+	}
+	p.user[name] = arg(args, 1)
+	return "", nil
+}
+
+func isValidName(s string) bool {
+	for i, c := range s {
+		if i == 0 && !isNameStart(c) {
+			return false
+		}
+		if i > 0 && !isNameRune(c) {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func biUndefine(p *Processor, _ *scanState, args []string) (string, error) {
+	delete(p.user, arg(args, 0))
+	return "", nil
+}
+
+func biIfdef(p *Processor, _ *scanState, args []string) (string, error) {
+	if _, ok := p.user[arg(args, 0)]; ok {
+		return arg(args, 1), nil
+	}
+	return arg(args, 2), nil
+}
+
+func biIfelse(_ *Processor, _ *scanState, args []string) (string, error) {
+	for {
+		switch {
+		case len(args) <= 1:
+			return "", nil
+		case len(args) == 2:
+			return "", nil
+		case arg(args, 0) == arg(args, 1):
+			return arg(args, 2), nil
+		case len(args) == 4:
+			return arg(args, 3), nil
+		default:
+			args = args[3:]
+		}
+	}
+}
+
+func biEval(_ *Processor, _ *scanState, args []string) (string, error) {
+	v, err := evalExpr(arg(args, 0))
+	if err != nil {
+		return "", err
+	}
+	return strconv.FormatInt(v, 10), nil
+}
+
+func biIncr(_ *Processor, _ *scanState, args []string) (string, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(arg(args, 0)), 10, 64)
+	if err != nil {
+		return "", fmt.Errorf("m4lite: incr: %w", err)
+	}
+	return strconv.FormatInt(v+1, 10), nil
+}
+
+func biDecr(_ *Processor, _ *scanState, args []string) (string, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(arg(args, 0)), 10, 64)
+	if err != nil {
+		return "", fmt.Errorf("m4lite: decr: %w", err)
+	}
+	return strconv.FormatInt(v-1, 10), nil
+}
+
+func biLen(_ *Processor, _ *scanState, args []string) (string, error) {
+	return strconv.Itoa(len(arg(args, 0))), nil
+}
+
+func biIndex(_ *Processor, _ *scanState, args []string) (string, error) {
+	return strconv.Itoa(strings.Index(arg(args, 0), arg(args, 1))), nil
+}
+
+func biSubstr(_ *Processor, _ *scanState, args []string) (string, error) {
+	s := arg(args, 0)
+	from, err := strconv.Atoi(strings.TrimSpace(arg(args, 1)))
+	if err != nil {
+		return "", fmt.Errorf("m4lite: substr: %w", err)
+	}
+	if from < 0 || from > len(s) {
+		return "", nil
+	}
+	rest := s[from:]
+	if lenArg := strings.TrimSpace(arg(args, 2)); lenArg != "" {
+		n, err := strconv.Atoi(lenArg)
+		if err != nil {
+			return "", fmt.Errorf("m4lite: substr: %w", err)
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n < len(rest) {
+			rest = rest[:n]
+		}
+	}
+	return rest, nil
+}
+
+func biShift(_ *Processor, _ *scanState, args []string) (string, error) {
+	if len(args) <= 1 {
+		return "", nil
+	}
+	return strings.Join(args[1:], ","), nil
+}
+
+// biDnl deletes input through the next newline, inclusive.
+func biDnl(_ *Processor, st *scanState, _ []string) (string, error) {
+	for st.i < len(st.in) {
+		if st.in[st.i] == '\n' {
+			st.i++
+			break
+		}
+		st.i++
+	}
+	return "", nil
+}
+
+func biChangequote(p *Processor, _ *scanState, args []string) (string, error) {
+	l, r := arg(args, 0), arg(args, 1)
+	if l == "" {
+		l, r = "`", "'"
+	}
+	if r == "" {
+		r = "'"
+	}
+	lr, rr := []rune(l), []rune(r)
+	if len(lr) != 1 || len(rr) != 1 {
+		return "", fmt.Errorf("m4lite: changequote requires single-character quotes")
+	}
+	p.lquote, p.rquote = lr[0], rr[0]
+	return "", nil
+}

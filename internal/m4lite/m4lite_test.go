@@ -1,0 +1,352 @@
+package m4lite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func expand(t *testing.T, in string) string {
+	t.Helper()
+	p := NewProcessor()
+	out, err := p.Expand(in)
+	if err != nil {
+		t.Fatalf("Expand(%q): %v", in, err)
+	}
+	return out
+}
+
+func TestPlainTextPassesThrough(t *testing.T) {
+	in := "      K = K + 1\nC a Fortran comment\n"
+	if got := expand(t, in); got != in {
+		t.Errorf("got %q, want unchanged", got)
+	}
+}
+
+func TestDefineAndExpand(t *testing.T) {
+	got := expand(t, "define(NPROC, 8)dnl\nNPROC processes")
+	if got != "8 processes" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestArgumentsSubstitution(t *testing.T) {
+	got := expand(t, "define(swap, `$2 $1')dnl\nswap(a, b)")
+	if got != "b a" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDollarZeroHashStarAt(t *testing.T) {
+	// $0 is requoted in the body: as in real m4, an unquoted $0 would be
+	// rescanned and recurse forever.
+	got := expand(t, "define(m, ``$0':$#:$*')dnl\nm(x, y, z)")
+	if got != "m:3:x,y,z" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDollarAtVersusStar(t *testing.T) {
+	// $@ passes each argument requoted, so a quoting callee can keep it
+	// from expanding; $* passes them bare, so collection expands them —
+	// exactly real m4's distinction.
+	src := "define(inner, BAD)dnl\n" +
+		"define(hold, ``$1'')dnl\n" +
+		"define(viaAt, `hold($@)')dnl\n" +
+		"define(viaStar, `hold($*)')dnl\n" +
+		"viaAt(`inner') viaStar(`inner')"
+	if got := expand(t, src); got != "inner BAD" {
+		t.Errorf("got %q, want %q", got, "inner BAD")
+	}
+}
+
+func TestMissingArgsAreEmpty(t *testing.T) {
+	got := expand(t, "define(m, `[$1][$2]')dnl\nm(only)")
+	if got != "[only][]" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRescanning(t *testing.T) {
+	// The expansion of a is rescanned, finding b.
+	got := expand(t, "define(b, final)dnl\ndefine(a, b)dnl\na")
+	if got != "final" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestQuotingSuppressesExpansion(t *testing.T) {
+	got := expand(t, "define(x, 9)dnl\n`x' x")
+	if got != "x 9" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNestedQuotesStripOneLevel(t *testing.T) {
+	got := expand(t, "``x''")
+	if got != "`x'" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestQuotedArgumentsNotExpanded(t *testing.T) {
+	got := expand(t, "define(x, 9)dnl\ndefine(m, `$1')dnl\nm(`x')")
+	// $1 is the literal x; after substitution the rescan expands it —
+	// true m4 behaviour (single quoting defers, not prevents).
+	if got != "9" {
+		t.Errorf("got %q", got)
+	}
+	got = expand(t, "define(x, 9)dnl\ndefine(m, `1$1')dnl\nm(``x'')")
+	if got != "1x" {
+		t.Errorf("double-quoted arg: got %q", got)
+	}
+}
+
+func TestLeadingArgWhitespaceSkipped(t *testing.T) {
+	got := expand(t, "define(m, `[$1][$2]')dnl\nm(  a,\n   b  )")
+	if got != "[a][b  ]" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNestedParensInArgs(t *testing.T) {
+	got := expand(t, "define(m, `<$1>')dnl\nm(f(a, b))")
+	if got != "<f(a, b)>" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNestedMacroCallsInArgs(t *testing.T) {
+	got := expand(t, "define(inc, `($1+1)')dnl\ndefine(m, `[$1]')dnl\nm(inc(inc(0)))")
+	if got != "[((0+1)+1)]" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBareBuiltinWithoutParens(t *testing.T) {
+	// A defined macro expands bare; an undefined name passes through.
+	got := expand(t, "define(K, 7)dnl\nK undefinedname")
+	if got != "7 undefinedname" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestUndefine(t *testing.T) {
+	got := expand(t, "define(x, 9)dnl\nundefine(`x')dnl\nx")
+	if got != "x" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestIfdef(t *testing.T) {
+	got := expand(t, "define(flag, 1)dnl\nifdef(`flag', yes, no) ifdef(`other', yes, no)")
+	if got != "yes no" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestIfelse(t *testing.T) {
+	cases := map[string]string{
+		"ifelse(a, a, eq)":                   "eq",
+		"ifelse(a, b, eq)":                   "",
+		"ifelse(a, b, eq, ne)":               "ne",
+		"ifelse(a, b, x, a, a, y, z)":        "y",
+		"ifelse(a, b, x, c, d, y, fallback)": "fallback",
+		"ifelse(onearg)":                     "",
+	}
+	for in, want := range cases {
+		if got := expand(t, in); got != want {
+			t.Errorf("%s = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEvalBuiltin(t *testing.T) {
+	cases := map[string]string{
+		"eval(1+2*3)":          "7",
+		"eval((1+2)*3)":        "9",
+		"eval(7/2)":            "3",
+		"eval(7%3)":            "1",
+		"eval(-4+1)":           "-3",
+		"eval(3 > 2)":          "1",
+		"eval(3 <= 2)":         "0",
+		"eval(1 && 0)":         "0",
+		"eval(1 || 0)":         "1",
+		"eval(!0)":             "1",
+		"eval(2 == 2 && 3> 1)": "1",
+	}
+	for in, want := range cases {
+		if got := expand(t, in); got != want {
+			t.Errorf("%s = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	p := NewProcessor()
+	for _, in := range []string{"eval(1/0)", "eval(1%0)", "eval(1+)", "eval(abc)", "eval((1)"} {
+		if _, err := p.Expand(in); err == nil {
+			t.Errorf("%s: expected error", in)
+		}
+	}
+}
+
+func TestIncrDecrLenIndexSubstr(t *testing.T) {
+	cases := map[string]string{
+		"incr(41)":              "42",
+		"decr(43)":              "42",
+		"len(hello)":            "5",
+		"len()":                 "0",
+		"index(barrier, rri)":   "2",
+		"index(barrier, zz)":    "-1",
+		"substr(barrier, 3)":    "rier",
+		"substr(barrier, 3, 2)": "ri",
+		"substr(barrier, 99)":   "",
+	}
+	for in, want := range cases {
+		if got := expand(t, in); got != want {
+			t.Errorf("%s = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestShiftAndListUtilities(t *testing.T) {
+	// The paper's "utility macros ... returning the first element of a
+	// list" written with the builtins.
+	src := "define(first, `$1')dnl\ndefine(rest, `shift($@)')dnl\nfirst(a,b,c)|rest(a,b,c)"
+	if got := expand(t, src); got != "a|b,c" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDnlEatsThroughNewline(t *testing.T) {
+	got := expand(t, "define(x, 1)dnl trailing garbage\nx")
+	if got != "1" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestChangequote(t *testing.T) {
+	got := expand(t, "changequote([, ])dnl\ndefine(x, 9)dnl\n[x] x")
+	if got != "x 9" {
+		t.Errorf("got %q", got)
+	}
+	// Restore defaults with no arguments.
+	got = expand(t, "changequote([, ])dnl\nchangequote()dnl\ndefine(x, 9)dnl\n`x' x")
+	if got != "x 9" {
+		t.Errorf("restored quotes: got %q", got)
+	}
+}
+
+func TestHashCommentVerbatim(t *testing.T) {
+	got := expand(t, "define(x, 9)dnl\n# x should not expand\nx")
+	if got != "# x should not expand\n9" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	p := NewProcessor()
+	for _, in := range []string{
+		"define(m, `$1')dnl\nm(unterminated",
+		"`unterminated quote",
+		"define(`bad name', x)",
+		"define(`', x)",
+		"changequote(ab, cd)",
+	} {
+		if _, err := p.Expand(in); err == nil {
+			t.Errorf("%q: expected error", in)
+		}
+	}
+}
+
+func TestRunawayRecursionDetected(t *testing.T) {
+	p := NewProcessor()
+	if _, err := p.Expand("define(x, `x y')dnl\nx"); err == nil {
+		t.Error("recursive macro did not error")
+	} else if !strings.Contains(err.Error(), "expansion limit") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestRecursiveCountdownMacro(t *testing.T) {
+	// Bounded recursion through ifelse must terminate: a countdown.
+	src := "define(count, `$1 ifelse($1, 0, , `count(decr($1))')')dnl\ncount(3)"
+	got := expand(t, src)
+	cleaned := strings.Join(strings.Fields(got), " ")
+	if cleaned != "3 2 1 0" {
+		t.Errorf("got %q (cleaned %q)", got, cleaned)
+	}
+}
+
+func TestLoadRequiresSilentFile(t *testing.T) {
+	p := NewProcessor()
+	if err := p.Load("define(a, 1)dnl\ndefine(b, 2)dnl\n"); err != nil {
+		t.Errorf("silent file rejected: %v", err)
+	}
+	if !p.Defined("a") || !p.Defined("b") {
+		t.Error("Load did not install definitions")
+	}
+	if err := p.Load("define(c, 3)dnl\nstray output\n"); err == nil {
+		t.Error("noisy macro file accepted")
+	}
+}
+
+func TestDefinedCoversBuiltins(t *testing.T) {
+	p := NewProcessor()
+	if !p.Defined("ifelse") || !p.Defined("define") {
+		t.Error("builtins not Defined")
+	}
+	if p.Defined("nosuch") {
+		t.Error("nosuch Defined")
+	}
+}
+
+func TestMustExpandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExpand did not panic")
+		}
+	}()
+	NewProcessor().MustExpand("`oops")
+}
+
+// Property: text with no macro names, quotes, comments or parens is a
+// fixed point of expansion.
+func TestQuickInertTextFixedPoint(t *testing.T) {
+	p := NewProcessor()
+	prop := func(words []uint16) bool {
+		var sb strings.Builder
+		for _, w := range words {
+			sb.WriteString("v")
+			sb.WriteString(strings.Repeat("x", int(w%5)))
+			sb.WriteString("9 = + ")
+		}
+		in := sb.String()
+		out, err := p.Expand(in)
+		return err == nil && out == in
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eval agrees with Go arithmetic on random small expressions.
+func TestQuickEvalMatchesGo(t *testing.T) {
+	prop := func(a, b int16, c uint8) bool {
+		div := int64(c%9) + 1
+		in := fmt.Sprintf("eval((0 %+d) + %d * 3 / %d)", a, b, div)
+		p := NewProcessor()
+		out, err := p.Expand(in)
+		if err != nil {
+			return false
+		}
+		want := int64(a) + int64(b)*3/div
+		return out == strconv.FormatInt(want, 10)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,313 @@
+package maclib
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPaperSelfschedExpansion is experiment F1: the paper's own example
+//
+//	Selfsched DO 100 K = START, LAST, IICR
+//	(* LOOPBODY *)
+//	100 End Selfsched DO
+//
+// must expand, under the generic machine layer, to the structure of the
+// listing in §4.2 — entry code under BARWIN, first-arrival index
+// initialization, the LOOP100-guarded index fetch, the sign-aware
+// completion test, the loop body, and exit code under BARWOT — with the
+// low-level lock/unlock macros left symbolic exactly as the paper prints
+// them.
+func TestPaperSelfschedExpansion(t *testing.T) {
+	src := "Selfsched DO 100 K = START, LAST, INCR\n" +
+		"      CALL LOOPBODY(K)\n" +
+		"100 End Selfsched DO\n"
+	got, err := Expand("generic", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `C loop entry code
+      lock(BARWIN)
+      IF (ZZNBAR .EQ. 0) THEN
+C initialize loop index
+      K_SHARED = START
+      END IF
+C report arrival of processes
+      ZZNBAR = ZZNBAR + 1
+      IF (ZZNBAR .EQ. NPROC) THEN
+      unlock(BARWOT)
+      ELSE
+      unlock(BARWIN)
+      END IF
+C self scheduled loop index distribution
+ 100   lock(LOOP100)
+C get next index value
+      K = K_SHARED
+      K_SHARED = K + INCR
+      unlock(LOOP100)
+C test for completion
+      IF ((INCR .GT. 0 .AND. K .LE. LAST) .OR.
+     X    (INCR .LT. 0 .AND. K .GE. LAST)) THEN
+      CALL LOOPBODY(K)
+      GO TO 100
+      END IF
+C loop exit code
+      lock(BARWOT)
+C report exit of processes
+      ZZNBAR = ZZNBAR - 1
+      IF (ZZNBAR .EQ. 0) THEN
+      unlock(BARWIN)
+      ELSE
+      unlock(BARWOT)
+      END IF
+`
+	if got != want {
+		t.Errorf("expansion mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+		for i, gl := range strings.Split(got, "\n") {
+			wl := ""
+			if ws := strings.Split(want, "\n"); i < len(ws) {
+				wl = ws[i]
+			}
+			if gl != wl {
+				t.Logf("first difference at line %d: got %q want %q", i+1, gl, wl)
+				break
+			}
+		}
+	}
+}
+
+// TestTwoLevelExpansion: the same source under a real machine layer
+// rewrites only the low-level macros — the portability architecture.
+func TestTwoLevelExpansion(t *testing.T) {
+	src := "Barrier\n      NSTEP = NSTEP + 1\nEnd barrier\n"
+	cases := map[string][]string{
+		"generic": {"lock(BARWIN)", "unlock(BARWOT)"},
+		"sequent": {"CALL S_LOCK(BARWIN)", "CALL S_UNLOCK(BARWOT)"},
+		"encore":  {"CALL SPIN_LOCK(BARWIN)", "CALL SPIN_UNLOCK(BARWOT)"},
+		"alliant": {"CALL TS_LOCK(BARWIN)", "CALL TS_UNLOCK(BARWOT)"},
+		"cray2":   {"CALL LOCKON(BARWIN)", "CALL LOCKOFF(BARWOT)"},
+		"flex32":  {"CALL FLEX_LOCK(BARWIN)", "CALL FLEX_UNLOCK(BARWOT)"},
+		"hep":     {"CALL AWAITF(BARWIN)", "CALL ASETE(BARWOT)"},
+	}
+	for m, wants := range cases {
+		got, err := Expand(m, src)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		for _, w := range wants {
+			if !strings.Contains(got, w) {
+				t.Errorf("%s: expansion missing %q:\n%s", m, w, got)
+			}
+		}
+		// The machine-independent structure is identical everywhere.
+		for _, structural := range []string{
+			"ZZNBAR = ZZNBAR + 1",
+			"IF (ZZNBAR .EQ. NPROC) THEN",
+			"C barrier section, executed by one arbitrary process",
+			"      NSTEP = NSTEP + 1",
+			"ZZNBAR = ZZNBAR - 1",
+		} {
+			if !strings.Contains(got, structural) {
+				t.Errorf("%s: missing machine-independent line %q", m, structural)
+			}
+		}
+	}
+}
+
+// TestHEPOverridesProduceConsume: only the HEP replaces the two-lock
+// full/empty protocol with hardware access (§4.2).
+func TestHEPOverridesProduceConsume(t *testing.T) {
+	src := "Produce V = X + 1\nConsume V into Y\nVoid V\n"
+	hep, err := Expand("hep", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"CALL AWRITE(V, X + 1)", "Y = AREAD(V)", "CALL ASETE(V)"} {
+		if !strings.Contains(hep, w) {
+			t.Errorf("hep: missing %q in:\n%s", w, hep)
+		}
+	}
+	if strings.Contains(hep, "E_V") {
+		t.Errorf("hep expansion still uses the two-lock scheme:\n%s", hep)
+	}
+	seq, err := Expand("sequent", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"CALL S_LOCK(F_V)", "V = X + 1", "CALL S_UNLOCK(E_V)",
+		"CALL S_LOCK(E_V)", "Y = V", "CALL S_UNLOCK(F_V)"} {
+		if !strings.Contains(seq, w) {
+			t.Errorf("sequent: missing %q in:\n%s", w, seq)
+		}
+	}
+}
+
+func TestCriticalStoresLockName(t *testing.T) {
+	src := "Critical UPD\n      SUM = SUM + X\nEnd critical\n"
+	got, err := Expand("generic", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"lock(UPD)", "SUM = SUM + X", "unlock(UPD)"} {
+		if !strings.Contains(got, w) {
+			t.Errorf("missing %q in:\n%s", w, got)
+		}
+	}
+}
+
+func TestPreschedDoExpansion(t *testing.T) {
+	src := "Presched DO 20 I = 1, N\n      A(I) = 0\n20 End Presched DO\n"
+	got, err := Expand("generic", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{
+		"DO 20 I = 1 + ME*(1), N, NPROC*(1)",
+		"      A(I) = 0",
+		" 20   CONTINUE",
+	} {
+		if !strings.Contains(got, w) {
+			t.Errorf("missing %q in:\n%s", w, got)
+		}
+	}
+}
+
+func TestPcaseBlockNumbering(t *testing.T) {
+	src := "Pcase\nUsect\n      CALL P1\nCsect (N .GT. 0)\n      CALL P2\nUsect\n      CALL P3\nEnd pcase\n"
+	got, err := Expand("generic", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{
+		"IF (MOD(0, NPROC) .EQ. ME) THEN",
+		"IF (MOD(1, NPROC) .EQ. ME .AND. (N .GT. 0)) THEN",
+		"IF (MOD(2, NPROC) .EQ. ME) THEN",
+		"CALL ZZPBAR",
+	} {
+		if !strings.Contains(got, w) {
+			t.Errorf("missing %q in:\n%s", w, got)
+		}
+	}
+	// Three blocks open three IFs; all three must be closed.
+	if n := strings.Count(got, "END IF"); n != 3 {
+		t.Errorf("found %d END IF, want 3:\n%s", n, got)
+	}
+	// A second Pcase restarts numbering.
+	got2, err := Expand("generic", src+src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(got2, "IF (MOD(0, NPROC) .EQ. ME) THEN"); n != 2 {
+		t.Errorf("block counter not reset between Pcases (%d zero-blocks)", n)
+	}
+}
+
+func TestProgramStructure(t *testing.T) {
+	src := "Force MAIN of NP ident ME\nShared REAL A(100,100)\nPrivate INTEGER I\nAsync REAL V\nEnd declarations\nJoin\n"
+	got, err := Expand("sequent", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{
+		"PROGRAM MAIN",
+		"INTEGER ZZNBAR, NPROC, ME", // force_environment expanded
+		"REAL A(100,100)",
+		"C$SHARED A(100,100)",
+		"INTEGER I",
+		"REAL V",
+		"LOGICAL E_V, F_V", // two-lock pair declared for async vars
+		"CALL ZZFORK(NPROC)",
+		"CALL ZZJOIN(NPROC)",
+	} {
+		if !strings.Contains(got, w) {
+			t.Errorf("missing %q in:\n%s", w, got)
+		}
+	}
+}
+
+func TestForcesubAndExternf(t *testing.T) {
+	src := "Forcesub SOLVE(A, N)\nExternf SOLVE\n"
+	got, err := Expand("generic", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"SUBROUTINE SOLVE(A, N)", "CALL ZZSTART_SOLVE"} {
+		if !strings.Contains(got, w) {
+			t.Errorf("missing %q in:\n%s", w, got)
+		}
+	}
+}
+
+func TestPlainFortranPassesThrough(t *testing.T) {
+	src := "      DO 10 I = 1, N\n      B(I) = A(I)\n   10 CONTINUE\n"
+	got, err := Expand("generic", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != src {
+		t.Errorf("plain Fortran changed:\n%q\n->\n%q", src, got)
+	}
+}
+
+func TestMachinesListAndUnknown(t *testing.T) {
+	ms := Machines()
+	if ms[0] != "generic" || len(ms) != 7 {
+		t.Errorf("Machines() = %v", ms)
+	}
+	for _, m := range ms {
+		if _, err := MachineLayer(m); err != nil {
+			t.Errorf("MachineLayer(%q): %v", m, err)
+		}
+	}
+	if _, err := MachineLayer("vax"); err == nil {
+		t.Error("MachineLayer(vax) succeeded")
+	}
+	if _, err := Expand("vax", "Barrier\n"); err == nil {
+		t.Error("Expand(vax) succeeded")
+	}
+}
+
+// TestAllMachinesExpandCleanly runs a program exercising every construct
+// through every machine layer.
+func TestAllMachinesExpandCleanly(t *testing.T) {
+	src := `Force MAIN of NP ident ME
+Shared REAL A(64)
+Async REAL V
+Private INTEGER I
+End declarations
+Presched DO 10 I = 1, 64
+      A(I) = I
+10 End Presched DO
+Barrier
+      S = 0
+End barrier
+Selfsched DO 20 I = 1, 64, 1
+      CALL WORK(I)
+20 End Selfsched DO
+Critical LCK
+      S = S + 1
+End critical
+Pcase
+Usect
+      CALL U1
+Csect (S .GT. 0)
+      CALL C1
+End pcase
+Produce V = S
+Consume V into T
+Void V
+Join
+`
+	for _, m := range Machines() {
+		got, err := Expand(m, src)
+		if err != nil {
+			t.Errorf("%s: %v", m, err)
+			continue
+		}
+		if strings.Contains(got, "selfsched_do") || strings.Contains(got, "pcase_begin") {
+			t.Errorf("%s: unexpanded statement macros remain:\n%s", m, got)
+		}
+		if m != "generic" && strings.Contains(got, "force_environment") {
+			t.Errorf("%s: machine layer did not supply force_environment", m)
+		}
+	}
+}

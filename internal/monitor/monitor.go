@@ -1,0 +1,231 @@
+// Package monitor implements the Argonne monitor abstraction of Lusk &
+// Overbeek — the paper's citation [LO83], "Implementation of monitors
+// with macros: A programming aid for the HEP and other parallel
+// processors" — which is the machinery the Force's Askfor construct is
+// built from (§3.3) and a second lineage (besides [AJ87]) for barrier
+// implementations.
+//
+// A Monitor couples one machine lock (from the same generic lock layer
+// the Force uses) with named delay queues.  Operations follow the macro
+// set: enter/exit for mutual exclusion, delay to block on a queue while
+// releasing the monitor, and continue (Resume here; continue is a Go
+// keyword) to wake a waiter.  Resume uses Mesa semantics — the woken
+// process re-enters the monitor rather than receiving it — which is what
+// the spin-lock realizations of the original macros provided in effect;
+// all monitor invariants must therefore be re-checked after Delay
+// returns.
+//
+// On top of the core abstraction the package provides the two monitors
+// the report is known for: the askfor monitor (a self-terminating work
+// pool) and the barrier monitor.
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/lock"
+)
+
+// Monitor is one Argonne-style monitor.
+type Monitor struct {
+	mu     lock.Lock
+	queues map[string]*queue
+}
+
+// queue is a FIFO of parked waiters; each waiter owns a channel that is
+// closed to wake it.
+type queue struct {
+	waiters []chan struct{}
+}
+
+// New creates a monitor whose lock comes from factory (nil defaults to
+// system locks, the portable choice).
+func New(factory func() lock.Lock) *Monitor {
+	if factory == nil {
+		factory = lock.Factory(lock.System)
+	}
+	return &Monitor{mu: factory(), queues: map[string]*queue{}}
+}
+
+// Enter acquires the monitor.
+func (m *Monitor) Enter() { m.mu.Lock() }
+
+// Exit releases the monitor.
+func (m *Monitor) Exit() { m.mu.Unlock() }
+
+// With runs body inside the monitor.
+func (m *Monitor) With(body func()) {
+	m.Enter()
+	defer m.Exit()
+	body()
+}
+
+func (m *Monitor) queue(name string) *queue {
+	q, ok := m.queues[name]
+	if !ok {
+		q = &queue{}
+		m.queues[name] = q
+	}
+	return q
+}
+
+// Delay atomically releases the monitor and parks the caller on the named
+// queue; it re-enters the monitor before returning.  Must be called with
+// the monitor held.  Mesa semantics: re-check the waited-for condition in
+// a loop around Delay.
+func (m *Monitor) Delay(name string) {
+	ch := make(chan struct{})
+	q := m.queue(name)
+	q.waiters = append(q.waiters, ch)
+	m.Exit()
+	<-ch
+	m.Enter()
+}
+
+// Resume wakes the longest-delayed waiter of the named queue, if any, and
+// reports whether one was woken.  Must be called with the monitor held
+// (the [LO83] continue operation).
+func (m *Monitor) Resume(name string) bool {
+	q := m.queue(name)
+	if len(q.waiters) == 0 {
+		return false
+	}
+	ch := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	close(ch)
+	return true
+}
+
+// ResumeAll wakes every waiter of the named queue and returns how many
+// were woken.  Must be called with the monitor held.
+func (m *Monitor) ResumeAll(name string) int {
+	q := m.queue(name)
+	n := len(q.waiters)
+	for _, ch := range q.waiters {
+		close(ch)
+	}
+	q.waiters = nil
+	return n
+}
+
+// Waiting reports the number of processes delayed on the named queue.
+// Must be called with the monitor held.
+func (m *Monitor) Waiting(name string) int {
+	return len(m.queue(name).waiters)
+}
+
+// AskFor is the [LO83] askfor monitor: a shared pool of work units with
+// built-in termination detection.  Workers loop on Get; Put adds work
+// (from inside or outside a work unit); Get returns ok=false exactly when
+// the pool is empty and no work unit is still executing, at which point
+// every present and future Get unblocks — "the problem is solved".
+type AskFor struct {
+	m           *Monitor
+	stack       []any
+	outstanding int // queued + executing work units
+	done        bool
+}
+
+// NewAskFor creates an askfor monitor over the given lock factory.
+func NewAskFor(factory func() lock.Lock) *AskFor {
+	return &AskFor{m: New(factory)}
+}
+
+// Put adds one unit of work.  Calling Put after termination is an error
+// in the [LO83] protocol; it panics here to surface protocol misuse.
+func (a *AskFor) Put(work any) {
+	a.m.Enter()
+	defer a.m.Exit()
+	if a.done {
+		panic("monitor: Put after askfor termination")
+	}
+	a.stack = append(a.stack, work)
+	a.outstanding++
+	a.m.Resume("work")
+}
+
+// Get obtains the next unit of work, blocking while the pool is empty but
+// work units are still executing.  The caller must call TaskDone after
+// finishing the unit.  ok=false signals global termination.
+func (a *AskFor) Get() (work any, ok bool) {
+	a.m.Enter()
+	defer a.m.Exit()
+	for {
+		if len(a.stack) > 0 {
+			w := a.stack[len(a.stack)-1]
+			a.stack = a.stack[:len(a.stack)-1]
+			return w, true
+		}
+		if a.done || a.outstanding == 0 {
+			a.done = true
+			a.m.ResumeAll("work")
+			return nil, false
+		}
+		a.m.Delay("work")
+	}
+}
+
+// TaskDone reports completion of a work unit obtained from Get.  When the
+// last outstanding unit completes with an empty pool, termination is
+// broadcast.
+func (a *AskFor) TaskDone() {
+	a.m.Enter()
+	defer a.m.Exit()
+	if a.outstanding <= 0 {
+		panic("monitor: TaskDone without matching Get")
+	}
+	a.outstanding--
+	if a.outstanding == 0 && len(a.stack) == 0 {
+		a.done = true
+		a.m.ResumeAll("work")
+	}
+}
+
+// Work runs the standard worker loop: repeatedly Get a unit, run body
+// (which may Put new units), and mark it done, until termination.
+func (a *AskFor) Work(body func(work any)) {
+	for {
+		w, ok := a.Get()
+		if !ok {
+			return
+		}
+		body(w)
+		a.TaskDone()
+	}
+}
+
+// Barrier is the [LO83] barrier monitor: processes Wait until n have
+// arrived; the last arrival releases everyone.  It is a second,
+// monitor-shaped implementation lineage beside the barrier package's
+// lock-relay and log-depth algorithms.
+type Barrier struct {
+	m       *Monitor
+	n       int
+	arrived int
+	episode uint64
+}
+
+// NewBarrier creates a monitor barrier for n processes.
+func NewBarrier(n int, factory func() lock.Lock) *Barrier {
+	if n <= 0 {
+		panic(fmt.Sprintf("monitor: barrier n = %d", n))
+	}
+	return &Barrier{m: New(factory), n: n}
+}
+
+// Wait blocks until all n processes of the episode have arrived.
+func (b *Barrier) Wait() {
+	b.m.Enter()
+	defer b.m.Exit()
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.episode++
+		b.m.ResumeAll("barrier")
+		return
+	}
+	e := b.episode
+	for b.episode == e {
+		b.m.Delay("barrier")
+	}
+}

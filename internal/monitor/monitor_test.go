@@ -1,0 +1,280 @@
+package monitor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lock"
+)
+
+func TestMonitorMutualExclusion(t *testing.T) {
+	for _, lk := range lock.Kinds() {
+		lk := lk
+		t.Run(lk.String(), func(t *testing.T) {
+			t.Parallel()
+			m := New(lock.Factory(lk))
+			counter := 0
+			var wg sync.WaitGroup
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 500; i++ {
+						m.With(func() { counter++ })
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != 3000 {
+				t.Errorf("counter = %d", counter)
+			}
+		})
+	}
+}
+
+func TestDelayResume(t *testing.T) {
+	m := New(nil)
+	ready := false
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Enter()
+			for !ready {
+				m.Delay("q")
+			}
+			m.Exit()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}()
+	}
+	// Wait until all three are delayed, then wake them.
+	for {
+		m.Enter()
+		n := m.Waiting("q")
+		if n == 3 {
+			ready = true
+			if woken := m.ResumeAll("q"); woken != 3 {
+				t.Errorf("ResumeAll woke %d", woken)
+			}
+			m.Exit()
+			break
+		}
+		m.Exit()
+	}
+	wg.Wait()
+	if len(order) != 3 {
+		t.Errorf("only %d waiters returned", len(order))
+	}
+}
+
+func TestResumeOnEmptyQueue(t *testing.T) {
+	m := New(nil)
+	m.Enter()
+	if m.Resume("nobody") {
+		t.Error("Resume on empty queue reported a wake")
+	}
+	if m.ResumeAll("nobody") != 0 {
+		t.Error("ResumeAll on empty queue woke someone")
+	}
+	m.Exit()
+}
+
+func TestResumeIsFIFO(t *testing.T) {
+	m := New(nil)
+	gate := make([]bool, 2)
+	var first atomic.Int64
+	first.Store(-1)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Enter()
+			for !gate[i] {
+				m.Delay("q")
+			}
+			m.Exit()
+			first.CompareAndSwap(-1, int64(i))
+		}()
+		// Serialize arrival so the delay order is known.
+		for {
+			m.Enter()
+			n := m.Waiting("q")
+			m.Exit()
+			if n == i+1 {
+				break
+			}
+		}
+	}
+	// Wake one: must be waiter 0 (FIFO); its gate opens, waiter 1's not.
+	m.Enter()
+	gate[0] = true
+	m.Resume("q")
+	m.Exit()
+	for first.Load() == -1 {
+	}
+	if first.Load() != 0 {
+		t.Errorf("first woken = %d, want 0 (FIFO)", first.Load())
+	}
+	m.Enter()
+	gate[1] = true
+	m.ResumeAll("q")
+	m.Exit()
+	wg.Wait()
+}
+
+func TestAskForStaticPool(t *testing.T) {
+	a := NewAskFor(nil)
+	const tasks = 100
+	for i := 0; i < tasks; i++ {
+		a.Put(i)
+	}
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.Work(func(work any) { done.Add(1) })
+		}()
+	}
+	wg.Wait()
+	if done.Load() != tasks {
+		t.Errorf("completed %d tasks, want %d", done.Load(), tasks)
+	}
+	// After termination, Get keeps reporting done.
+	if _, ok := a.Get(); ok {
+		t.Error("Get returned work after termination")
+	}
+}
+
+func TestAskForDynamicTree(t *testing.T) {
+	a := NewAskFor(lock.Factory(lock.TTAS))
+	a.Put(1)
+	const depth = 9
+	var nodes atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.Work(func(work any) {
+				nodes.Add(1)
+				if d := work.(int); d < depth {
+					a.Put(d + 1)
+					a.Put(d + 1)
+				}
+			})
+		}()
+	}
+	wg.Wait()
+	if want := int64(1<<depth - 1); nodes.Load() != want {
+		t.Errorf("tree nodes = %d, want %d", nodes.Load(), want)
+	}
+}
+
+func TestAskForProtocolViolations(t *testing.T) {
+	a := NewAskFor(nil)
+	if _, ok := a.Get(); ok { // empty pool, nothing outstanding
+		t.Fatal("Get on empty pool returned work")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Put after termination did not panic")
+			}
+		}()
+		a.Put(1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unmatched TaskDone did not panic")
+			}
+		}()
+		a.TaskDone()
+	}()
+}
+
+func TestBarrierMonitor(t *testing.T) {
+	const np, episodes = 5, 40
+	b := NewBarrier(np, nil)
+	var counter atomic.Int64
+	var bad atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < np; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := 1; e <= episodes; e++ {
+				counter.Add(1)
+				b.Wait()
+				if counter.Load() < int64(np*e) {
+					bad.Add(1)
+				}
+				b.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Errorf("%d premature releases", bad.Load())
+	}
+}
+
+func TestBarrierMonitorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0, nil)
+}
+
+// Property: the askfor monitor conserves dynamically generated work for
+// random spawn patterns and worker counts.
+func TestQuickAskForConservation(t *testing.T) {
+	prop := func(spawns []uint8, workersRaw uint8) bool {
+		workers := int(workersRaw)%5 + 1
+		a := NewAskFor(nil)
+		want := int64(len(spawns))
+		for i := range spawns {
+			a.Put(int(spawns[i]) % 3)
+		}
+		if want == 0 {
+			_, ok := a.Get()
+			return !ok
+		}
+		var did atomic.Int64
+		var spawned atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				a.Work(func(work any) {
+					did.Add(1)
+					// Each unit spawns work.(int) children once.
+					for k := 0; k < work.(int); k++ {
+						spawned.Add(1)
+						a.Put(0)
+					}
+				})
+			}()
+		}
+		wg.Wait()
+		return did.Load() == want+spawned.Load()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,390 @@
+// Package sched implements the Force's work-distribution mechanisms for
+// DOALL loops (paper §3.3, §4.2).
+//
+// The paper distinguishes two scheduling disciplines:
+//
+//   - prescheduled: indices are distributed at compile time as a pure
+//     function of the process id and the number of processes — "completely
+//     machine independent, since only the number of executing processes is
+//     needed to distribute the index values among processes";
+//   - selfscheduled: a shared loop index, protected by a lock, is advanced
+//     at run time by processes looking for more work — the paper's
+//     expansion listing shows the lock(LOOP100)/K = K_shared/unlock
+//     protocol exactly.
+//
+// This package provides both, plus the chunked and guided refinements that
+// later systems (and the Force user's manual) added, behind one Scheduler
+// interface.  Iteration spaces are Fortran DO ranges (Start, Last, Incr
+// with either sign); schedulers hand out *ordinals* 0..Count()-1 and Range
+// maps ordinals back to index values, which keeps every discipline correct
+// for negative strides and empty loops.
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lock"
+)
+
+// Range describes a Fortran-style loop header: DO I = Start, Last, Incr.
+// Incr must be non-zero.  The range is empty when the start already lies
+// beyond the limit in the direction of travel, matching Fortran trip-count
+// semantics.
+type Range struct {
+	Start, Last, Incr int
+}
+
+// Seq returns the unit-stride range [0, n).
+func Seq(n int) Range { return Range{Start: 0, Last: n - 1, Incr: 1} }
+
+// Count returns the trip count of the range.
+func (r Range) Count() int {
+	if r.Incr == 0 {
+		panic("sched: Range with zero increment")
+	}
+	var span int
+	if r.Incr > 0 {
+		span = r.Last - r.Start
+	} else {
+		span = r.Start - r.Last
+	}
+	if span < 0 {
+		return 0
+	}
+	step := r.Incr
+	if step < 0 {
+		step = -step
+	}
+	return span/step + 1
+}
+
+// Index maps an ordinal k in [0, Count()) to its index value.
+func (r Range) Index(k int) int { return r.Start + k*r.Incr }
+
+// String renders the range as a loop header fragment.
+func (r Range) String() string {
+	return fmt.Sprintf("%d, %d, %d", r.Start, r.Last, r.Incr)
+}
+
+// Scheduler distributes the ordinals of one loop execution across the
+// force.  Next returns the half-open ordinal interval [lo, hi) that pid
+// should execute next; ok is false when pid's work is exhausted.  A
+// Scheduler is valid for a single loop execution (one episode).
+type Scheduler interface {
+	Next(pid int) (lo, hi int, ok bool)
+}
+
+// Kind names a scheduling discipline.
+type Kind int
+
+const (
+	// PreschedBlock splits the ordinal space into np contiguous blocks,
+	// block p going to process p.
+	PreschedBlock Kind = iota
+	// PreschedCyclic deals ordinals round-robin: process p executes
+	// ordinals p, p+np, p+2np, ... — the distribution the paper's
+	// prescheduled DO loop uses.
+	PreschedCyclic
+	// SelfLock is the paper's selfscheduled loop: a shared index guarded
+	// by a loop lock, one iteration per acquisition.
+	SelfLock
+	// SelfAtomic replaces the lock with a fetch-and-add (ablation: what a
+	// machine with hardware atomic add would do).
+	SelfAtomic
+	// Chunk is selfscheduling with a fixed chunk size > 1, trading load
+	// balance for lower acquisition traffic.
+	Chunk
+	// Guided hands out chunks of remaining/np (minimum 1), shrinking as
+	// the loop drains.
+	Guided
+	// TSS is trapezoid self-scheduling (Tzen & Ni): chunk sizes decrease
+	// linearly from n/(2·np) to 1, fixing guided scheduling's oversized
+	// first chunks while keeping its small tail.  A post-1989 extension
+	// included as an ablation.
+	TSS
+)
+
+var kindNames = map[Kind]string{
+	PreschedBlock:  "presched-block",
+	PreschedCyclic: "presched-cyclic",
+	SelfLock:       "selfsched-lock",
+	SelfAtomic:     "selfsched-atomic",
+	Chunk:          "selfsched-chunk",
+	Guided:         "guided",
+	TSS:            "tss",
+}
+
+// String returns the discipline's short name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("sched.Kind(%d)", int(k))
+}
+
+// ParseKind converts a short name into a Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown kind %q", s)
+}
+
+// Kinds lists all disciplines in presentation order.
+func Kinds() []Kind {
+	return []Kind{PreschedBlock, PreschedCyclic, SelfLock, SelfAtomic, Chunk, Guided, TSS}
+}
+
+// Config carries the parameters a discipline may need.
+type Config struct {
+	// ChunkSize applies to Chunk (default 16 when zero).
+	ChunkSize int
+	// LockFactory supplies the loop lock for SelfLock and Guided; nil
+	// defaults to system locks.  This is the machine-dependent hook: the
+	// paper's selfsched macro "will call generic machine dependent macros
+	// for the declaration of shared variables and for synchronization".
+	LockFactory func() lock.Lock
+}
+
+// New creates a one-episode Scheduler for the given discipline, force size
+// and range.
+func New(k Kind, np int, r Range, cfg Config) Scheduler {
+	if np <= 0 {
+		panic(fmt.Sprintf("sched: np = %d, need np >= 1", np))
+	}
+	n := r.Count()
+	switch k {
+	case PreschedBlock:
+		return &blockSched{np: np, n: n, done: make([]atomic.Bool, np)}
+	case PreschedCyclic:
+		return &cyclicSched{np: np, n: n, cursors: make([]paddedInt, np)}
+	case SelfLock:
+		f := cfg.LockFactory
+		if f == nil {
+			f = lock.Factory(lock.System)
+		}
+		return &lockSelfSched{n: n, lock: f()}
+	case SelfAtomic:
+		return &atomicSelfSched{n: n, chunk: 1}
+	case Chunk:
+		c := cfg.ChunkSize
+		if c <= 0 {
+			c = 16
+		}
+		return &atomicSelfSched{n: n, chunk: c}
+	case Guided:
+		return &guidedSched{np: np, n: n}
+	case TSS:
+		return newTSSSched(np, n)
+	default:
+		panic(fmt.Sprintf("sched: unknown kind %d", int(k)))
+	}
+}
+
+// blockSched: contiguous blocks, remainder spread one-per-process over the
+// first n%np processes so block sizes differ by at most one.
+type blockSched struct {
+	np, n int
+	done  []atomic.Bool
+}
+
+func (s *blockSched) Next(pid int) (int, int, bool) {
+	if pid < 0 || pid >= s.np {
+		panic(fmt.Sprintf("sched: pid %d out of range [0,%d)", pid, s.np))
+	}
+	if s.done[pid].Swap(true) {
+		return 0, 0, false
+	}
+	base := s.n / s.np
+	rem := s.n % s.np
+	lo := pid*base + min(pid, rem)
+	size := base
+	if pid < rem {
+		size++
+	}
+	if size == 0 {
+		return 0, 0, false
+	}
+	return lo, lo + size, true
+}
+
+// cyclicSched deals single ordinals round-robin with no shared mutable
+// state: each process advances a private cursor (cache-line padded so
+// neighbouring cursors do not false-share).
+type cyclicSched struct {
+	np, n   int
+	cursors []paddedInt
+}
+
+type paddedInt struct {
+	v int
+	_ [56]byte
+}
+
+func (s *cyclicSched) Next(pid int) (int, int, bool) {
+	if pid < 0 || pid >= s.np {
+		panic(fmt.Sprintf("sched: pid %d out of range [0,%d)", pid, s.np))
+	}
+	k := pid + s.cursors[pid].v*s.np
+	if k >= s.n {
+		return 0, 0, false
+	}
+	s.cursors[pid].v++
+	return k, k + 1, true
+}
+
+// lockSelfSched is the paper's selfscheduled loop: the shared index
+// K_shared lives behind the loop lock; each acquisition takes one
+// iteration.  The expansion listing's
+//
+//	lock(LOOP100); K = K_shared; K_shared = K + INCR; unlock(LOOP100)
+//
+// becomes, on ordinals, a guarded post-increment.
+type lockSelfSched struct {
+	n      int
+	lock   lock.Lock
+	kShare int // next ordinal to hand out; guarded by lock
+}
+
+func (s *lockSelfSched) Next(pid int) (int, int, bool) {
+	s.lock.Lock()
+	k := s.kShare
+	s.kShare = k + 1
+	s.lock.Unlock()
+	if k >= s.n {
+		return 0, 0, false
+	}
+	return k, k + 1, true
+}
+
+// atomicSelfSched is the fetch-and-add variant, optionally chunked.
+type atomicSelfSched struct {
+	n     int
+	chunk int
+	next  atomic.Int64
+}
+
+func (s *atomicSelfSched) Next(pid int) (int, int, bool) {
+	lo := int(s.next.Add(int64(s.chunk))) - s.chunk
+	if lo >= s.n {
+		return 0, 0, false
+	}
+	hi := lo + s.chunk
+	if hi > s.n {
+		hi = s.n
+	}
+	return lo, hi, true
+}
+
+// guidedSched hands out remaining/np-sized chunks via a CAS loop, shrinking
+// geometrically toward single iterations.
+type guidedSched struct {
+	np, n int
+	next  atomic.Int64
+}
+
+func (s *guidedSched) Next(pid int) (int, int, bool) {
+	for {
+		lo := int(s.next.Load())
+		if lo >= s.n {
+			return 0, 0, false
+		}
+		size := (s.n - lo + s.np - 1) / s.np
+		if size < 1 {
+			size = 1
+		}
+		hi := lo + size
+		if hi > s.n {
+			hi = s.n
+		}
+		if s.next.CompareAndSwap(int64(lo), int64(hi)) {
+			return lo, hi, true
+		}
+	}
+}
+
+// tssSched precomputes the trapezoid chunk boundaries at construction —
+// first chunk n/(2·np), last chunk 1, linear decrease — and deals chunks
+// through one fetch-and-add, so the distribution itself is deterministic
+// (which process gets which chunk is not, as with all selfscheduling).
+type tssSched struct {
+	bounds []int // chunk k covers [bounds[k], bounds[k+1])
+	next   atomic.Int64
+}
+
+func newTSSSched(np, n int) *tssSched {
+	s := &tssSched{}
+	first := n / (2 * np)
+	if first < 1 {
+		first = 1
+	}
+	// Number of chunks for a linear first..1 trapezoid.
+	c := (2*n + first) / (first + 1)
+	if c < 1 {
+		c = 1
+	}
+	dec := 0.0
+	if c > 1 {
+		dec = float64(first-1) / float64(c-1)
+	}
+	s.bounds = append(s.bounds, 0)
+	pos := 0
+	size := float64(first)
+	for pos < n {
+		step := int(size + 0.5)
+		if step < 1 {
+			step = 1
+		}
+		pos += step
+		if pos > n {
+			pos = n
+		}
+		s.bounds = append(s.bounds, pos)
+		size -= dec
+	}
+	return s
+}
+
+func (s *tssSched) Next(pid int) (int, int, bool) {
+	k := int(s.next.Add(1)) - 1
+	if k >= len(s.bounds)-1 {
+		return 0, 0, false
+	}
+	return s.bounds[k], s.bounds[k+1], true
+}
+
+// ForEach is a single-construct driver used by tests, benchmarks, and the
+// interpreter's standalone mode: it runs body(pid, index) for every index
+// of r, distributed over np goroutines under discipline k.  The core
+// runtime package embeds the same loop inside long-lived force processes
+// instead.
+func ForEach(k Kind, np int, r Range, cfg Config, body func(pid, index int)) {
+	s := New(k, np, r, cfg)
+	var wg sync.WaitGroup
+	for p := 0; p < np; p++ {
+		wg.Add(1)
+		go func(pid int) {
+			defer wg.Done()
+			Drive(s, pid, r, body)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// Drive exhausts scheduler s for one process, translating ordinals to
+// index values of r.
+func Drive(s Scheduler, pid int, r Range, body func(pid, index int)) {
+	for {
+		lo, hi, ok := s.Next(pid)
+		if !ok {
+			return
+		}
+		for k := lo; k < hi; k++ {
+			body(pid, r.Index(k))
+		}
+	}
+}

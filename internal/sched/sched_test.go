@@ -1,0 +1,383 @@
+package sched
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lock"
+)
+
+func TestRangeCount(t *testing.T) {
+	cases := []struct {
+		r    Range
+		want int
+	}{
+		{Range{1, 10, 1}, 10},
+		{Range{1, 10, 2}, 5},
+		{Range{1, 10, 3}, 4},
+		{Range{10, 1, -1}, 10},
+		{Range{10, 1, -3}, 4},
+		{Range{5, 5, 1}, 1},
+		{Range{5, 5, -1}, 1},
+		{Range{6, 5, 1}, 0},
+		{Range{5, 6, -1}, 0},
+		{Range{0, -1, 1}, 0},
+		{Seq(7), 7},
+		{Seq(0), 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Count(); got != c.want {
+			t.Errorf("Count(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRangeZeroIncrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Count with Incr=0 did not panic")
+		}
+	}()
+	Range{1, 10, 0}.Count()
+}
+
+func TestRangeIndex(t *testing.T) {
+	r := Range{10, 1, -3} // 10, 7, 4, 1
+	want := []int{10, 7, 4, 1}
+	for k, w := range want {
+		if got := r.Index(k); got != w {
+			t.Errorf("Index(%d) = %d, want %d", k, got, w)
+		}
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	if got := (Range{2, 9, 3}).String(); got != "2, 9, 3" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestKindStringAndParse(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) succeeded")
+	}
+	if got := Kind(55).String(); got != "sched.Kind(55)" {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with np=0 did not panic")
+		}
+	}()
+	New(PreschedBlock, 0, Seq(4), Config{})
+}
+
+func TestNewUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with unknown kind did not panic")
+		}
+	}()
+	New(Kind(42), 2, Seq(4), Config{})
+}
+
+// collect runs a full parallel loop and returns the multiset of executed
+// index values.
+func collect(t *testing.T, k Kind, np int, r Range, cfg Config) []int {
+	t.Helper()
+	var mu sync.Mutex
+	var got []int
+	ForEach(k, np, r, cfg, func(pid, index int) {
+		mu.Lock()
+		got = append(got, index)
+		mu.Unlock()
+	})
+	sort.Ints(got)
+	return got
+}
+
+func expected(r Range) []int {
+	n := r.Count()
+	out := make([]int, n)
+	for k := 0; k < n; k++ {
+		out[k] = r.Index(k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEveryIndexExactlyOnce is the fundamental DOALL property: every
+// discipline executes each index value exactly once, for positive and
+// negative strides, empty loops, and np larger than the trip count.
+func TestEveryIndexExactlyOnce(t *testing.T) {
+	ranges := []Range{
+		{1, 100, 1},
+		{1, 100, 7},
+		{100, 1, -1},
+		{50, -50, -13},
+		{3, 3, 1},
+		{4, 3, 1},   // empty
+		{-5, 20, 4}, // negative start
+	}
+	cfg := Config{ChunkSize: 4, LockFactory: lock.Factory(lock.TTAS)}
+	for _, k := range Kinds() {
+		for _, np := range []int{1, 2, 3, 8, 150} {
+			for _, r := range ranges {
+				got := collect(t, k, np, r, cfg)
+				want := expected(r)
+				if !equal(got, want) {
+					t.Errorf("%v np=%d r=%v: got %d indices, want %d (multisets differ)",
+						k, np, r, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestPreschedBlockShape verifies block scheduling is contiguous and
+// balanced to within one iteration.
+func TestPreschedBlockShape(t *testing.T) {
+	const np, n = 4, 10
+	s := New(PreschedBlock, np, Seq(n), Config{})
+	sizes := make([]int, np)
+	prevHi := 0
+	for pid := 0; pid < np; pid++ {
+		lo, hi, ok := s.Next(pid)
+		if !ok {
+			t.Fatalf("pid %d got no block", pid)
+		}
+		if lo != prevHi {
+			t.Errorf("pid %d block starts at %d, want %d (contiguous)", pid, lo, prevHi)
+		}
+		prevHi = hi
+		sizes[pid] = hi - lo
+		if _, _, again := s.Next(pid); again {
+			t.Errorf("pid %d got a second block", pid)
+		}
+	}
+	if prevHi != n {
+		t.Errorf("blocks cover [0,%d), want [0,%d)", prevHi, n)
+	}
+	for _, sz := range sizes {
+		if sz < n/np || sz > n/np+1 {
+			t.Errorf("block sizes %v unbalanced", sizes)
+		}
+	}
+}
+
+// TestPreschedCyclicShape verifies each process gets exactly the ordinals
+// congruent to its pid.
+func TestPreschedCyclicShape(t *testing.T) {
+	const np, n = 3, 11
+	s := New(PreschedCyclic, np, Seq(n), Config{})
+	for pid := 0; pid < np; pid++ {
+		want := pid
+		for {
+			lo, hi, ok := s.Next(pid)
+			if !ok {
+				break
+			}
+			if hi != lo+1 {
+				t.Fatalf("cyclic handed a chunk [%d,%d)", lo, hi)
+			}
+			if lo != want {
+				t.Errorf("pid %d got ordinal %d, want %d", pid, lo, want)
+			}
+			want += np
+		}
+		if want-np >= n {
+			// fine: last dealt ordinal within range
+			_ = want
+		}
+	}
+}
+
+// TestSelfschedDrainsAroundStuckProcess is the load-balancing property
+// stated deterministically: while one process is held inside a long
+// iteration, the rest of the force must be able to drain every other
+// iteration (with block prescheduling this program would deadlock).
+// Only the one-iteration-per-acquire disciplines give the exact
+// guarantee; chunked variants keep whole chunks on the stuck process.
+func TestSelfschedDrainsAroundStuckProcess(t *testing.T) {
+	const np, n = 4, 64
+	for _, k := range []Kind{SelfLock, SelfAtomic} {
+		var done atomic.Int64
+		ForEach(k, np, Seq(n), Config{}, func(pid, index int) {
+			if index == 0 {
+				// Stay inside iteration 0 until every other
+				// iteration has completed on other processes.
+				for done.Load() < n-1 {
+					runtime.Gosched()
+				}
+				return
+			}
+			done.Add(1)
+		})
+		if done.Load() != n-1 {
+			t.Errorf("%v: drained %d iterations", k, done.Load())
+		}
+	}
+}
+
+func TestGuidedChunksShrink(t *testing.T) {
+	const np, n = 4, 128
+	s := New(Guided, np, Seq(n), Config{})
+	var sizes []int
+	for {
+		lo, hi, ok := s.Next(0)
+		if !ok {
+			break
+		}
+		sizes = append(sizes, hi-lo)
+	}
+	if len(sizes) < 2 {
+		t.Fatalf("guided handed out %d chunks, want several", len(sizes))
+	}
+	if sizes[0] != n/np {
+		t.Errorf("first guided chunk = %d, want %d", sizes[0], n/np)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1] {
+			t.Errorf("guided chunks grew: %v", sizes)
+			break
+		}
+	}
+	if last := sizes[len(sizes)-1]; last != 1 {
+		t.Errorf("last guided chunk = %d, want 1", last)
+	}
+}
+
+func TestTSSChunksShrinkLinearly(t *testing.T) {
+	const np, n = 4, 1024
+	s := New(TSS, np, Seq(n), Config{})
+	var sizes []int
+	prevHi := 0
+	for {
+		lo, hi, ok := s.Next(0)
+		if !ok {
+			break
+		}
+		if lo != prevHi {
+			t.Fatalf("chunks not contiguous: [%d,%d) after %d", lo, hi, prevHi)
+		}
+		prevHi = hi
+		sizes = append(sizes, hi-lo)
+	}
+	if prevHi != n {
+		t.Fatalf("chunks cover [0,%d), want [0,%d)", prevHi, n)
+	}
+	if sizes[0] != n/(2*np) {
+		t.Errorf("first chunk = %d, want %d", sizes[0], n/(2*np))
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1] {
+			t.Errorf("chunk sizes grew: %v", sizes)
+			break
+		}
+	}
+	if last := sizes[len(sizes)-1]; last > sizes[0]/2+1 {
+		t.Errorf("last chunk %d did not shrink from first %d", last, sizes[0])
+	}
+}
+
+func TestTSSTinyLoops(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7} {
+		s := New(TSS, 8, Seq(n), Config{})
+		total := 0
+		for {
+			lo, hi, ok := s.Next(0)
+			if !ok {
+				break
+			}
+			total += hi - lo
+		}
+		if total != n {
+			t.Errorf("n=%d: TSS covered %d iterations", n, total)
+		}
+	}
+}
+
+func TestChunkSizeRespected(t *testing.T) {
+	s := New(Chunk, 2, Seq(100), Config{ChunkSize: 8})
+	lo, hi, ok := s.Next(0)
+	if !ok || hi-lo != 8 {
+		t.Errorf("chunk = [%d,%d), want size 8", lo, hi)
+	}
+	// Default chunk size when zero.
+	s = New(Chunk, 2, Seq(100), Config{})
+	lo, hi, ok = s.Next(0)
+	if !ok || hi-lo != 16 {
+		t.Errorf("default chunk = [%d,%d), want size 16", lo, hi)
+	}
+}
+
+func TestPidOutOfRangePanics(t *testing.T) {
+	for _, k := range []Kind{PreschedBlock, PreschedCyclic} {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range pid did not panic")
+				}
+			}()
+			s := New(k, 2, Seq(10), Config{})
+			s.Next(5)
+		})
+	}
+}
+
+// Property: for any (kind, np, range), the multiset of scheduled indices
+// equals the sequential loop's indices.
+func TestQuickCoverage(t *testing.T) {
+	prop := func(kindIdx, npRaw uint8, start int8, count, incrRaw uint8) bool {
+		kinds := Kinds()
+		k := kinds[int(kindIdx)%len(kinds)]
+		np := int(npRaw)%6 + 1
+		incr := int(incrRaw)%7 - 3
+		if incr == 0 {
+			incr = 1
+		}
+		n := int(count) % 120
+		r := Range{Start: int(start), Last: int(start) + (n-1)*incr, Incr: incr}
+		if n == 0 {
+			r = Range{Start: int(start), Last: int(start) - incr, Incr: incr}
+		}
+		var mu sync.Mutex
+		var got []int
+		ForEach(k, np, r, Config{ChunkSize: 3}, func(pid, index int) {
+			mu.Lock()
+			got = append(got, index)
+			mu.Unlock()
+		})
+		sort.Ints(got)
+		return equal(got, expected(r))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

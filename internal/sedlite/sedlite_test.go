@@ -1,0 +1,204 @@
+package sedlite
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"q",                 // unknown command
+		"s/a/b",             // missing field
+		"s/a/b/x",           // unknown flag
+		"s/[/b/",            // bad regexp
+		"/pat/x",            // delete needs d
+		"/[/d",              // bad regexp in delete
+		"substitute please", // not a command
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("s/a/b")
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	s, err := Parse("# a comment\n\n  \ns/a/b/\n# another\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Commands() != 1 {
+		t.Errorf("Commands() = %d, want 1", s.Commands())
+	}
+}
+
+func TestSubstituteFirstVsGlobal(t *testing.T) {
+	first := MustParse("s/o/0/")
+	global := MustParse("s/o/0/g")
+	if got, _ := first.ApplyLine("foo boo"); got != "f0o boo" {
+		t.Errorf("first-only = %q", got)
+	}
+	if got, _ := global.ApplyLine("foo boo"); got != "f00 b00" {
+		t.Errorf("global = %q", got)
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	s := MustParse("s/barrier/BARRIER()/i")
+	if got, _ := s.ApplyLine("  Barrier  "); got != "  BARRIER()  " {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestGroupReferences(t *testing.T) {
+	s := MustParse(`s/DO ([0-9]+) ([A-Z]+) = (.*)/do_loop(\1,\2,\3)/`)
+	got, _ := s.ApplyLine("DO 100 K = START, LAST, INCR")
+	want := "do_loop(100,K,START, LAST, INCR)"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestAmpersandWholeMatch(t *testing.T) {
+	s := MustParse(`s/[0-9]+/<&>/g`)
+	if got, _ := s.ApplyLine("a1 b22"); got != "a<1> b<22>" {
+		t.Errorf("got %q", got)
+	}
+	esc := MustParse(`s/x/\&/`)
+	if got, _ := esc.ApplyLine("x"); got != "&" {
+		t.Errorf("escaped & = %q", got)
+	}
+}
+
+func TestLiteralDollarInReplacement(t *testing.T) {
+	s := MustParse(`s/cost/$5/`)
+	if got, _ := s.ApplyLine("cost"); got != "$5" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEscapedBackslash(t *testing.T) {
+	s := MustParse(`s/x/\\n/`)
+	if got, _ := s.ApplyLine("x"); got != `\n` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestAlternateDelimiter(t *testing.T) {
+	s := MustParse(`s|/usr/bin|/opt|`)
+	if got, _ := s.ApplyLine("/usr/bin/f77"); got != "/opt/f77" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEscapedDelimiter(t *testing.T) {
+	s := MustParse(`s/a\/b/X/`)
+	if got, _ := s.ApplyLine("a/b"); got != "X" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDeleteCommand(t *testing.T) {
+	s := MustParse("/^C /d")
+	if _, keep := s.ApplyLine("C comment line"); keep {
+		t.Error("comment line not deleted")
+	}
+	if got, keep := s.ApplyLine("  code"); !keep || got != "  code" {
+		t.Error("code line deleted or changed")
+	}
+}
+
+func TestOrderedApplication(t *testing.T) {
+	s := MustParse("s/a/b/g\ns/b/c/g")
+	if got, _ := s.ApplyLine("aba"); got != "ccc" {
+		t.Errorf("got %q, want ccc (commands apply in order)", got)
+	}
+}
+
+func TestApplyPreservesShape(t *testing.T) {
+	s := MustParse("s/a/b/g")
+	if got := s.Apply("a\na\n"); got != "b\nb\n" {
+		t.Errorf("trailing newline: got %q", got)
+	}
+	if got := s.Apply("a\na"); got != "b\nb" {
+		t.Errorf("no trailing newline: got %q", got)
+	}
+	if got := s.Apply(""); got != "" {
+		t.Errorf("empty input: got %q", got)
+	}
+}
+
+func TestApplyDeletesLines(t *testing.T) {
+	s := MustParse("/skip/d")
+	got := s.Apply("keep1\nskip me\nkeep2\n")
+	if got != "keep1\nkeep2\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRunStreaming(t *testing.T) {
+	s := MustParse("s/force/FORCE/g\n/^#/d")
+	in := strings.NewReader("# header\nthe force\nmay the force\n")
+	var out strings.Builder
+	if err := s.Run(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := "the FORCE\nmay the FORCE\n"
+	if out.String() != want {
+		t.Errorf("got %q, want %q", out.String(), want)
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	s := MustParse("s/a/b/")
+	if s.cmds[0].String() != "s/a/b/" {
+		t.Errorf("String() = %q", s.cmds[0].String())
+	}
+}
+
+// Property: a substitution with an empty-effect pattern (no match) leaves
+// any line unchanged.
+func TestQuickNoMatchIsIdentity(t *testing.T) {
+	s := MustParse("s/ZZQQX/none/g")
+	prop := func(line string) bool {
+		if strings.Contains(line, "ZZQQX") || strings.ContainsRune(line, '\n') {
+			return true
+		}
+		got, keep := s.ApplyLine(line)
+		return keep && got == line
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: global replacement of a literal with a literal matches
+// strings.ReplaceAll.
+func TestQuickLiteralGlobalMatchesStrings(t *testing.T) {
+	s := MustParse("s/ab/XY/g")
+	prop := func(parts []bool) bool {
+		var in strings.Builder
+		for _, p := range parts {
+			if p {
+				in.WriteString("ab")
+			} else {
+				in.WriteString("q")
+			}
+		}
+		got, _ := s.ApplyLine(in.String())
+		return got == strings.ReplaceAll(in.String(), "ab", "XY")
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package stats provides the measurement plumbing for the experiment
+// harness: Welford online statistics, repeated-timing helpers, speedup
+// and efficiency derivations, and an aligned table printer for the
+// paper-style result tables.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"text/tabwriter"
+	"time"
+)
+
+// Sample accumulates observations with Welford's online algorithm.
+type Sample struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+	values   []float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	s.values = append(s.values, x)
+}
+
+// N returns the observation count.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 for fewer than 2 points).
+func (s *Sample) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Sample) Max() float64 { return s.max }
+
+// Median returns the median observation (0 when empty).
+func (s *Sample) Median() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}
+
+// Time runs fn repeatedly (after one warmup) and returns per-run wall
+// times as a Sample of seconds.
+func Time(runs int, fn func()) *Sample {
+	if runs <= 0 {
+		runs = 1
+	}
+	fn() // warmup
+	s := &Sample{}
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		fn()
+		s.Add(time.Since(start).Seconds())
+	}
+	return s
+}
+
+// Speedup returns sequentialTime / parallelTime (0 when parallel is 0).
+func Speedup(seq, par float64) float64 {
+	if par == 0 {
+		return 0
+	}
+	return seq / par
+}
+
+// Efficiency returns speedup / np.
+func Efficiency(seq, par float64, np int) float64 {
+	if np <= 0 {
+		return 0
+	}
+	return Speedup(seq, par) / float64(np)
+}
+
+// Table renders aligned result tables for the experiment harness.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row; values print with %v, floats with 4
+// significant digits.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmtFloat(v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func fmtFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000 || math.Abs(v) < 0.001:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(tw, "\t")
+			}
+			fmt.Fprint(tw, c)
+		}
+		fmt.Fprintln(tw)
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		unders := make([]string, len(t.Header))
+		for i, h := range t.Header {
+			unders[i] = dashes(len(h))
+		}
+		writeRow(unders)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Var() != 0 || s.Median() != 0 {
+		t.Error("empty sample not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %g", s.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("Var = %g", s.Var())
+	}
+	if math.Abs(s.Std()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("Std = %g", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+	if s.Median() != 4.5 {
+		t.Errorf("Median = %g", s.Median())
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{9, 1, 5} {
+		s.Add(x)
+	}
+	if s.Median() != 5 {
+		t.Errorf("Median = %g", s.Median())
+	}
+}
+
+func TestTimeProducesSamples(t *testing.T) {
+	calls := 0
+	s := Time(3, func() { calls++ })
+	if s.N() != 3 {
+		t.Errorf("N = %d", s.N())
+	}
+	if calls != 4 { // warmup + 3
+		t.Errorf("calls = %d", calls)
+	}
+	s2 := Time(0, func() {})
+	if s2.N() != 1 {
+		t.Errorf("runs<=0 must clamp to 1, N = %d", s2.N())
+	}
+}
+
+func TestSpeedupEfficiency(t *testing.T) {
+	if Speedup(8, 2) != 4 {
+		t.Error("speedup")
+	}
+	if Speedup(8, 0) != 0 {
+		t.Error("speedup by zero")
+	}
+	if Efficiency(8, 2, 4) != 1 {
+		t.Error("efficiency")
+	}
+	if Efficiency(8, 2, 0) != 0 {
+		t.Error("efficiency np=0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "T2: barriers",
+		Header: []string{"alg", "np", "ns/op"},
+		Notes:  []string{"shape only"},
+	}
+	tbl.AddRow("twolock", 4, 123.456)
+	tbl.AddRow("sense", 8, 0.000123)
+	tbl.AddRow("tree", 2, 1234567.0)
+	tbl.AddRow("dur", 1, 1500*time.Microsecond)
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"== T2: barriers ==",
+		"alg", "np", "ns/op",
+		"---",
+		"twolock", "123.5",
+		"1.230e-04",
+		"1.235e+06",
+		"1.5ms",
+		"note: shape only",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	tbl := &Table{}
+	tbl.AddRow("x", 1)
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "==") {
+		t.Error("unexpected title")
+	}
+}
+
+func TestFmtFloatZero(t *testing.T) {
+	tbl := &Table{}
+	tbl.AddRow(0.0)
+	if tbl.Rows[0][0] != "0" {
+		t.Errorf("zero renders as %q", tbl.Rows[0][0])
+	}
+}
+
+// Property: Welford mean matches the naive mean.
+func TestQuickWelfordMatchesNaive(t *testing.T) {
+	prop := func(xs []float64) bool {
+		var s Sample
+		sum := 0.0
+		ok := true
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+				ok = false
+				break
+			}
+			s.Add(x)
+			sum += x
+		}
+		if !ok || len(xs) == 0 {
+			return true
+		}
+		naive := sum / float64(len(xs))
+		return math.Abs(s.Mean()-naive) <= 1e-6*(1+math.Abs(naive))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

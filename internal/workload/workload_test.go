@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpinDeterministicAndNonZero(t *testing.T) {
+	a := Spin(1000)
+	b := Spin(1000)
+	if a != b {
+		t.Error("Spin not deterministic")
+	}
+	if a == 0 {
+		t.Error("Spin returned 0")
+	}
+	if Spin(0) == 0 {
+		t.Error("Spin(0) seed value lost")
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	u := Uniform(5)
+	if u(0) != 5 || u(99) != 5 {
+		t.Error("uniform cost varies")
+	}
+	tr := Triangular(2)
+	if tr(0) != 2 || tr(9) != 20 {
+		t.Errorf("triangular: %d %d", tr(0), tr(9))
+	}
+	bu := Bursty(1, 100, 10)
+	if bu(0) != 100 || bu(1) != 1 || bu(10) != 100 {
+		t.Error("bursty pattern wrong")
+	}
+	if Bursty(1, 9, 0)(5) != 9 && Bursty(1, 9, 0)(5) != 1 {
+		t.Error("bursty k=0 must not panic")
+	}
+}
+
+func TestRandomCostSeededAndBounded(t *testing.T) {
+	c1 := RandomCost(3, 9, 100, 42)
+	c2 := RandomCost(3, 9, 100, 42)
+	for i := 0; i < 100; i++ {
+		if c1(i) != c2(i) {
+			t.Fatal("RandomCost not seeded deterministically")
+		}
+		if c1(i) < 3 || c1(i) > 9 {
+			t.Fatalf("cost %d out of bounds", c1(i))
+		}
+	}
+	if c1(-1) != 3 || c1(100) != 3 {
+		t.Error("out-of-range ordinals must return lo")
+	}
+}
+
+func TestTotal(t *testing.T) {
+	if got := Total(Uniform(2), 10); got != 20 {
+		t.Errorf("Total uniform = %d", got)
+	}
+	if got := Total(Triangular(1), 4); got != 10 {
+		t.Errorf("Total triangular = %d", got)
+	}
+}
+
+func TestMatrixVectorSeeded(t *testing.T) {
+	a := Matrix(8, 7)
+	b := Matrix(8, 7)
+	c := Matrix(8, 8)
+	if len(a) != 64 {
+		t.Fatalf("len = %d", len(a))
+	}
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+		if a[i] < -1 || a[i] >= 1 {
+			t.Fatalf("entry %g out of range", a[i])
+		}
+	}
+	if !same || !diff {
+		t.Error("seeding broken")
+	}
+	v := Vector(5, 3)
+	if len(v) != 5 {
+		t.Error("vector length")
+	}
+}
+
+func TestDiagonallyDominant(t *testing.T) {
+	n := 12
+	m := DiagonallyDominant(n, 5)
+	for i := 0; i < n; i++ {
+		off := 0.0
+		for j := 0; j < n; j++ {
+			if i != j {
+				off += math.Abs(m[i*n+j])
+			}
+		}
+		if m[i*n+i] <= off {
+			t.Fatalf("row %d not dominant: diag %g vs off %g", i, m[i*n+i], off)
+		}
+	}
+}
+
+func TestSystemWithSolution(t *testing.T) {
+	n := 10
+	a, b, x := workloadSystem(n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += a[i*n+j] * x[j]
+		}
+		if math.Abs(s-b[i]) > 1e-9 {
+			t.Fatalf("row %d: Ax=%g b=%g", i, s, b[i])
+		}
+	}
+}
+
+func workloadSystem(n int) (a, b, x []float64) { return SystemWithSolution(n, 11) }
+
+func TestGrid(t *testing.T) {
+	g := Grid(4)
+	for j := 0; j < 4; j++ {
+		if g[j] != 1 {
+			t.Error("top boundary not 1")
+		}
+	}
+	for i := 4; i < 16; i++ {
+		if g[i] != 0 {
+			t.Error("interior not 0")
+		}
+	}
+}
+
+// Property: Total(Triangular(u), n) equals the closed form u*n*(n+1)/2.
+func TestQuickTriangularClosedForm(t *testing.T) {
+	prop := func(uRaw, nRaw uint8) bool {
+		u := int(uRaw)%5 + 1
+		n := int(nRaw) % 100
+		return Total(Triangular(u), n) == u*n*(n+1)/2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
