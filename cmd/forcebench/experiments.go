@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"repro/internal/asyncvar"
 	"repro/internal/barrier"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/lock"
 	"repro/internal/machine"
 	"repro/internal/maclib"
@@ -102,7 +105,7 @@ func expT3(c config) error {
 		{"triangular", workload.Triangular(unit * 16 / n)},
 		{"bursty", workload.Bursty(unit, unit*64, 37)},
 	}
-	kinds := []sched.Kind{sched.PreschedBlock, sched.PreschedCyclic, sched.SelfLock, sched.SelfAtomic, sched.Chunk, sched.Guided}
+	kinds := []sched.Kind{sched.PreschedBlock, sched.PreschedCyclic, sched.SelfLock, sched.SelfAtomic, sched.Chunk, sched.Guided, sched.Stealing}
 	for _, cm := range costs {
 		tbl := &stats.Table{
 			Title:  fmt.Sprintf("DOALL wall time (ms), %s cost, n=%d", cm.name, n),
@@ -119,6 +122,7 @@ func expT3(c config) error {
 						})
 					})
 				})
+				f.Close()
 				row = append(row, s.Median()*1e3)
 			}
 			tbl.AddRow(row...)
@@ -203,29 +207,55 @@ func expT5(c config) error {
 	return tbl.Render(os.Stdout)
 }
 
-// expT6 measures force startup (creation + join of an empty program) per
-// creation model.
+// expT6 measures force creation per creation model, and the per-Run
+// handoff the persistent engine replaces it with.  The paper's driver
+// paid creation on every force startup; this runtime pays it once at
+// core.New, so the experiment reports both halves: the one-time creation
+// (New + empty Run + Close, where the machine's creation cost lives) and
+// the steady-state cost of re-Running a program on the existing workers.
 func expT6(c config) error {
 	tbl := &stats.Table{
-		Title:  "force startup latency (µs): create NP processes, run empty program, join",
+		Title:  "force creation latency (µs): New NP workers, run empty program, join, Close",
 		Header: append([]string{"machine (model)"}, npHeaders(c.npSweep())...),
 		Notes: []string{
 			"fork-copy ≫ shared fork ≫ create-call is the paper's §4.1.1 ordering",
 			"costs are scaled stand-ins (machine.Profile.CreationCost), not 1989 measurements",
+			"paid once per force: see the reuse table below for what later Runs cost",
 		},
 	}
 	for _, m := range []machine.Profile{machine.Encore, machine.Sequent, machine.Cray2, machine.Flex32, machine.Alliant, machine.HEP, machine.Native} {
 		row := []any{fmt.Sprintf("%s (%s)", m.Name, m.Creation)}
 		for _, np := range c.npSweep() {
-			f := core.New(np, core.WithMachine(m))
 			s := stats.Time(c.runs, func() {
+				f := core.New(np, core.WithMachine(m))
 				f.Run(func(p *core.Proc) {})
+				f.Close()
 			})
 			row = append(row, s.Median()*1e6)
 		}
 		tbl.AddRow(row...)
 	}
-	return tbl.Render(os.Stdout)
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	tbl2 := &stats.Table{
+		Title:  "force reuse handoff (µs): empty Run on an already-created force",
+		Header: append([]string{"machine"}, npHeaders(c.npSweep())...),
+		Notes:  []string{"machine-independent by construction: the creation cost was paid at New"},
+	}
+	for _, m := range []machine.Profile{machine.Encore, machine.Native} {
+		row := []any{m.Name}
+		for _, np := range c.npSweep() {
+			f := core.New(np, core.WithMachine(m))
+			s := stats.Time(c.runs, func() {
+				f.Run(func(p *core.Proc) {})
+			})
+			f.Close()
+			row = append(row, s.Median()*1e6)
+		}
+		tbl2.AddRow(row...)
+	}
+	return tbl2.Render(os.Stdout)
 }
 
 // expT7 measures Pcase block dispatch and Askfor dynamic-tree throughput.
@@ -263,6 +293,7 @@ func expT7(c config) error {
 					}
 				})
 			})
+			f.Close()
 			row = append(row, s.Median()/float64(rounds*blocks)*1e6)
 		}
 		tbl.AddRow(row...)
@@ -293,6 +324,7 @@ func expT7(c config) error {
 					})
 				})
 			})
+			f.Close()
 			tasks := float64(int(1)<<depth - 1)
 			row = append(row, tasks/s.Median())
 		}
@@ -400,11 +432,97 @@ func expT8(c config) error {
 		for _, np := range c.npSweep() {
 			f := core.New(np, core.WithBarrier(barrier.CondBroadcast))
 			parS := stats.Time(c.runs, func() { d.par(f) })
+			f.Close()
 			row = append(row, stats.Speedup(seqS.Median(), parS.Median()))
 		}
 		tbl.AddRow(row...)
 	}
 	return tbl.Render(os.Stdout)
+}
+
+// askforCell is one T9 measurement, the machine-readable record the
+// -json flag emits so later revisions can track the perf trajectory.
+type askforCell struct {
+	Pool        string  `json:"pool"`
+	NP          int     `json:"np"`
+	Grain       int     `json:"grain"`
+	Depth       int     `json:"depth"`
+	Tasks       int     `json:"tasks"`
+	SecondsMed  float64 `json:"seconds_median"`
+	TasksPerSec float64 `json:"tasks_per_sec"`
+}
+
+// askforReport is the top-level JSON document.
+type askforReport struct {
+	Experiment string       `json:"experiment"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Runs       int          `json:"runs"`
+	Results    []askforCell `json:"results"`
+}
+
+// expT9 is the engine experiment: the same put-heavy Askfor workload (a
+// dynamic binary tree whose nodes put two children each — maximal
+// run-time work generation) drained through the [LO83]-style central
+// monitor pool and through the engine's per-process stealing deques,
+// across NP and task grain.  The monitor serializes every put and get on
+// one lock; the deques make both a local array operation, which is
+// exactly where the two curves separate as NP grows and grain shrinks.
+func expT9(c config) error {
+	depth := 14
+	if c.quick {
+		depth = 10
+	}
+	tasks := 1<<depth - 1
+	report := askforReport{Experiment: "askfor-distribution", GoMaxProcs: runtime.GOMAXPROCS(0), Runs: c.runs}
+	for _, grain := range []int{0, 500} {
+		tbl := &stats.Table{
+			Title:  fmt.Sprintf("Askfor dynamic tree, depth %d (%d tasks), grain=%d: tasks/second", depth, tasks, grain),
+			Header: append([]string{"pool"}, npHeaders(c.npSweep())...),
+			Notes:  []string{"monitor = central mutex+condvar queue [LO83]; stealing = per-process Chase-Lev deques, steal-half on miss"},
+		}
+		for _, kind := range engine.PoolKinds() {
+			row := []any{kind.String()}
+			for _, np := range c.npSweep() {
+				f := core.New(np, core.WithAskfor(kind))
+				s := stats.Time(c.runs, func() {
+					f.Run(func(p *core.Proc) {
+						p.Askfor([]any{1}, func(task any, put func(any)) {
+							d := task.(int)
+							if grain > 0 {
+								workload.SpinSink += workload.Spin(grain)
+							}
+							if d < depth {
+								put(d + 1)
+								put(d + 1)
+							}
+						})
+					})
+				})
+				f.Close()
+				med := s.Median()
+				row = append(row, float64(tasks)/med)
+				report.Results = append(report.Results, askforCell{
+					Pool: kind.String(), NP: np, Grain: grain, Depth: depth,
+					Tasks: tasks, SecondsMed: med, TasksPerSec: float64(tasks) / med,
+				})
+			}
+			tbl.AddRow(row...)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if c.jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d cells)\n", c.jsonPath, len(report.Results))
+	}
+	return nil
 }
 
 // expA1 times the paper's two-lock barrier over every lock category.
@@ -462,10 +580,12 @@ func expA2(c config) error {
 				p.ChunkDo(sched.Seq(n), func(i int) { workload.SpinSink += workload.Spin(bursty(i)) })
 			})
 		})
+		f.Close()
 		tbl.AddRow(chunk, u.Median()*1e3, bt.Median()*1e3)
 	}
 	// Guided for reference.
 	f := core.New(np)
+	defer f.Close()
 	u := stats.Time(c.runs, func() {
 		f.Run(func(p *core.Proc) {
 			p.GuidedDo(sched.Seq(n), func(i int) { workload.SpinSink += workload.Spin(5) })

@@ -10,12 +10,17 @@
 //	T6  process creation models (fork-copy / shared fork / create-call)
 //	T7  Pcase and Askfor overhead
 //	T8  application speedups (matmul, gauss, jacobi, scan, quadrature)
+//	T9  Askfor distribution: [LO83] monitor pool vs work-stealing deques
 //	A1  ablation: the paper's barrier over every lock kind
 //	A2  ablation: selfscheduling chunk size
 //
 // Usage:
 //
-//	forcebench [-exp all|F1|T1|...] [-quick] [-maxnp N] [-runs R]
+//	forcebench [-exp all|F1|T1|...] [-quick] [-maxnp N] [-runs R] [-json FILE]
+//
+// -json writes the T9 monitor-vs-stealing measurements as machine-readable
+// JSON (BENCH_askfor.json-style) so successive revisions can track the
+// performance trajectory.
 //
 // Absolute numbers are machine-dependent; the tables exist to show the
 // paper's qualitative shapes (who wins, by what factor, where crossovers
@@ -40,9 +45,10 @@ type experiment struct {
 
 // config carries harness-wide knobs.
 type config struct {
-	quick bool
-	maxNP int
-	runs  int
+	quick    bool
+	maxNP    int
+	runs     int
+	jsonPath string // T9 JSON output file; empty disables
 }
 
 // npSweep returns the process counts used by sweeping experiments.
@@ -66,9 +72,10 @@ func main() {
 		quick = flag.Bool("quick", false, "smaller problem sizes and fewer repetitions")
 		maxNP = flag.Int("maxnp", 2*runtime.GOMAXPROCS(0), "largest force size in sweeps")
 		runs  = flag.Int("runs", 3, "timing repetitions per cell")
+		jsonP = flag.String("json", "", "write T9 askfor-distribution results as JSON to this file")
 	)
 	flag.Parse()
-	c := config{quick: *quick, maxNP: *maxNP, runs: *runs}
+	c := config{quick: *quick, maxNP: *maxNP, runs: *runs, jsonPath: *jsonP}
 
 	exps := experiments()
 	if *exp == "all" {
@@ -110,6 +117,7 @@ func experiments() map[string]experiment {
 		{"T6", "process creation models (§4.1.1)", expT6},
 		{"T7", "Pcase and Askfor overhead (§3.3)", expT7},
 		{"T8", "application speedups", expT8},
+		{"T9", "Askfor distribution: monitor pool vs stealing deques", expT9},
 		{"A1", "ablation: two-lock barrier over lock kinds", expA1},
 		{"A2", "ablation: selfscheduling chunk size", expA2},
 	}

@@ -9,9 +9,11 @@
 //	    default "generic" machine the low-level macros stay symbolic,
 //	    matching the paper's expansion listing.
 //
-//	forcec -go [-pkg main] [-np N] file.force
+//	forcec -go [-pkg main] [-np N] [-selfsched KIND] file.force
 //	    Parse and type-check the program and emit Go source targeting
-//	    the runtime library.
+//	    the runtime library.  -selfsched picks the discipline generated
+//	    for Selfsched DO loops (selfsched-lock by default; "stealing"
+//	    emits code drawing from the engine's work-stealing deques).
 //
 //	forcec -check file.force
 //	    Parse and type-check only.
@@ -28,6 +30,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/forcelang"
 	"repro/internal/maclib"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -38,6 +41,7 @@ func main() {
 		machine = flag.String("machine", "generic", "machine layer for -expand")
 		pkg     = flag.String("pkg", "main", "package name for -go")
 		np      = flag.Int("np", 4, "default force size baked into -go output")
+		selfK   = flag.String("selfsched", "selfsched-lock", "discipline for Selfsched DO in -go output")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -60,7 +64,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		out, err := codegen.Generate(prog, codegen.Options{Package: *pkg, DefaultNP: *np})
+		kind, err := sched.ParseSelfschedKind(*selfK)
+		if err != nil {
+			fail(err)
+		}
+		out, err := codegen.Generate(prog, codegen.Options{Package: *pkg, DefaultNP: *np, Selfsched: kind})
 		if err != nil {
 			fail(err)
 		}

@@ -1,12 +1,16 @@
 // Command forcerun parses a Force program and executes it SPMD on the
 // runtime library:
 //
-//	forcerun [-np N] [-machine NAME] [-barrier ALG] file.force
+//	forcerun [-np N] [-machine NAME] [-barrier ALG] [-selfsched KIND] [-askfor POOL] file.force
 //
 // -machine selects a historical machine profile (hep, flex32, encore,
 // sequent, alliant, cray2) or "native" (default); -barrier selects the
 // global barrier algorithm (twolock, sense, tree, tournament,
-// dissemination, cond).  A file name of "-" reads standard input.
+// dissemination, cond); -selfsched selects the discipline executing
+// Selfsched DO loops and selfscheduled Pcase (selfsched-lock by default,
+// "stealing" for the engine's work-stealing deques); -askfor selects the
+// Askfor pool ("stealing" or "monitor").  A file name of "-" reads
+// standard input.
 package main
 
 import (
@@ -16,9 +20,11 @@ import (
 	"os"
 
 	"repro/internal/barrier"
+	"repro/internal/engine"
 	"repro/internal/forcelang"
 	"repro/internal/interp"
 	"repro/internal/machine"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -26,6 +32,8 @@ func main() {
 		np      = flag.Int("np", 4, "number of force processes")
 		machF   = flag.String("machine", "native", "machine profile")
 		barF    = flag.String("barrier", "twolock", "barrier algorithm")
+		selfK   = flag.String("selfsched", "selfsched-lock", "discipline for Selfsched DO and selfscheduled Pcase")
+		askforF = flag.String("askfor", "stealing", "Askfor pool discipline: stealing or monitor")
 		showAST = flag.Bool("ast", false, "print a program summary before running")
 	)
 	flag.Parse()
@@ -49,15 +57,25 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	sk, err := sched.ParseSelfschedKind(*selfK)
+	if err != nil {
+		fail(err)
+	}
+	pool, err := engine.ParsePoolKind(*askforF)
+	if err != nil {
+		fail(err)
+	}
 	if *showAST {
 		fmt.Printf("program %s: %d declarations, %d subroutines, %d top-level statements\n",
 			prog.Name, len(prog.Decls), len(prog.Subs), len(prog.Body))
 	}
 	err = interp.Run(prog, interp.Config{
-		NP:      *np,
-		Machine: prof,
-		Barrier: bk,
-		Stdout:  os.Stdout,
+		NP:        *np,
+		Machine:   prof,
+		Barrier:   bk,
+		Stdout:    os.Stdout,
+		Selfsched: sk,
+		Askfor:    pool,
 	})
 	if err != nil {
 		fail(err)

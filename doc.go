@@ -2,25 +2,48 @@
 // Portable Parallel Programming Language" (Jordan, Benten, Alaghband,
 // Jakob; University of Colorado CSDG 89-2 / ICPP 1989).
 //
-// The repository contains both halves of the paper:
+// The repository contains both halves of the paper, layered as
 //
-//   - the Force runtime (internal/core and its substrates internal/lock,
-//     internal/barrier, internal/sched, internal/asyncvar, internal/shm,
-//     internal/machine): global-parallelism SPMD execution with barriers
-//     and barrier sections, named critical sections, prescheduled and
-//     selfscheduled DOALLs, Pcase, Askfor, Resolve, and full/empty
-//     asynchronous variables, all parameterized by emulated profiles of
-//     the six 1989 machines the Force was ported to;
+//		forcelang            front end: lexer, parser, AST, checker for the
+//		   │                 Force dialect (incl. language-level Askfor/Put)
+//		   ├── interp        SPMD interpreter executing programs on core
+//		   └── codegen       compiler back end emitting Go against core
+//		        │
+//		        ▼
+//		      core           the runtime: Force/Proc with every construct —
+//		        │            DOALLs, Pcase, Askfor, Resolve, barriers,
+//		        │            criticals, produce/consume
+//		   ┌────┼──────────────────┐
+//		   ▼    ▼                  ▼
+//		 engine sched        barrier / lock / asyncvar / shm / machine
 //
-//   - the portability architecture (internal/sedlite, internal/m4lite,
-//     internal/maclib, internal/forcelang, internal/interp,
-//     internal/codegen): the two-pass macro preprocessor with its
-//     machine-independent statement-macro layer over machine-dependent
-//     low-level layers, a front end and SPMD interpreter for the Force
-//     dialect, and a compiler back end emitting Go against the runtime.
+//	  - internal/engine is the work-distribution substrate: a persistent
+//	    force of NP worker goroutines (created once, reused by every Run —
+//	    the paper's create-force-then-reuse driver), Chase-Lev work-stealing
+//	    deques, and the WorkSource interface that unifies the paper's three
+//	    generic constructs: Askfor draws from an engine.Pool (stealing
+//	    deques or the [LO83] central monitor), selfscheduled Pcase and DOALL
+//	    loops draw from internal/sched disciplines, among them the
+//	    engine-backed Stealing kind;
+//
+//	  - internal/sched provides the loop-scheduling disciplines
+//	    (prescheduled block/cyclic, the paper's lock-based selfscheduling,
+//	    fetch-and-add, chunked, guided, trapezoid, stealing);
+//
+//	  - internal/barrier, internal/lock, internal/asyncvar, internal/shm and
+//	    internal/machine model the machine-dependent layer of the paper:
+//	    barrier algorithms, lock categories, full/empty asynchronous
+//	    variables, shared-memory designation, and the emulated profiles of
+//	    the six 1989 machines the Force was ported to;
+//
+//	  - the portability architecture (internal/sedlite, internal/m4lite,
+//	    internal/maclib) reproduces the two-pass macro preprocessor with its
+//	    machine-independent statement-macro layer over machine-dependent
+//	    low-level layers.
 //
 // See README.md for the quickstart, DESIGN.md for the system inventory
 // and experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmarks in bench_test.go and the cmd/forcebench harness
-// regenerate every experiment table.
+// regenerate every experiment table; forcebench -exp T9 -json FILE emits
+// the monitor-vs-stealing Askfor comparison machine-readably.
 package repro

@@ -17,6 +17,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/machine"
 	"repro/internal/maclib"
+	"repro/internal/sched"
 )
 
 //go:embed heat.force
@@ -25,6 +26,7 @@ var heatSource string
 func main() {
 	np := flag.Int("np", 8, "number of force processes")
 	machName := flag.String("machine", "native", "machine profile for execution")
+	selfK := flag.String("selfsched", "selfsched-lock", "discipline for Selfsched DO loops")
 	expand := flag.Bool("expand", false, "also print the macro-pipeline expansion (generic layer)")
 	flag.Parse()
 
@@ -46,11 +48,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("running Force program %s with np=%d on machine %q\n", prog.Name, *np, prof.Name)
+	sk, err := sched.ParseSelfschedKind(*selfK)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("running Force program %s with np=%d on machine %q (%s)\n", prog.Name, *np, prof.Name, sk)
 	if err := interp.Run(prog, interp.Config{
-		NP:      *np,
-		Machine: prof,
-		Stdout:  os.Stdout,
+		NP:        *np,
+		Machine:   prof,
+		Stdout:    os.Stdout,
+		Selfsched: sk,
 	}); err != nil {
 		fail(err)
 	}

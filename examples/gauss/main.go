@@ -40,6 +40,7 @@ func main() {
 	// or machine) implementations freely is the point of the Force's
 	// machine-dependent layer.
 	f := core.New(*np, core.WithBarrier(barrier.CondBroadcast))
+	defer f.Close()
 	par := stats.Time(*runs, func() {
 		if _, err := apps.Solve(f, a, b, *n); err != nil {
 			fmt.Fprintln(os.Stderr, err)

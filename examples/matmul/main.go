@@ -34,6 +34,7 @@ func main() {
 		Header: []string{"discipline", "ms", "speedup"},
 	}
 	f := core.New(*np, core.WithChunk(8))
+	defer f.Close()
 	for _, kind := range []sched.Kind{
 		sched.PreschedBlock, sched.PreschedCyclic,
 		sched.SelfLock, sched.SelfAtomic, sched.Chunk, sched.Guided,

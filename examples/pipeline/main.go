@@ -28,6 +28,7 @@ func main() {
 		os.Exit(1)
 	}
 	f := core.New(*np, core.WithMachine(prof))
+	defer f.Close()
 
 	// Two async cells connect three pipeline stages.
 	stage1 := core.NewAsync[int](f)

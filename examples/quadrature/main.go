@@ -24,6 +24,7 @@ func main() {
 
 	// First: a known closed form. ∫₀¹ 4/(1+x²) dx = π.
 	f := core.New(*np)
+	defer f.Close()
 	pi := apps.Quad(f, apps.Witch, 0, 1, *tol)
 	fmt.Printf("∫ 4/(1+x²) over [0,1] = %.12f  (π = %.12f, err %.2e)\n\n",
 		pi, math.Pi, math.Abs(pi-math.Pi))

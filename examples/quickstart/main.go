@@ -22,6 +22,7 @@ func main() {
 	flag.Parse()
 
 	f := core.New(*np)
+	defer f.Close()
 
 	// Shared variables are whatever the program shares; private
 	// variables are locals of the process body (paper §3.2).

@@ -56,6 +56,7 @@ func main() {
 // produce/consume handoff, and a Pcase, returning a deterministic value.
 func runProgram(m machine.Profile, np int) int {
 	f := core.New(np, core.WithMachine(m))
+	defer f.Close()
 	cell := core.NewAsync[int](f)
 	total := 0
 	adjust := 0

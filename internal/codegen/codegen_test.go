@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/forcelang"
+	"repro/internal/sched"
 )
 
 const sample = `Force DEMO of NP ident ME
@@ -115,12 +116,13 @@ func TestGeneratedStructure(t *testing.T) {
 		t.Errorf("parameters leaked into shared struct:\n%s", src)
 	}
 	for _, want := range []string{
-		"f := core.New(*np)",
+		"f := core.New(*np, core.WithPcaseSched(sched.SelfLock))",
 		"f.Run(func(p *core.Proc) {",
 		"ME := p.ID()",
 		"p.BarrierSection(func() {",
+		"defer f.Close()",
 		"p.PreschedDo(sched.Range{Start: 1, Last: shr.N, Incr: 1}, func(zzI int) {",
-		"p.SelfschedDo2(",
+		"p.DoAll2(sched.SelfLock, ",
 		"p.Critical(\"SUM\", func() {",
 		"p.Pcase(",
 		"core.CaseIf(func() bool { return (shr.N > 4) }, func() {",
@@ -143,6 +145,54 @@ func TestGeneratedStructure(t *testing.T) {
 		if !strings.Contains(src, want) {
 			t.Errorf("missing %q in generated source:\n%s", want, src)
 		}
+	}
+}
+
+func TestAskforGeneration(t *testing.T) {
+	src := generate(t, `Force TREE of NP ident ME
+Shared Integer COUNT
+Private Integer WORK
+End Declarations
+Askfor WORK = 1
+  Critical C
+    COUNT = COUNT + 1
+  End Critical
+  IF (WORK .LT. 4) THEN
+    Put WORK + 1
+    Put WORK + 1
+  End IF
+End Askfor
+Print 'nodes', COUNT
+Join
+`)
+	for _, want := range []string{
+		"p.Askfor([]any{1}, func(zzTask any, zzPut func(any)) {",
+		"WORK = zzTask.(int)",
+		"zzPut((WORK + 1))",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in generated source:\n%s", want, src)
+		}
+	}
+}
+
+func TestSelfschedKindOption(t *testing.T) {
+	prog := forcelang.MustParse(`Force S of NP ident ME
+Private Integer I
+Shared Integer N
+End Declarations
+N = 8
+Selfsched DO I = 1, N
+  N = N
+End Selfsched DO
+Join
+`)
+	out, err := Generate(prog, Options{Selfsched: sched.Stealing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "p.DoAll(sched.Stealing, ") {
+		t.Errorf("Selfsched option ignored:\n%s", out)
 	}
 }
 

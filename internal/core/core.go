@@ -24,6 +24,34 @@
 // appear in synchronization operations — and programs are written to be
 // independent of the number of processes, which is fixed only when the
 // force is created.
+//
+// # Architecture
+//
+// core sits in the middle of the runtime stack:
+//
+//	forcelang  →  interp / codegen      (front end: interpret or compile)
+//	                 │
+//	                 ▼
+//	               core                 (Force/Proc: the paper's constructs)
+//	                 │
+//	      ┌──────────┼────────────┐
+//	      ▼          ▼            ▼
+//	   engine      sched      barrier / lock / machine
+//	 (persistent (loop dis-   (synchronization and the
+//	  workers,    ciplines;    machine-dependent layer)
+//	  deques,     Stealing is
+//	  pools)      engine-backed)
+//
+// A Force owns a persistent engine.Engine: NP worker goroutines started
+// at New (each paying the machine's creation cost exactly once) that
+// survive across Run invocations, the paper's create-force-then-reuse
+// driver taken literally.  Work distribution is unified by the
+// engine.WorkSource interface: Askfor draws from an engine.Pool
+// (work-stealing deques by default, the [LO83] central monitor as the
+// ablation baseline), selfscheduled Pcase and DOALL loops draw from
+// sched schedulers, among them the engine-backed Stealing discipline —
+// so all three of the paper's generic constructs can be served by one
+// distribution substrate.
 package core
 
 import (
@@ -33,6 +61,7 @@ import (
 
 	"repro/internal/asyncvar"
 	"repro/internal/barrier"
+	"repro/internal/engine"
 	"repro/internal/lock"
 	"repro/internal/machine"
 	"repro/internal/sched"
@@ -43,13 +72,17 @@ import (
 // environment the preprocessor would have generated: the global barrier,
 // the named lock set, and the per-construct scheduler table.
 type Force struct {
-	np      int
-	profile machine.Profile
-	barKind barrier.Kind
-	bar     barrier.Barrier
-	locks   *lock.Set
-	chunk   int             // chunk size for chunked selfscheduling
-	tr      *trace.Recorder // nil unless WithTrace was given
+	np        int
+	profile   machine.Profile
+	barKind   barrier.Kind
+	bar       barrier.Barrier
+	locks     *lock.Set
+	chunk     int             // chunk size for chunked selfscheduling
+	tr        *trace.Recorder // nil unless WithTrace was given
+	askfor    engine.PoolKind // Askfor pool discipline
+	pcaseKind sched.Kind      // SelfschedPcase block distribution
+
+	eng *engine.Engine // persistent workers; nil on scoped sub-forces
 
 	entries sync.Map // construct seq (uint64) -> *constructEntry
 	stats   Stats
@@ -92,22 +125,54 @@ func WithTrace(r *trace.Recorder) Option {
 	return func(f *Force) { f.tr = r }
 }
 
+// WithAskfor selects the Askfor pool discipline.  Default: the engine's
+// work-stealing deques; engine.MonitorPool restores the [LO83]-style
+// central monitor for comparison.
+func WithAskfor(k engine.PoolKind) Option {
+	return func(f *Force) { f.askfor = k }
+}
+
+// WithPcaseSched selects the distribution discipline of SelfschedPcase
+// over the block ordinals.  Default: the paper's lock-based
+// selfscheduling; sched.Stealing draws the blocks from the engine's
+// deques instead.
+func WithPcaseSched(k sched.Kind) Option {
+	return func(f *Force) { f.pcaseKind = k }
+}
+
 // Trace returns the attached recorder (nil when tracing is off).
 func (f *Force) Trace() *trace.Recorder { return f.tr }
 
-// New creates a force of np processes.  The force is reusable: Run may be
-// called repeatedly (sequentially) with different programs.
+// New creates a force of np processes: NP persistent worker goroutines
+// are started immediately, each paying the machine's creation cost once
+// (§4.1.1) — the paper's create-the-force step.  The force is reusable:
+// Run may be called repeatedly (sequentially) with different programs,
+// and repeated Runs cost a handoff to the existing workers, not a
+// re-creation.  Close releases the workers; an abandoned Force is also
+// cleaned up by the garbage collector.
 func New(np int, opts ...Option) *Force {
 	if np <= 0 {
 		panic(fmt.Sprintf("core: np = %d, need np >= 1", np))
 	}
-	f := &Force{np: np, profile: machine.Native, barKind: barrier.TwoLock}
+	f := &Force{np: np, profile: machine.Native, barKind: barrier.TwoLock, pcaseKind: sched.SelfLock}
 	for _, o := range opts {
 		o(f)
 	}
 	f.bar = barrier.New(f.barKind, np, f.profile.LockFactory())
 	f.locks = lock.NewSet(f.profile.LockFactory())
+	// Capture the profile by value: the start hook must not reference f,
+	// or the workers would keep an abandoned force alive forever.
+	prof := f.profile
+	f.eng = engine.New(np, engine.WithWorkerStart(func(int) { prof.PayCreationCost() }))
 	return f
+}
+
+// Close stops the force's persistent workers.  Idempotent; the force must
+// not be Run again afterwards.
+func (f *Force) Close() {
+	if f.eng != nil {
+		f.eng.Close()
+	}
 }
 
 // NP returns the number of processes in the force.
@@ -135,39 +200,27 @@ func (f *Force) Machine() machine.Profile { return f.profile }
 // Stats returns the construct counters.
 func (f *Force) Stats() *Stats { return &f.stats }
 
-// Run executes program as a Force main program: it creates the force (one
-// goroutine per process, each paying the machine's creation cost), runs
-// program in every process with that process's private *Proc, and joins
-// the force when all return — the Join statement of the paper, executed by
-// the generated driver.  If any process panics, Run re-panics with the
-// first panic value after all processes have stopped; note that a process
-// which panics while its peers are inside a barrier leaves them blocked,
-// exactly as an aborted process did on the 1989 machines, so recovery is
-// only useful for whole-force failures.  Run must not be invoked
-// concurrently on the same force.
+// Run executes program as a Force main program: every process of the
+// persistent force runs program with its private *Proc, and Run returns
+// when all have — the Join statement of the paper, executed by the
+// generated driver.  The creation cost was paid when the force was
+// created (§4.1.1: fork models pay more than create-call); Run itself is
+// a handoff to the already-running workers.  If any process panics, Run
+// re-panics with the first panic value after all processes have stopped;
+// note that a process which panics while its peers are inside a barrier
+// leaves them blocked, exactly as an aborted process did on the 1989
+// machines, so recovery is only useful for whole-force failures.  Run
+// must not be invoked concurrently on the same force.
 func (f *Force) Run(program func(p *Proc)) {
-	var wg sync.WaitGroup
-	panics := make(chan any, f.np)
-	for id := 0; id < f.np; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panics <- r
-				}
-			}()
-			// §4.1.1: creation cost is paid per process by the
-			// driver; fork models pay more than create-call.
-			f.profile.PayCreationCost()
-			program(&Proc{id: id, f: f})
-		}(id)
+	if f.eng == nil {
+		// Only scoped sub-forces lack workers, and their processes are
+		// the parent's workers re-scoped — Resolve hands them Procs
+		// directly and never calls Run.
+		panic("core: Run on a scoped sub-force")
 	}
-	wg.Wait()
-	close(panics)
-	if r, ok := <-panics; ok {
-		panic(r)
-	}
+	f.eng.Run(func(id int) {
+		program(&Proc{id: id, f: f})
+	})
 }
 
 // constructEntry is the shared state of one dynamic construct instance
@@ -309,9 +362,22 @@ func (p *Proc) GuidedDo(r sched.Range, body func(i int)) {
 	p.loop(sched.Guided, r, body)
 }
 
+// StealingDo is the engine-backed DOALL: per-process deques seeded with
+// contiguous blocks, split lazily, stolen on miss.  WithChunk sets the
+// split grain (default n/(8·NP)).
+func (p *Proc) StealingDo(r sched.Range, body func(i int)) {
+	p.loop(sched.Stealing, r, body)
+}
+
 // DoAll runs the loop under an explicitly chosen discipline.
 func (p *Proc) DoAll(kind sched.Kind, r sched.Range, body func(i int)) {
 	p.loop(kind, r, body)
+}
+
+// DoAll2 runs a doubly nested loop under an explicitly chosen discipline,
+// distributing index pairs.
+func (p *Proc) DoAll2(kind sched.Kind, r1, r2 sched.Range, body func(i, j int)) {
+	p.loop2(kind, r1, r2, body)
 }
 
 // loop2 flattens a doubly nested loop into one ordinal space so that index
@@ -366,21 +432,26 @@ func (p *Proc) Pcase(blocks ...Block) {
 	p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
 }
 
-// SelfschedPcase distributes the blocks over the force selfscheduled,
-// using a shared block counter behind the machine's lock — the paper's
-// "asynchronous variable ... needed for work distribution" (§4.2).
+// SelfschedPcase distributes the blocks over the force selfscheduled.
+// With the default discipline a shared block counter behind the machine's
+// lock deals them out — the paper's "asynchronous variable ... needed for
+// work distribution" (§4.2); WithPcaseSched(sched.Stealing) draws the
+// blocks from the engine's per-process deques instead, the same
+// distribution layer Askfor and stealing DOALLs use.
 func (p *Proc) SelfschedPcase(blocks ...Block) {
 	seq := p.nextSeq()
-	cfg := sched.Config{LockFactory: p.f.profile.LockFactory()}
+	cfg := sched.Config{ChunkSize: 1, LockFactory: p.f.profile.LockFactory()}
 	s := p.f.entry(seq, func() any {
-		return sched.New(sched.SelfLock, p.f.np, sched.Seq(len(blocks)), cfg)
+		return sched.New(p.f.pcaseKind, p.f.np, sched.Seq(len(blocks)), cfg)
 	}).(sched.Scheduler)
 	for {
-		lo, _, ok := s.Next(p.id)
+		lo, hi, ok := s.Next(p.id)
 		if !ok {
 			break
 		}
-		p.runBlock(blocks[lo])
+		for b := lo; b < hi; b++ {
+			p.runBlock(blocks[b])
+		}
 	}
 	p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
 }
@@ -397,14 +468,6 @@ func (p *Proc) runBlock(b Block) {
 	b.Body()
 }
 
-// askforState is the shared pool of one Askfor instance.
-type askforState struct {
-	mu          sync.Mutex
-	cond        *sync.Cond
-	queue       []any
-	outstanding int // queued + currently executing tasks
-}
-
 // Askfor is the most general work-distribution construct (§3.3, citing
 // [LO83]): "the degree of concurrency is not known at compile time.
 // Rather the program can request during run time that a new concurrent
@@ -416,48 +479,28 @@ type askforState struct {
 // from its seed argument, so SPMD callers must pass the same seed in every
 // process.  The construct terminates when the pool is empty and no task is
 // executing; all processes then proceed.
+//
+// The pool is an engine.Pool: by default per-process work-stealing deques
+// (put is a lock-free local push, get a local pop with steal-half on
+// miss), or the [LO83]-style central monitor under WithAskfor
+// (engine.MonitorPool).  put must be called from the process executing
+// body, which is the only caller the construct exposes it to.
 func (p *Proc) Askfor(seed []any, body func(task any, put func(any))) {
 	seq := p.nextSeq()
-	st := p.f.entry(seq, func() any {
-		s := &askforState{}
-		s.cond = sync.NewCond(&s.mu)
-		s.queue = append(s.queue, seed...)
-		s.outstanding = len(s.queue)
-		return s
-	}).(*askforState)
+	pool := p.f.entry(seq, func() any {
+		return engine.NewPool(p.f.askfor, p.f.np, seed)
+	}).(engine.Pool)
 
-	put := func(t any) {
-		st.mu.Lock()
-		st.queue = append(st.queue, t)
-		st.outstanding++
-		st.mu.Unlock()
-		st.cond.Signal()
-	}
-
+	put := func(t any) { pool.Put(p.id, t) }
 	for {
-		st.mu.Lock()
-		for len(st.queue) == 0 && st.outstanding > 0 {
-			st.cond.Wait()
-		}
-		if st.outstanding == 0 {
-			st.mu.Unlock()
+		task, ok := pool.Next(p.id)
+		if !ok {
 			break
 		}
-		task := st.queue[len(st.queue)-1]
-		st.queue = st.queue[:len(st.queue)-1]
-		st.mu.Unlock()
-
 		p.f.stats.AskforTasks.Add(1)
 		p.f.tr.Record(p.id, trace.AskforTask, "", 0)
 		body(task, put)
-
-		st.mu.Lock()
-		st.outstanding--
-		done := st.outstanding == 0
-		st.mu.Unlock()
-		if done {
-			st.cond.Broadcast()
-		}
+		pool.Done(p.id)
 	}
 	// Close the construct; the pool object is dropped by the last
 	// process through the exit barrier.
@@ -596,14 +639,18 @@ func planResolve(f *Force, components []Component) *resolvePlan {
 }
 
 // newSubForce builds a scoped force sharing the parent's machine profile
-// but with its own barrier, locks, construct table and stats.
+// but with its own barrier, locks, construct table and stats.  Sub-forces
+// have no workers of their own: their processes are the parent's workers,
+// re-scoped.
 func newSubForce(parent *Force, np int) *Force {
 	sub := &Force{
-		np:      np,
-		profile: parent.profile,
-		barKind: parent.barKind,
-		chunk:   parent.chunk,
-		tr:      parent.tr,
+		np:        np,
+		profile:   parent.profile,
+		barKind:   parent.barKind,
+		chunk:     parent.chunk,
+		tr:        parent.tr,
+		askfor:    parent.askfor,
+		pcaseKind: parent.pcaseKind,
 	}
 	sub.bar = barrier.New(sub.barKind, np, sub.profile.LockFactory())
 	sub.locks = lock.NewSet(sub.profile.LockFactory())

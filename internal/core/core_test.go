@@ -168,6 +168,7 @@ func loopVariants() map[string]func(p *Proc, r sched.Range, body func(int)) {
 		"self-atomic":    (*Proc).SelfschedAtomicDo,
 		"chunk":          (*Proc).ChunkDo,
 		"guided":         (*Proc).GuidedDo,
+		"stealing":       (*Proc).StealingDo,
 	}
 }
 

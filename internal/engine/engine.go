@@ -1,0 +1,143 @@
+// Package engine is the work-distribution substrate of the Force runtime:
+// a persistent force of worker goroutines, Chase-Lev work-stealing
+// deques, and the WorkSource abstraction that lets one distribution layer
+// serve all three of the paper's generic constructs (DOALL, Pcase,
+// Askfor).
+//
+// The paper's execution model creates the force once — "the number of
+// processes is fixed only when the force is created" — and then reuses it
+// for the whole program.  Engine realizes that literally: New starts NP
+// long-lived workers (each paying the machine's process-creation cost
+// exactly once), and every Run dispatches a program to the same workers,
+// so repeated Runs cost a handoff, not a re-spawn.  The package sits at
+// the bottom of the runtime stack; internal/sched builds its Stealing
+// discipline on the deques and internal/core builds Force/Proc on the
+// workers and pools.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Engine is a persistent force of NP worker goroutines.  Workers are
+// started by New and survive across Run invocations until Close (or until
+// the Engine is garbage collected, which closes it via a finalizer).
+// Run must not be called concurrently with itself or with Close.
+type Engine struct {
+	np int
+	sh *workerShared
+}
+
+// workerShared is the state workers reference.  It deliberately does not
+// point back at the Engine, so an abandoned Engine becomes unreachable,
+// its finalizer runs, and the workers exit instead of leaking.
+type workerShared struct {
+	jobs []chan *job
+	quit chan struct{}
+	stop sync.Once
+}
+
+// job is one Run dispatched to every worker.
+type job struct {
+	body   func(pid int)
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	panics []any
+}
+
+func (j *job) run(pid int) {
+	defer j.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			j.mu.Lock()
+			j.panics = append(j.panics, r)
+			j.mu.Unlock()
+		}
+	}()
+	j.body(pid)
+}
+
+// Option configures an Engine.
+type Option func(*config)
+
+type config struct {
+	start func(pid int)
+}
+
+// WithWorkerStart installs a hook each worker runs once at startup,
+// before New returns — the place the machine profile's process-creation
+// cost is paid.
+func WithWorkerStart(fn func(pid int)) Option {
+	return func(c *config) { c.start = fn }
+}
+
+// New starts np persistent workers and returns when all are running
+// (start hooks, if any, have completed).
+func New(np int, opts ...Option) *Engine {
+	if np <= 0 {
+		panic(fmt.Sprintf("engine: np = %d, need np >= 1", np))
+	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sh := &workerShared{jobs: make([]chan *job, np), quit: make(chan struct{})}
+	var ready sync.WaitGroup
+	for id := 0; id < np; id++ {
+		sh.jobs[id] = make(chan *job, 1)
+		ready.Add(1)
+		go worker(id, sh.jobs[id], sh.quit, cfg.start, &ready)
+	}
+	ready.Wait()
+	e := &Engine{np: np, sh: sh}
+	runtime.SetFinalizer(e, (*Engine).Close)
+	return e
+}
+
+func worker(id int, jobs <-chan *job, quit <-chan struct{}, start func(pid int), ready *sync.WaitGroup) {
+	if start != nil {
+		start(id)
+		start = nil // drop the hook so it cannot pin its captures for the worker's lifetime
+	}
+	ready.Done()
+	for {
+		select {
+		case j := <-jobs:
+			j.run(id)
+		case <-quit:
+			return
+		}
+	}
+}
+
+// NP returns the number of workers.
+func (e *Engine) NP() int { return e.np }
+
+// Run executes body in every worker, as process ids 0..NP-1, and returns
+// when all have finished.  If any worker's body panics, Run re-panics
+// with the first recorded panic value after all workers have stopped —
+// the same whole-force failure semantics the spawn-per-run driver had.
+func (e *Engine) Run(body func(pid int)) {
+	select {
+	case <-e.sh.quit:
+		panic("engine: Run on a closed Engine")
+	default:
+	}
+	j := &job{body: body}
+	j.wg.Add(e.np)
+	for _, ch := range e.sh.jobs {
+		ch <- j
+	}
+	j.wg.Wait()
+	if len(j.panics) > 0 {
+		panic(j.panics[0])
+	}
+}
+
+// Close stops the workers.  Idempotent; safe on an Engine that is also
+// subject to finalization.
+func (e *Engine) Close() {
+	e.sh.stop.Do(func() { close(e.sh.quit) })
+}

@@ -1,0 +1,177 @@
+package forcelang
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+const askforSample = `Force TREE of NP ident ME
+Shared Integer COUNT
+Private Integer WORK
+End Declarations
+      Askfor WORK = 1
+        Critical C
+          COUNT = COUNT + 1
+        End Critical
+        IF (WORK .LT. 4) THEN
+          Put WORK + 1
+          Put WORK + 1
+        End IF
+      End Askfor
+      Print 'nodes =', COUNT
+Join
+`
+
+func TestParseAskfor(t *testing.T) {
+	prog, err := Parse(askforSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Body) != 2 {
+		t.Fatalf("body has %d statements, want 2", len(prog.Body))
+	}
+	af, ok := prog.Body[0].(*AskforStmt)
+	if !ok {
+		t.Fatalf("first statement is %T, want *AskforStmt", prog.Body[0])
+	}
+	if af.Var != "WORK" {
+		t.Errorf("task variable %q, want WORK", af.Var)
+	}
+	if _, ok := af.Seed.(*IntLit); !ok {
+		t.Errorf("seed is %T, want *IntLit", af.Seed)
+	}
+	if len(af.Body) != 2 {
+		t.Fatalf("askfor body has %d statements, want 2", len(af.Body))
+	}
+	ifStmt, ok := af.Body[1].(*If)
+	if !ok {
+		t.Fatalf("second body statement is %T, want *If", af.Body[1])
+	}
+	if len(ifStmt.Then) != 2 {
+		t.Fatalf("IF then-branch has %d statements, want 2 Puts", len(ifStmt.Then))
+	}
+	for _, st := range ifStmt.Then {
+		if _, ok := st.(*PutStmt); !ok {
+			t.Errorf("then-branch statement is %T, want *PutStmt", st)
+		}
+	}
+}
+
+func TestAskforCheckerRejections(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{
+			"put-outside-askfor",
+			"Force F of NP ident ME\nPrivate Integer W\nEnd Declarations\nPut 1\nJoin\n",
+			"Put outside an Askfor body",
+		},
+		{
+			"shared-task-variable",
+			"Force F of NP ident ME\nShared Integer W\nEnd Declarations\nAskfor W = 1\nW = W\nEnd Askfor\nJoin\n",
+			"must be Private",
+		},
+		{
+			"real-seed",
+			"Force F of NP ident ME\nPrivate Integer W\nEnd Declarations\nAskfor W = 1.5\nW = W\nEnd Askfor\nJoin\n",
+			"seed must be INTEGER",
+		},
+		{
+			"real-put",
+			"Force F of NP ident ME\nPrivate Integer W\nEnd Declarations\nAskfor W = 1\nPut 2.5\nEnd Askfor\nJoin\n",
+			"task must be INTEGER",
+		},
+		{
+			"real-task-variable",
+			"Force F of NP ident ME\nPrivate Real W\nEnd Declarations\nAskfor W = 1\nW = W\nEnd Askfor\nJoin\n",
+			"scalar INTEGER",
+		},
+		{
+			// Collective constructs inside a task body would deadlock the
+			// force at run time (one process reaches them, np-1 wait in
+			// the pool), so the checker rejects them.
+			"nested-askfor",
+			"Force F of NP ident ME\nPrivate Integer W, V\nEnd Declarations\nAskfor W = 1\nAskfor V = 1\nV = V\nEnd Askfor\nEnd Askfor\nJoin\n",
+			"Askfor inside an Askfor body",
+		},
+		{
+			"barrier-in-askfor",
+			"Force F of NP ident ME\nPrivate Integer W\nEnd Declarations\nAskfor W = 1\nBarrier\nEnd Barrier\nEnd Askfor\nJoin\n",
+			"Barrier inside an Askfor body",
+		},
+		{
+			"pardo-in-askfor",
+			"Force F of NP ident ME\nPrivate Integer W, I\nEnd Declarations\nAskfor W = 1\nSelfsched DO I = 1, 4\nW = W\nEnd Selfsched DO\nEnd Askfor\nJoin\n",
+			"DO inside an Askfor body",
+		},
+		{
+			"pcase-in-askfor",
+			"Force F of NP ident ME\nPrivate Integer W\nEnd Declarations\nAskfor W = 1\nPcase\nUsect\nW = W\nEnd Pcase\nEnd Askfor\nJoin\n",
+			"Pcase inside an Askfor body",
+		},
+		{
+			"barrier-via-call-in-askfor",
+			"Force F of NP ident ME\nPrivate Integer W\nEnd Declarations\nAskfor W = 1\nCall B\nEnd Askfor\nJoin\nForcesub B()\nEnd Declarations\nBarrier\nEnd Barrier\nEndsub\n",
+			"Barrier inside an Askfor body",
+		},
+		{
+			// The other single-stream contexts reject collectives too: a
+			// collective reached from inside a critical section or a
+			// barrier section deadlocks the force the same way.
+			"askfor-in-critical",
+			"Force F of NP ident ME\nPrivate Integer W\nEnd Declarations\nCritical C\nAskfor W = 1\nW = W\nEnd Askfor\nEnd Critical\nJoin\n",
+			"Askfor inside a Critical body",
+		},
+		{
+			"barrier-in-barrier-section",
+			"Force F of NP ident ME\nShared Integer X\nEnd Declarations\nBarrier\nX = 1\nBarrier\nEnd Barrier\nEnd Barrier\nJoin\n",
+			"Barrier inside a barrier section",
+		},
+		{
+			"pardo-in-pcase-block",
+			"Force F of NP ident ME\nPrivate Integer I\nShared Integer X\nEnd Declarations\nPcase\nUsect\nPresched DO I = 1, 4\nX = X\nEnd Presched DO\nEnd Pcase\nJoin\n",
+			"DO inside a Pcase block",
+		},
+		{
+			"barrier-in-pardo-body",
+			"Force F of NP ident ME\nPrivate Integer I\nShared Integer X\nEnd Declarations\nSelfsched DO I = 1, 5\nBarrier\nX = 1\nEnd Barrier\nEnd Selfsched DO\nJoin\n",
+			"Barrier inside a Selfsched DO body",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("program accepted, want error containing %q", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestAskforCallChainCheckIsLinear: the single-stream re-check of callees
+// memoizes verified subs, so a chain of subs each calling the next twice
+// must check in linear, not exponential, time.
+func TestAskforCallChainCheckIsLinear(t *testing.T) {
+	const depth = 40
+	var b strings.Builder
+	b.WriteString("Force F of NP ident ME\nPrivate Integer W\nEnd Declarations\nAskfor W = 1\nCall S0\nEnd Askfor\nJoin\n")
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&b, "Forcesub S%d()\nPrivate Integer X\nEnd Declarations\nX = 1\n", i)
+		if i+1 < depth {
+			fmt.Fprintf(&b, "Call S%d\nCall S%d\n", i+1, i+1)
+		}
+		b.WriteString("Endsub\n")
+	}
+	start := time.Now()
+	if _, err := Parse(b.String()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("checking a %d-deep double-call chain took %v (exponential re-check?)", depth, d)
+	}
+}

@@ -5,8 +5,9 @@
 // The dialect keeps the paper's statement forms — Force/ident headers,
 // shared/private/async declarations, Presched and Selfsched DO loops,
 // Barrier sections, Critical sections, Pcase with Usect/Csect blocks,
-// Produce/Consume/Copy/Void, Join — over a small structured Fortran
-// subset (assignments, IF/ELSE, sequential DO, PRINT, CALL).  Programs
+// Askfor work pools with run-time Put, Produce/Consume/Copy/Void, Join —
+// over a small structured Fortran subset (assignments, IF/ELSE,
+// sequential DO, PRINT, CALL).  Programs
 // parsed here are executed SPMD by internal/interp and translated to Go
 // by internal/codegen.
 package forcelang
@@ -204,6 +205,32 @@ type PcaseStmt struct {
 	stmtBase
 	Selfsched bool
 	Blocks    []PcaseBlock
+}
+
+// AskforStmt is Askfor var = seed ... End Askfor: the paper's dynamic
+// work pool (§3.3, citing [LO83]) at language level.  The force
+// collectively drains a pool of integer tasks seeded with the seed
+// expression's value; each task executes the body with the (private
+// integer) task variable bound to the task, and the body may request new
+// concurrent instances with Put.  The construct ends when the pool is
+// empty and no task is executing, followed by the implicit exit barrier.
+//
+// A task body is a single-stream code segment executed by one process:
+// the checker rejects collective constructs (Barrier, DOALLs, Pcase,
+// nested Askfor) inside it, directly or through a Call, since only the
+// process running the task would reach them.
+type AskforStmt struct {
+	stmtBase
+	Var  string
+	Seed Expr
+	Body []Stmt
+}
+
+// PutStmt is Put expr: enqueue a new integer task on the enclosing
+// Askfor's pool.  Valid only inside an Askfor body.
+type PutStmt struct {
+	stmtBase
+	Expr Expr
 }
 
 // ProduceStmt is Produce var = expr, or Produce var(sub) = expr for an

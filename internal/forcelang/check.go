@@ -83,6 +83,33 @@ func TypeOf(prog *Program, s *Scope, e Expr) (Type, error) {
 type checker struct {
 	prog   *Program
 	global *Scope
+	askfor int // nesting depth of Askfor bodies; Put is legal only inside one
+	// serial is the stack of enclosing single-stream contexts — Askfor
+	// task bodies, Critical bodies, barrier sections, Pcase blocks.
+	// Collective constructs (Barrier, DOALLs, Pcase, Askfor) are
+	// rejected inside them: only one process (or a serialized one)
+	// would reach the construct while its SPMD peers are blocked on the
+	// enclosing lock/barrier/pool, deadlocking the force.
+	serial   []string
+	inCalls  map[string]bool // subs on the current re-check path (cycle guard)
+	serialOK map[string]bool // subs proven free of collective constructs
+}
+
+// collective rejects a collective construct when inside a single-stream
+// context.
+func (c *checker) collective(line int, what string) error {
+	if n := len(c.serial); n > 0 {
+		return fmt.Errorf("line %d: %s inside %s (single-stream context)", line, what, c.serial[n-1])
+	}
+	return nil
+}
+
+// inSerial runs check under an additional single-stream context.
+func (c *checker) inSerial(ctx string, check func() error) error {
+	c.serial = append(c.serial, ctx)
+	err := check()
+	c.serial = c.serial[:len(c.serial)-1]
+	return err
 }
 
 // buildScope assembles a scope from declarations.  When base is non-nil
@@ -204,6 +231,9 @@ func (c *checker) stmt(st Stmt, s *Scope) error {
 		}
 		return c.stmts(t.Body, s)
 	case *ParDo:
+		if err := c.collective(t.Pos(), fmt.Sprintf("%s DO", t.Sched)); err != nil {
+			return err
+		}
 		if err := c.loopVar(t.Var, s, t.Pos(), true); err != nil {
 			return err
 		}
@@ -221,12 +251,27 @@ func (c *checker) stmt(st Stmt, s *Scope) error {
 				return fmt.Errorf("line %d: doubly nested DOALL uses the same index twice", t.Pos())
 			}
 		}
-		return c.stmts(t.Body, s)
+		// A DOALL iteration body is itself a single-stream unit: one
+		// process executes each iteration, so a collective inside it
+		// deadlocks just as in the other serial contexts.
+		return c.inSerial(fmt.Sprintf("a %s DO body", t.Sched), func() error {
+			return c.stmts(t.Body, s)
+		})
 	case *BarrierStmt:
-		return c.stmts(t.Section, s)
+		if err := c.collective(t.Pos(), "Barrier"); err != nil {
+			return err
+		}
+		return c.inSerial("a barrier section", func() error {
+			return c.stmts(t.Section, s)
+		})
 	case *CriticalStmt:
-		return c.stmts(t.Body, s)
+		return c.inSerial("a Critical body", func() error {
+			return c.stmts(t.Body, s)
+		})
 	case *PcaseStmt:
+		if err := c.collective(t.Pos(), "Pcase"); err != nil {
+			return err
+		}
 		for _, b := range t.Blocks {
 			if b.Cond != nil {
 				ct, err := c.exprType(b.Cond, s)
@@ -237,9 +282,44 @@ func (c *checker) stmt(st Stmt, s *Scope) error {
 					return fmt.Errorf("line %d: Csect condition must be LOGICAL", b.Line)
 				}
 			}
-			if err := c.stmts(b.Body, s); err != nil {
+			b := b
+			if err := c.inSerial("a Pcase block", func() error {
+				return c.stmts(b.Body, s)
+			}); err != nil {
 				return err
 			}
+		}
+		return nil
+	case *AskforStmt:
+		if err := c.collective(t.Pos(), "Askfor"); err != nil {
+			return err
+		}
+		if err := c.loopVar(t.Var, s, t.Pos(), true); err != nil {
+			return err
+		}
+		st, err := c.exprType(t.Seed, s)
+		if err != nil {
+			return err
+		}
+		if st != TInt {
+			return fmt.Errorf("line %d: Askfor seed must be INTEGER", t.Pos())
+		}
+		c.askfor++
+		err = c.inSerial("an Askfor body", func() error {
+			return c.stmts(t.Body, s)
+		})
+		c.askfor--
+		return err
+	case *PutStmt:
+		if c.askfor == 0 {
+			return fmt.Errorf("line %d: Put outside an Askfor body", t.Pos())
+		}
+		et, err := c.exprType(t.Expr, s)
+		if err != nil {
+			return err
+		}
+		if et != TInt {
+			return fmt.Errorf("line %d: Put task must be INTEGER", t.Pos())
 		}
 		return nil
 	case *ProduceStmt:
@@ -308,6 +388,27 @@ func (c *checker) stmt(st Stmt, s *Scope) error {
 				return fmt.Errorf("line %d: argument %d of %s: type %s does not match parameter %s",
 					t.Pos(), i+1, sub.Name, argDecl.Type, paramDecl.Type)
 			}
+		}
+		// A call inside a single-stream context must not smuggle in a
+		// collective construct: re-check the callee's body under the
+		// current context.  A sub proven collective-free is memoized
+		// (the property depends only on the sub, not the context), so
+		// call chains re-check each sub once, not exponentially; inCalls
+		// guards against call cycles within one traversal.
+		if len(c.serial) > 0 && !c.serialOK[sub.Name] && !c.inCalls[sub.Name] {
+			if c.inCalls == nil {
+				c.inCalls = map[string]bool{}
+			}
+			c.inCalls[sub.Name] = true
+			err := c.stmts(sub.Body, subScope)
+			delete(c.inCalls, sub.Name)
+			if err != nil {
+				return fmt.Errorf("line %d: in call of %s: %w", t.Pos(), sub.Name, err)
+			}
+			if c.serialOK == nil {
+				c.serialOK = map[string]bool{}
+			}
+			c.serialOK[sub.Name] = true
 		}
 		return nil
 	default:

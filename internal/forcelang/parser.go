@@ -347,6 +347,10 @@ func (p *parser) atStop(stops ...string) bool {
 			if p.peekWords("END", "PCASE") {
 				return true
 			}
+		case "END-ASKFOR":
+			if p.peekWords("END", "ASKFOR") {
+				return true
+			}
 		case "USECT":
 			if p.peekWord("USECT") {
 				return true
@@ -428,6 +432,19 @@ func (p *parser) parseStmt() (Stmt, error) {
 			return nil, err
 		}
 		return &CriticalStmt{stmtBase: base, Name: name, Body: body}, nil
+	case p.peekWord("ASKFOR"):
+		p.pos++
+		return p.parseAskfor(base)
+	case p.peekWord("PUT"):
+		p.pos++
+		expr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectEOL(); err != nil {
+			return nil, err
+		}
+		return &PutStmt{stmtBase: base, Expr: expr}, nil
 	case p.peekWord("PCASE"):
 		return p.parsePcase(base)
 	case p.peekWord("PRODUCE"):
@@ -694,6 +711,34 @@ func (p *parser) parseParDo(kind SchedKind, base stmtBase) (Stmt, error) {
 		return nil, err
 	}
 	return pd, nil
+}
+
+// parseAskfor parses Askfor VAR = seed ... End Askfor (ASKFOR already
+// consumed).
+func (p *parser) parseAskfor(base stmtBase) (Stmt, error) {
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("="); err != nil {
+		return nil, err
+	}
+	seed, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOL(); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmts("END-ASKFOR")
+	if err != nil {
+		return nil, err
+	}
+	p.pos += 2 // END ASKFOR
+	if err := p.expectEOL(); err != nil {
+		return nil, err
+	}
+	return &AskforStmt{stmtBase: base, Var: v, Seed: seed, Body: body}, nil
 }
 
 func (p *parser) parsePcase(base stmtBase) (Stmt, error) {

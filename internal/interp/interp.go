@@ -31,6 +31,7 @@ import (
 	"repro/internal/asyncvar"
 	"repro/internal/barrier"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/forcelang"
 	"repro/internal/machine"
 	"repro/internal/sched"
@@ -52,6 +53,15 @@ type Config struct {
 	// Trace, when non-nil, records every construct edge the program
 	// crosses for post-run validation (see internal/trace).
 	Trace *trace.Recorder
+	// Selfsched selects the discipline executing Selfsched DO loops and
+	// selfscheduled Pcase blocks.  The zero value selects the paper's
+	// lock-based selfscheduling (sched.SelfLock); sched.Stealing runs
+	// them on the engine's work-stealing deques instead.
+	Selfsched sched.Kind
+	// Askfor selects the pool discipline behind language-level Askfor
+	// statements: the engine's work-stealing deques (zero value) or the
+	// [LO83]-style central monitor (engine.MonitorPool).
+	Askfor engine.PoolKind
 }
 
 // Run executes the program and returns the first runtime error, if any.
@@ -65,9 +75,14 @@ func Run(prog *forcelang.Program, cfg Config) (err error) {
 	if cfg.Stdout == nil {
 		cfg.Stdout = io.Discard
 	}
+	if cfg.Selfsched == 0 {
+		cfg.Selfsched = sched.SelfLock
+	}
 	in := newInstance(prog, cfg)
 	f := core.New(cfg.NP, core.WithMachine(cfg.Machine), core.WithBarrier(cfg.Barrier),
-		core.WithTrace(cfg.Trace))
+		core.WithTrace(cfg.Trace), core.WithAskfor(cfg.Askfor),
+		core.WithPcaseSched(cfg.Selfsched))
+	defer f.Close()
 	defer func() {
 		flushErr := in.flush()
 		if r := recover(); r != nil {
@@ -332,6 +347,9 @@ type frame struct {
 type proc struct {
 	in *instance
 	p  *core.Proc
+	// puts is the stack of enclosing Askfor put functions; the innermost
+	// one serves Put statements.
+	puts []func(any)
 }
 
 // newMainFrame builds the main program's frame for this process: private
@@ -467,6 +485,13 @@ func (pr *proc) stmt(st forcelang.Stmt, f *frame) {
 		} else {
 			pr.p.Pcase(blocks...)
 		}
+	case *forcelang.AskforStmt:
+		pr.askfor(t, f)
+	case *forcelang.PutStmt:
+		if len(pr.puts) == 0 {
+			panic(rtErrf(t.Pos(), "Put outside an Askfor body"))
+		}
+		pr.puts[len(pr.puts)-1](pr.evalInt(t.Expr, f))
 	case *forcelang.ProduceStmt:
 		cell := pr.asyncCellFor(f, t.Var, t.Sub, t.Pos())
 		cell.Produce(pr.eval(t.Expr, f))
@@ -522,7 +547,7 @@ func (pr *proc) parDo(t *forcelang.ParDo, f *frame) {
 		if t.Sched == forcelang.Presched {
 			pr.p.PreschedDo(r, body)
 		} else {
-			pr.p.SelfschedDo(r, body)
+			pr.p.DoAll(pr.in.cfg.Selfsched, r, body)
 		}
 		return
 	}
@@ -537,8 +562,23 @@ func (pr *proc) parDo(t *forcelang.ParDo, f *frame) {
 	if t.Sched == forcelang.Presched {
 		pr.p.PreschedDo2(r, r2, body)
 	} else {
-		pr.p.SelfschedDo2(r, r2, body)
+		pr.p.DoAll2(pr.in.cfg.Selfsched, r, r2, body)
 	}
+}
+
+// askfor executes the language-level Askfor on the runtime's engine pool:
+// the seed expression's value (SPMD-identical in every process) seeds the
+// pool, each drawn task binds the private task variable, and Put
+// statements in the body enqueue onto the innermost pool.
+func (pr *proc) askfor(t *forcelang.AskforStmt, f *frame) {
+	seed := pr.evalInt(t.Seed, f)
+	lv := pr.lookup(f, t.Var, t.Pos())
+	pr.p.Askfor([]any{seed}, func(task any, put func(any)) {
+		pr.storeScalar(lv, intVal(task.(int64)), t.Pos())
+		pr.puts = append(pr.puts, put)
+		defer func() { pr.puts = pr.puts[:len(pr.puts)-1] }()
+		pr.stmts(t.Body, f)
+	})
 }
 
 func (pr *proc) print(t *forcelang.PrintStmt, f *frame) {

@@ -13,8 +13,9 @@
 //     protocol exactly.
 //
 // This package provides both, plus the chunked and guided refinements that
-// later systems (and the Force user's manual) added, behind one Scheduler
-// interface.  Iteration spaces are Fortran DO ranges (Start, Last, Incr
+// later systems (and the Force user's manual) added, plus the Stealing
+// discipline built on internal/engine's per-process work-stealing deques,
+// behind one Scheduler interface.  Iteration spaces are Fortran DO ranges (Start, Last, Incr
 // with either sign); schedulers hand out *ordinals* 0..Count()-1 and Range
 // maps ordinals back to index values, which keeps every discipline correct
 // for negative strides and empty loops.
@@ -25,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/engine"
 	"repro/internal/lock"
 )
 
@@ -104,6 +106,14 @@ const (
 	// first chunks while keeping its small tail.  A post-1989 extension
 	// included as an ablation.
 	TSS
+	// Stealing is the engine-backed discipline: each process owns a
+	// Chase-Lev deque seeded with one contiguous block and splits it
+	// lazily as it pops; a process that runs dry steals a block from a
+	// victim.  Unlike the shared-counter selfscheduled variants there is
+	// no central point of contention, so it is the discipline of choice
+	// for fine grains at large NP.  A post-1989 extension (Blumofe &
+	// Leiserson's work stealing applied to loop scheduling).
+	Stealing
 )
 
 var kindNames = map[Kind]string{
@@ -114,6 +124,29 @@ var kindNames = map[Kind]string{
 	Chunk:          "selfsched-chunk",
 	Guided:         "guided",
 	TSS:            "tss",
+	Stealing:       "stealing",
+}
+
+// kindGoNames are the Go identifiers of the kinds, for code generators
+// emitting sched.<name> against this package.
+var kindGoNames = map[Kind]string{
+	PreschedBlock:  "PreschedBlock",
+	PreschedCyclic: "PreschedCyclic",
+	SelfLock:       "SelfLock",
+	SelfAtomic:     "SelfAtomic",
+	Chunk:          "Chunk",
+	Guided:         "Guided",
+	TSS:            "TSS",
+	Stealing:       "Stealing",
+}
+
+// GoName returns the kind's Go identifier within this package, the form
+// internal/codegen emits into generated programs.
+func (k Kind) GoName() string {
+	if s, ok := kindGoNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // String returns the discipline's short name.
@@ -134,14 +167,33 @@ func ParseKind(s string) (Kind, error) {
 	return 0, fmt.Errorf("sched: unknown kind %q", s)
 }
 
+// ParseSelfschedKind is ParseKind restricted to the run-time
+// (selfscheduled) disciplines — the valid arguments of a -selfsched
+// flag.  The prescheduled kinds are rejected rather than accepted:
+// PreschedBlock is Kind zero, which the interp and codegen configs
+// treat as "unset", so letting it through would silently select the
+// default instead of erroring.
+func ParseSelfschedKind(s string) (Kind, error) {
+	k, err := ParseKind(s)
+	if err != nil {
+		return 0, err
+	}
+	if k == PreschedBlock || k == PreschedCyclic {
+		return 0, fmt.Errorf("sched: %q is a prescheduled discipline (selfscheduled ones: %s, %s, %s, %s, %s, %s)",
+			s, SelfLock, SelfAtomic, Chunk, Guided, TSS, Stealing)
+	}
+	return k, nil
+}
+
 // Kinds lists all disciplines in presentation order.
 func Kinds() []Kind {
-	return []Kind{PreschedBlock, PreschedCyclic, SelfLock, SelfAtomic, Chunk, Guided, TSS}
+	return []Kind{PreschedBlock, PreschedCyclic, SelfLock, SelfAtomic, Chunk, Guided, TSS, Stealing}
 }
 
 // Config carries the parameters a discipline may need.
 type Config struct {
-	// ChunkSize applies to Chunk (default 16 when zero).
+	// ChunkSize applies to Chunk (default 16 when zero) and, as the
+	// split grain, to Stealing (default n/(8·np) when zero).
 	ChunkSize int
 	// LockFactory supplies the loop lock for SelfLock and Guided; nil
 	// defaults to system locks.  This is the machine-dependent hook: the
@@ -180,6 +232,8 @@ func New(k Kind, np int, r Range, cfg Config) Scheduler {
 		return &guidedSched{np: np, n: n}
 	case TSS:
 		return newTSSSched(np, n)
+	case Stealing:
+		return &stealingSched{src: engine.NewSpanSource(np, n, cfg.ChunkSize)}
 	default:
 		panic(fmt.Sprintf("sched: unknown kind %d", int(k)))
 	}
@@ -305,6 +359,19 @@ func (s *guidedSched) Next(pid int) (int, int, bool) {
 			return lo, hi, true
 		}
 	}
+}
+
+// stealingSched adapts an engine.SpanSource — per-process Chase-Lev
+// deques with lazy block splitting — to the Scheduler interface.  The
+// ChunkSize config doubles as the split grain (0 selects the source's
+// n/(8·np) default).
+type stealingSched struct {
+	src *engine.SpanSource
+}
+
+func (s *stealingSched) Next(pid int) (int, int, bool) {
+	sp, ok := s.src.NextSpan(pid)
+	return sp.Lo, sp.Hi, ok
 }
 
 // tssSched precomputes the trapezoid chunk boundaries at construction —
