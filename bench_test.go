@@ -10,6 +10,7 @@
 //	BenchmarkCreation             T6   process creation models (persistent force: cost paid once at New)
 //	BenchmarkPcase, BenchmarkAskfor  T7  block dispatch and dynamic pools
 //	BenchmarkAskforPutHeavy       T9   monitor pool vs stealing deques at zero grain
+//	BenchmarkReduce               T10  global-reduction strategies
 //	BenchmarkApps                 T8   application kernels
 //	BenchmarkSelfschedChunk       A2   chunk-size ablation
 //	BenchmarkExpand               F1   the macro pipeline itself
@@ -29,6 +30,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/maclib"
 	"repro/internal/monitor"
+	"repro/internal/reduce"
 	"repro/internal/sched"
 	"repro/internal/workload"
 )
@@ -310,6 +312,32 @@ func BenchmarkAskforPutHeavy(b *testing.B) {
 								put(d + 1)
 							}
 						})
+					})
+				}
+			})
+		}
+	}
+}
+
+// T10: global reductions, one op = a Run of `rounds` back-to-back
+// global integer sums (the reduction-dense convergence-loop shape) under
+// each strategy.  The critical strategy serializes every contribution on
+// one lock; slots/tree/atomic are the contention-free replacements.
+func BenchmarkReduce(b *testing.B) {
+	const rounds = 256
+	for _, kind := range reduce.Kinds() {
+		for _, np := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/np=%d", kind, np), func(b *testing.B) {
+				f := core.New(np, core.WithReduce(kind))
+				defer f.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					f.Run(func(p *core.Proc) {
+						acc := 0
+						for r := 0; r < rounds; r++ {
+							acc = core.Gsum(p, acc%5+p.ID())
+						}
+						workload.SpinSink += uint64(acc)
 					})
 				}
 			})

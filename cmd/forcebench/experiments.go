@@ -16,6 +16,7 @@ import (
 	"repro/internal/lock"
 	"repro/internal/machine"
 	"repro/internal/maclib"
+	"repro/internal/reduce"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -114,7 +115,7 @@ func expT3(c config) error {
 		for _, k := range kinds {
 			row := []any{k.String()}
 			for _, np := range c.npSweep() {
-				f := core.New(np, core.WithChunk(16))
+				f := c.force(np, core.WithChunk(16))
 				s := stats.Time(c.runs, func() {
 					f.Run(func(p *core.Proc) {
 						p.DoAll(k, sched.Seq(n), func(i int) {
@@ -277,7 +278,7 @@ func expT7(c config) error {
 		}
 		row := []any{name}
 		for _, np := range c.npSweep() {
-			f := core.New(np)
+			f := c.force(np)
 			bl := make([]core.Block, blocks)
 			for i := range bl {
 				bl[i] = core.Case(func() { workload.SpinSink += workload.Spin(50) })
@@ -309,7 +310,7 @@ func expT7(c config) error {
 	for _, grain := range []int{0, 500} {
 		row := []any{fmt.Sprintf("grain=%d", grain)}
 		for _, np := range c.npSweep() {
-			f := core.New(np)
+			f := c.force(np)
 			s := stats.Time(c.runs, func() {
 				f.Run(func(p *core.Proc) {
 					p.Askfor([]any{1}, func(task any, put func(any)) {
@@ -430,7 +431,7 @@ func expT8(c config) error {
 		seqS := stats.Time(c.runs, d.seq)
 		row := []any{d.name, seqS.Median() * 1e3}
 		for _, np := range c.npSweep() {
-			f := core.New(np, core.WithBarrier(barrier.CondBroadcast))
+			f := c.force(np, core.WithBarrier(barrier.CondBroadcast))
 			parS := stats.Time(c.runs, func() { d.par(f) })
 			f.Close()
 			row = append(row, stats.Speedup(seqS.Median(), parS.Median()))
@@ -483,7 +484,7 @@ func expT9(c config) error {
 		for _, kind := range engine.PoolKinds() {
 			row := []any{kind.String()}
 			for _, np := range c.npSweep() {
-				f := core.New(np, core.WithAskfor(kind))
+				f := c.force(np, core.WithAskfor(kind))
 				s := stats.Time(c.runs, func() {
 					f.Run(func(p *core.Proc) {
 						p.Askfor([]any{1}, func(task any, put func(any)) {
@@ -511,6 +512,146 @@ func expT9(c config) error {
 		if err := tbl.Render(os.Stdout); err != nil {
 			return err
 		}
+	}
+	if c.jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d cells)\n", c.jsonPath, len(report.Results))
+	}
+	return nil
+}
+
+// reduceCell is one T10 measurement, the machine-readable record the
+// -json flag emits (BENCH_reduce.json).
+type reduceCell struct {
+	Strategy   string  `json:"strategy"`
+	NP         int     `json:"np"`
+	Config     string  `json:"config"` // "light" or "heavy" (reductions per run)
+	Ops        int     `json:"ops"`    // reductions per run
+	Op         string  `json:"op"`     // reduced operator/element type
+	SecondsMed float64 `json:"seconds_median"`
+	MicrosPer  float64 `json:"micros_per_reduction"`
+	PerSec     float64 `json:"reductions_per_sec"`
+}
+
+// reduceReport is the top-level T10 JSON document.
+type reduceReport struct {
+	Experiment string       `json:"experiment"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Runs       int          `json:"runs"`
+	Results    []reduceCell `json:"results"`
+}
+
+// expT10 is the reduction-subsystem experiment: the same global-sum
+// workload (every process contributes, everyone receives the total —
+// the hot collective of every SPMD kernel) executed through all four
+// strategies, across NP and operation counts.  The light configuration
+// is a handful of reductions per run (startup-dominated); the heavy
+// configuration is a reduction-dense convergence loop, where strategy
+// differences compound.  The Critical strategy serializes every
+// contribution on one lock — the paper's idiom; slots make contribution
+// a private store, the tree bounds the combine depth, and atomic makes
+// the integer fold a CAS.
+func expT10(c config) error {
+	configs := []struct {
+		name string
+		ops  int
+	}{
+		// light: a handful of reductions per run, startup-dominated.
+		{"light", 64},
+		// put-heavy: short bursts from a fresh dispatch — contributions
+		// hit the episodes concurrently, the maximal-pressure regime
+		// where the critical strategy's lock actually contends (the T9
+		// "put-heavy" analog for reductions).
+		{"put-heavy", 256},
+		// steady: a reduction-dense convergence loop; arrivals
+		// self-stagger into a pipeline, so per-episode strategy cost
+		// dominates over contention.
+		{"steady", 4096},
+	}
+	if c.quick {
+		configs[0].ops = 16
+		configs[1].ops = 64
+		configs[2].ops = 512
+	}
+	report := reduceReport{Experiment: "reduce-strategies", GoMaxProcs: runtime.GOMAXPROCS(0), Runs: c.runs}
+	for _, cfg := range configs {
+		tbl := &stats.Table{
+			Title:  fmt.Sprintf("global int sum, %s (%d reductions per run): µs per reduction", cfg.name, cfg.ops),
+			Header: append([]string{"strategy"}, npHeaders(c.npSweep())...),
+			Notes: []string{
+				"critical = shared accumulator under one machine lock (the paper's idiom)",
+				"slots = padded per-process slots folded in pid order; tree = combining tree; atomic = CAS fold",
+			},
+		}
+		for _, kind := range reduce.Kinds() {
+			row := []any{kind.String()}
+			for _, np := range c.npSweep() {
+				f := c.force(np, core.WithReduce(kind))
+				ops := cfg.ops
+				s := stats.Time(c.runs, func() {
+					f.Run(func(p *core.Proc) {
+						acc := 0
+						for r := 0; r < ops; r++ {
+							acc = core.Gsum(p, acc%7+p.ID())
+						}
+						workload.SpinSink += uint64(acc)
+					})
+				})
+				f.Close()
+				med := s.Median()
+				row = append(row, med/float64(ops)*1e6)
+				report.Results = append(report.Results, reduceCell{
+					Strategy: kind.String(), NP: np, Config: cfg.name, Ops: ops, Op: "sum-int",
+					SecondsMed: med, MicrosPer: med / float64(ops) * 1e6, PerSec: float64(ops) / med,
+				})
+			}
+			tbl.AddRow(row...)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	// A float argmax-style reduction exercises the generic path (Atomic
+	// falls back to slots here: no integer representation).
+	ops := 1024
+	if c.quick {
+		ops = 128
+	}
+	tbl := &stats.Table{
+		Title:  fmt.Sprintf("global float64 max, %d reductions per run: µs per reduction", ops),
+		Header: append([]string{"strategy"}, npHeaders(c.npSweep())...),
+		Notes:  []string{"atomic has no float64 CAS representation and falls back to slots"},
+	}
+	for _, kind := range reduce.Kinds() {
+		row := []any{kind.String()}
+		for _, np := range c.npSweep() {
+			f := c.force(np, core.WithReduce(kind))
+			s := stats.Time(c.runs, func() {
+				f.Run(func(p *core.Proc) {
+					x := float64(p.ID())
+					for r := 0; r < ops; r++ {
+						x = core.Gmax(p, x*0.5+1)
+					}
+				})
+			})
+			f.Close()
+			med := s.Median()
+			row = append(row, med/float64(ops)*1e6)
+			report.Results = append(report.Results, reduceCell{
+				Strategy: kind.String(), NP: np, Config: "float-max", Ops: ops, Op: "max-float64",
+				SecondsMed: med, MicrosPer: med / float64(ops) * 1e6, PerSec: float64(ops) / med,
+			})
+		}
+		tbl.AddRow(row...)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
 	}
 	if c.jsonPath != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
@@ -569,7 +710,7 @@ func expA2(c config) error {
 	}
 	bursty := workload.Bursty(5, 2000, 61)
 	for _, chunk := range []int{1, 4, 16, 64, 256} {
-		f := core.New(np, core.WithChunk(chunk))
+		f := c.force(np, core.WithChunk(chunk))
 		u := stats.Time(c.runs, func() {
 			f.Run(func(p *core.Proc) {
 				p.ChunkDo(sched.Seq(n), func(i int) { workload.SpinSink += workload.Spin(5) })
@@ -584,7 +725,7 @@ func expA2(c config) error {
 		tbl.AddRow(chunk, u.Median()*1e3, bt.Median()*1e3)
 	}
 	// Guided for reference.
-	f := core.New(np)
+	f := c.force(np)
 	defer f.Close()
 	u := stats.Time(c.runs, func() {
 		f.Run(func(p *core.Proc) {

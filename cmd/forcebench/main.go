@@ -11,16 +11,22 @@
 //	T7  Pcase and Askfor overhead
 //	T8  application speedups (matmul, gauss, jacobi, scan, quadrature)
 //	T9  Askfor distribution: [LO83] monitor pool vs work-stealing deques
+//	T10 global reductions: critical vs slots vs tree vs atomic
 //	A1  ablation: the paper's barrier over every lock kind
 //	A2  ablation: selfscheduling chunk size
 //
 // Usage:
 //
-//	forcebench [-exp all|F1|T1|...] [-quick] [-maxnp N] [-runs R] [-json FILE]
+//	forcebench [-exp all|F1|T1|...] [-quick] [-maxnp N] [-runs R] [-json FILE] [-barrier ALG]
 //
-// -json writes the T9 monitor-vs-stealing measurements as machine-readable
-// JSON (BENCH_askfor.json-style) so successive revisions can track the
-// performance trajectory.
+// -json writes the running experiment's measurements as machine-readable
+// JSON (T9: BENCH_askfor.json-style, T10: BENCH_reduce.json-style) so
+// successive revisions can track the performance trajectory; use it with
+// a single -exp, as every JSON-emitting experiment writes the same file.
+// -barrier overrides the global barrier algorithm of every force the
+// timed experiments build.  Experiments whose subject is the barrier or
+// the creation path ignore it: T2 and A1 sweep barrier algorithms
+// themselves, and T6 times force creation models.
 //
 // Absolute numbers are machine-dependent; the tables exist to show the
 // paper's qualitative shapes (who wins, by what factor, where crossovers
@@ -34,6 +40,9 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+
+	"repro/internal/barrier"
+	"repro/internal/core"
 )
 
 // experiment is one regenerable table.
@@ -48,7 +57,19 @@ type config struct {
 	quick    bool
 	maxNP    int
 	runs     int
-	jsonPath string // T9 JSON output file; empty disables
+	jsonPath string // JSON output file (T9, T10); empty disables
+	barKind  barrier.Kind
+	barSet   bool // -barrier was given: override experiment defaults
+}
+
+// force builds a core force for a timed experiment, honoring the global
+// -barrier override.  Experiment-specific defaults go in opts; the
+// override is appended last, so it wins.
+func (c config) force(np int, opts ...core.Option) *core.Force {
+	if c.barSet {
+		opts = append(opts, core.WithBarrier(c.barKind))
+	}
+	return core.New(np, opts...)
 }
 
 // npSweep returns the process counts used by sweeping experiments.
@@ -68,14 +89,22 @@ func (c config) npSweep() []int {
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (F1, T1..T8, A1, A2) or all")
+		exp   = flag.String("exp", "all", "experiment id (F1, T1..T10, A1, A2) or all")
 		quick = flag.Bool("quick", false, "smaller problem sizes and fewer repetitions")
 		maxNP = flag.Int("maxnp", 2*runtime.GOMAXPROCS(0), "largest force size in sweeps")
 		runs  = flag.Int("runs", 3, "timing repetitions per cell")
-		jsonP = flag.String("json", "", "write T9 askfor-distribution results as JSON to this file")
+		jsonP = flag.String("json", "", "write T9/T10 results as JSON to this file")
+		barF  = flag.String("barrier", "", "override the barrier algorithm of timed forces (ignored by T2, A1, T6)")
 	)
 	flag.Parse()
 	c := config{quick: *quick, maxNP: *maxNP, runs: *runs, jsonPath: *jsonP}
+	if *barF != "" {
+		bk, err := barrier.ParseKind(*barF)
+		if err != nil {
+			fail(err)
+		}
+		c.barKind, c.barSet = bk, true
+	}
 
 	exps := experiments()
 	if *exp == "all" {
@@ -118,6 +147,7 @@ func experiments() map[string]experiment {
 		{"T7", "Pcase and Askfor overhead (§3.3)", expT7},
 		{"T8", "application speedups", expT8},
 		{"T9", "Askfor distribution: monitor pool vs stealing deques", expT9},
+		{"T10", "global reductions: critical vs slots vs tree vs atomic", expT10},
 		{"A1", "ablation: two-lock barrier over lock kinds", expA1},
 		{"A2", "ablation: selfscheduling chunk size", expA2},
 	}

@@ -9,11 +9,13 @@
 //	    default "generic" machine the low-level macros stay symbolic,
 //	    matching the paper's expansion listing.
 //
-//	forcec -go [-pkg main] [-np N] [-selfsched KIND] file.force
+//	forcec -go [-pkg main] [-np N] [-selfsched KIND] [-reduce STRAT] file.force
 //	    Parse and type-check the program and emit Go source targeting
 //	    the runtime library.  -selfsched picks the discipline generated
 //	    for Selfsched DO loops (selfsched-lock by default; "stealing"
-//	    emits code drawing from the engine's work-stealing deques).
+//	    emits code drawing from the engine's work-stealing deques);
+//	    -reduce picks the strategy the generated force executes global
+//	    reductions with (slots by default; critical, tree, atomic).
 //
 //	forcec -check file.force
 //	    Parse and type-check only.
@@ -30,6 +32,7 @@ import (
 	"repro/internal/codegen"
 	"repro/internal/forcelang"
 	"repro/internal/maclib"
+	"repro/internal/reduce"
 	"repro/internal/sched"
 )
 
@@ -42,6 +45,7 @@ func main() {
 		pkg     = flag.String("pkg", "main", "package name for -go")
 		np      = flag.Int("np", 4, "default force size baked into -go output")
 		selfK   = flag.String("selfsched", "selfsched-lock", "discipline for Selfsched DO in -go output")
+		reduceF = flag.String("reduce", "slots", "global-reduction strategy in -go output")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -68,7 +72,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		out, err := codegen.Generate(prog, codegen.Options{Package: *pkg, DefaultNP: *np, Selfsched: kind})
+		rk, err := reduce.ParseKind(*reduceF)
+		if err != nil {
+			fail(err)
+		}
+		out, err := codegen.Generate(prog, codegen.Options{Package: *pkg, DefaultNP: *np, Selfsched: kind, Reduce: rk})
 		if err != nil {
 			fail(err)
 		}

@@ -1,7 +1,7 @@
 // Command forcerun parses a Force program and executes it SPMD on the
 // runtime library:
 //
-//	forcerun [-np N] [-machine NAME] [-barrier ALG] [-selfsched KIND] [-askfor POOL] file.force
+//	forcerun [-np N] [-machine NAME] [-barrier ALG] [-selfsched KIND] [-askfor POOL] [-reduce STRAT] file.force
 //
 // -machine selects a historical machine profile (hep, flex32, encore,
 // sequent, alliant, cray2) or "native" (default); -barrier selects the
@@ -9,8 +9,10 @@
 // dissemination, cond); -selfsched selects the discipline executing
 // Selfsched DO loops and selfscheduled Pcase (selfsched-lock by default,
 // "stealing" for the engine's work-stealing deques); -askfor selects the
-// Askfor pool ("stealing" or "monitor").  A file name of "-" reads
-// standard input.
+// Askfor pool ("stealing" or "monitor"); -reduce selects the strategy
+// executing global reductions (GSUM and friends): "slots" (the default),
+// "critical" (the paper's baseline), "tree" or "atomic".  A file name of
+// "-" reads standard input.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"repro/internal/forcelang"
 	"repro/internal/interp"
 	"repro/internal/machine"
+	"repro/internal/reduce"
 	"repro/internal/sched"
 )
 
@@ -34,6 +37,7 @@ func main() {
 		barF    = flag.String("barrier", "twolock", "barrier algorithm")
 		selfK   = flag.String("selfsched", "selfsched-lock", "discipline for Selfsched DO and selfscheduled Pcase")
 		askforF = flag.String("askfor", "stealing", "Askfor pool discipline: stealing or monitor")
+		reduceF = flag.String("reduce", "slots", "global-reduction strategy: critical, slots, tree or atomic")
 		showAST = flag.Bool("ast", false, "print a program summary before running")
 	)
 	flag.Parse()
@@ -65,6 +69,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	rk, err := reduce.ParseKind(*reduceF)
+	if err != nil {
+		fail(err)
+	}
 	if *showAST {
 		fmt.Printf("program %s: %d declarations, %d subroutines, %d top-level statements\n",
 			prog.Name, len(prog.Decls), len(prog.Subs), len(prog.Body))
@@ -76,6 +84,7 @@ func main() {
 		Stdout:    os.Stdout,
 		Selfsched: sk,
 		Askfor:    pool,
+		Reduce:    rk,
 	})
 	if err != nil {
 		fail(err)

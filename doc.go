@@ -5,17 +5,27 @@
 // The repository contains both halves of the paper, layered as
 //
 //		forcelang            front end: lexer, parser, AST, checker for the
-//		   │                 Force dialect (incl. language-level Askfor/Put)
+//		   │                 Force dialect (incl. language-level Askfor/Put
+//		   │                 and the GSUM/GMAX global-reduction statements)
 //		   ├── interp        SPMD interpreter executing programs on core
 //		   └── codegen       compiler back end emitting Go against core
 //		        │
 //		        ▼
 //		      core           the runtime: Force/Proc with every construct —
 //		        │            DOALLs, Pcase, Askfor, Resolve, barriers,
-//		        │            criticals, produce/consume
-//		   ┌────┼──────────────────┐
-//		   ▼    ▼                  ▼
-//		 engine sched        barrier / lock / asyncvar / shm / machine
+//		        │            criticals, produce/consume, global reductions
+//		   ┌────┼───────┬──────────┐
+//		   ▼    ▼       ▼          ▼
+//		 engine sched reduce  barrier / lock / asyncvar / shm / machine
+//
+//	  - internal/reduce is the global-reduction layer: one collective
+//	    combine-and-broadcast primitive (sum, product, max, min, and, or,
+//	    and custom operators) with selectable strategies — the paper's
+//	    critical-section baseline, padded private slots combined in pid
+//	    order, a combining tree sharing barrier.TreeTopology, and a
+//	    lock-free CAS fold for integer operators — selected per force
+//	    with core.WithReduce and surfaced as the language's GSUM/GPROD/
+//	    GMAX/GMIN/GAND/GOR statements and the -reduce CLI flags;
 //
 //	  - internal/engine is the work-distribution substrate: a persistent
 //	    force of NP worker goroutines (created once, reused by every Run —

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/reduce"
 	"repro/internal/sched"
 	"repro/internal/stats"
 )
@@ -52,18 +53,22 @@ func main() {
 	}
 }
 
-// runProgram is the portable Force program: a selfscheduled reduction, a
-// produce/consume handoff, and a Pcase, returning a deterministic value.
+// runProgram is the portable Force program: a selfscheduled loop feeding
+// a global reduction, a produce/consume handoff, and a Pcase, returning a
+// deterministic value.  The reduction runs on the machine's own
+// primitives too: the Critical strategy folds under the machine's lock
+// mechanism, exactly as the hand-rolled 1989 idiom did.
 func runProgram(m machine.Profile, np int) int {
-	f := core.New(np, core.WithMachine(m))
+	f := core.New(np, core.WithMachine(m), core.WithReduce(reduce.Critical))
 	defer f.Close()
 	cell := core.NewAsync[int](f)
-	total := 0
 	adjust := 0
 	f.Run(func(p *core.Proc) {
+		mine := 0
 		p.SelfschedDo(sched.Range{Start: 1, Last: 200, Incr: 1}, func(i int) {
-			p.Critical("sum", func() { total += i })
+			mine += i
 		})
+		total := core.Gsum(p, mine)
 		p.BarrierSection(func() { cell.Produce(total) })
 		p.Pcase(
 			core.Case(func() { p.Critical("adj", func() { adjust += 1 }) }),

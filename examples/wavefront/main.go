@@ -11,6 +11,7 @@
 package main
 
 import (
+	_ "embed"
 	"flag"
 	"fmt"
 	"os"
@@ -20,27 +21,11 @@ import (
 	"repro/internal/machine"
 )
 
-const program = `
-Force WAVE of NP ident ME
-Async Integer CELLS(64)
-Private Integer X
-End Declarations
-IF (ME .EQ. 0) THEN
-  Produce CELLS(1) = 1000
-End IF
-IF (ME .GT. 0) THEN
-  Consume CELLS(ME) into X
-  Produce CELLS(ME) = X
-  Produce CELLS(ME + 1) = X + ME
-End IF
-Barrier
-End Barrier
-IF (ME .EQ. 0) THEN
-  Consume CELLS(NP) into X
-  Print 'wave reached cell', NP, 'carrying', X
-End IF
-Join
-`
+// The program lives in wave.force so the integration tests exercise the
+// same source this example runs.
+//
+//go:embed wave.force
+var program string
 
 func main() {
 	np := flag.Int("np", 8, "number of force processes (wave length)")

@@ -87,35 +87,57 @@ func NewGaussState(a, b []float64, n int) *GaussState {
 	}
 }
 
+// pivotChoice is the element type of the pivot-selection reduction: the
+// winning magnitude and its row.
+type pivotChoice struct {
+	val float64
+	row int
+}
+
+// combinePivot is the argmax operator: larger magnitude wins; ties break
+// to the lower row, matching SeqSolve's first-maximum scan, so the
+// parallel solver eliminates in exactly the sequential pivot order.
+// Associative and commutative, as every reduction operator must be.
+func combinePivot(a, b pivotChoice) pivotChoice {
+	if b.val > a.val || (b.val == a.val && b.row >= 0 && (a.row < 0 || b.row < a.row)) {
+		return b
+	}
+	return a
+}
+
 // SolveProc runs Gaussian elimination with partial pivoting inside a
-// force: pivot selection and row swap happen in a barrier section (one
-// process while the force is suspended — the classic Force idiom), the
-// eliminations below the pivot are a selfscheduled DOALL over rows, and
-// back-substitution runs in a final barrier section.
+// force: pivot selection is a global argmax reduction — each process
+// scans its prescheduled share of the remaining rows privately, then one
+// collective combines the candidates and its reduction section (one
+// process, force suspended) performs the row swap — and the eliminations
+// below the pivot are a selfscheduled DOALL over rows.  Back-substitution
+// runs in a final barrier section.  Before the reduction subsystem the
+// whole pivot scan ran serially in a barrier section; the reduction turns
+// it into distributed work plus a log-cost combine.
 func SolveProc(p *core.Proc, st *GaussState) {
 	n := st.N
 	for k := 0; k < n; k++ {
 		kk := k
-		p.BarrierSection(func() {
+		best := pivotChoice{val: -1, row: -1}
+		p.PreschedDo(sched.Range{Start: kk, Last: n - 1, Incr: 1}, func(i int) {
+			if v := math.Abs(st.M[Idx2(i, kk, n)]); v > best.val || (v == best.val && i < best.row) {
+				best = pivotChoice{val: v, row: i}
+			}
+		})
+		core.ReduceSection(p, best, combinePivot, func(win pivotChoice) {
 			if st.Err != nil {
 				return
 			}
-			piv := kk
-			for i := kk + 1; i < n; i++ {
-				if math.Abs(st.M[Idx2(i, kk, n)]) > math.Abs(st.M[Idx2(piv, kk, n)]) {
-					piv = i
-				}
-			}
-			if st.M[Idx2(piv, kk, n)] == 0 {
+			if win.row < 0 || win.val == 0 {
 				st.Err = fmt.Errorf("apps: singular matrix at column %d", kk)
 				return
 			}
-			if piv != kk {
-				swapRows(st.M, st.RHS, piv, kk, n)
+			if win.row != kk {
+				swapRows(st.M, st.RHS, win.row, kk, n)
 			}
 		})
 		if st.Err != nil {
-			// All processes observe the error after the section and
+			// All processes observe the error after the reduction and
 			// leave the elimination loop together.
 			return
 		}

@@ -283,9 +283,14 @@ type treeNode struct {
 
 var _ Barrier = (*TreeBarrier)(nil)
 
-// NewTree builds a combining-tree barrier for n processes with the given
-// fan-in (values below 2 are raised to 2).
-func NewTree(n, fanIn int) *TreeBarrier {
+// TreeTopology computes the combining-tree layout the tree barrier uses
+// for n processes with the given fan-in (values below 2 are raised to 2):
+// node 0..len-1 are laid out leaves first, parent[i] is -1 at the root,
+// and expect[i] counts the arrivals node i absorbs (processes at a leaf,
+// children at an interior node).  Process p arrives at leaf p/fanIn.  The
+// layout is shared with internal/reduce, whose combining-tree reduction
+// climbs the same topology.
+func TreeTopology(n, fanIn int) (parent []int, expect []int64) {
 	if fanIn < 2 {
 		fanIn = 2
 	}
@@ -301,29 +306,43 @@ func NewTree(n, fanIn int) *TreeBarrier {
 		}
 		size = (size + fanIn - 1) / fanIn
 	}
-	b := &TreeBarrier{n: n, fanIn: fanIn, nodes: make([]treeNode, total), epoch: make([]padded64, n)}
+	parent = make([]int, total)
+	expect = make([]int64, total)
 	for li, l := range layers {
 		for i := 0; i < l.size; i++ {
 			idx := l.start + i
 			if li+1 < len(layers) {
-				b.nodes[idx].parent = layers[li+1].start + i/fanIn
+				parent[idx] = layers[li+1].start + i/fanIn
 			} else {
-				b.nodes[idx].parent = -1
+				parent[idx] = -1
 			}
 		}
 	}
 	// Expected arrivals: leaves count their processes, interior nodes
 	// their children.
 	for p := 0; p < n; p++ {
-		b.nodes[layers[0].start+p/fanIn].expect++
+		expect[p/fanIn]++
 	}
-	for i := range b.nodes {
-		if p := b.nodes[i].parent; p >= 0 {
-			b.nodes[p].expect++
+	for i := range parent {
+		if p := parent[i]; p >= 0 {
+			expect[p]++
 		}
 	}
+	return parent, expect
+}
+
+// NewTree builds a combining-tree barrier for n processes with the given
+// fan-in (values below 2 are raised to 2).
+func NewTree(n, fanIn int) *TreeBarrier {
+	if fanIn < 2 {
+		fanIn = 2
+	}
+	parent, expect := TreeTopology(n, fanIn)
+	b := &TreeBarrier{n: n, fanIn: fanIn, nodes: make([]treeNode, len(parent)), epoch: make([]padded64, n)}
 	for i := range b.nodes {
-		b.nodes[i].count.Store(b.nodes[i].expect)
+		b.nodes[i].parent = parent[i]
+		b.nodes[i].expect = expect[i]
+		b.nodes[i].count.Store(expect[i])
 	}
 	return b
 }

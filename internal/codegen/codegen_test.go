@@ -116,7 +116,7 @@ func TestGeneratedStructure(t *testing.T) {
 		t.Errorf("parameters leaked into shared struct:\n%s", src)
 	}
 	for _, want := range []string{
-		"f := core.New(*np, core.WithPcaseSched(sched.SelfLock))",
+		"f := core.New(*np, core.WithPcaseSched(sched.SelfLock), core.WithReduce(reduce.PrivateSlots))",
 		"f.Run(func(p *core.Proc) {",
 		"ME := p.ID()",
 		"p.BarrierSection(func() {",

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/barrier"
 	"repro/internal/machine"
+	"repro/internal/reduce"
 	"repro/internal/sched"
 	"repro/internal/shm"
 )
@@ -36,6 +37,7 @@ func ConformanceWith(m machine.Profile, bk barrier.Kind, np int) error {
 		{"doall-2d", checkDoall2},
 		{"pcase", checkPcase},
 		{"askfor", checkAskfor},
+		{"reduce", checkReduce},
 		{"resolve", checkResolve},
 		{"produce-consume", checkProduceConsume},
 		{"void", checkVoid},
@@ -193,6 +195,31 @@ func checkAskfor(m machine.Profile, bk barrier.Kind, np int) error {
 	})
 	if got, want := nodes.Load(), int64(1<<6-1); got != want {
 		return fmt.Errorf("askfor tree = %d nodes, want %d", got, want)
+	}
+	return nil
+}
+
+func checkReduce(m machine.Profile, bk barrier.Kind, np int) error {
+	// Every strategy must produce the same values on every machine; the
+	// Critical strategy exercises the machine's own lock mechanism.
+	for _, k := range reduce.Kinds() {
+		f := New(np, WithMachine(m), WithBarrier(bk), WithReduce(k))
+		var bad atomic.Int64
+		f.Run(func(p *Proc) {
+			if Gsum(p, p.ID()+1) != np*(np+1)/2 {
+				bad.Add(1)
+			}
+			if Gmax(p, float64(p.ID())) != float64(np-1) {
+				bad.Add(1)
+			}
+			if Gand(p, true) != true || Gor(p, p.ID() == 0) != true {
+				bad.Add(1)
+			}
+		})
+		f.Close()
+		if bad.Load() != 0 {
+			return fmt.Errorf("strategy %s: %d wrong reduction results", k, bad.Load())
+		}
 	}
 	return nil
 }

@@ -18,7 +18,11 @@
 //     pools with run-time work generation; Resolve (the paper's "yet
 //     unimplemented concept", built here as scoped sub-forces);
 //   - synchronization: barriers with single-process barrier sections,
-//     named critical sections, and produce/consume on async variables.
+//     named critical sections, and produce/consume on async variables;
+//   - global reductions: Gsum/Gprod/Gmax/Gmin/Gand/Gor and the generic
+//     Reduce/ReduceSection, executed by a selectable strategy
+//     (WithReduce) — the first-class replacement for the hand-rolled
+//     critical-section reductions of the paper's programs.
 //
 // Every construct is generic in the paper's sense — no process identifiers
 // appear in synchronization operations — and programs are written to be
@@ -34,12 +38,12 @@
 //	                 ▼
 //	               core                 (Force/Proc: the paper's constructs)
 //	                 │
-//	      ┌──────────┼────────────┐
-//	      ▼          ▼            ▼
-//	   engine      sched      barrier / lock / machine
-//	 (persistent (loop dis-   (synchronization and the
-//	  workers,    ciplines;    machine-dependent layer)
-//	  deques,     Stealing is
+//	      ┌──────────┼──────────┬────────────┐
+//	      ▼          ▼          ▼            ▼
+//	   engine      sched      reduce     barrier / lock / machine
+//	 (persistent (loop dis-  (global     (synchronization and the
+//	  workers,    ciplines;   reduction   machine-dependent layer)
+//	  deques,     Stealing is strategies)
 //	  pools)      engine-backed)
 //
 // A Force owns a persistent engine.Engine: NP worker goroutines started
@@ -64,6 +68,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lock"
 	"repro/internal/machine"
+	"repro/internal/reduce"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -81,6 +86,7 @@ type Force struct {
 	tr        *trace.Recorder // nil unless WithTrace was given
 	askfor    engine.PoolKind // Askfor pool discipline
 	pcaseKind sched.Kind      // SelfschedPcase block distribution
+	reduceK   reduce.Kind     // global-reduction strategy
 
 	eng *engine.Engine // persistent workers; nil on scoped sub-forces
 
@@ -96,6 +102,7 @@ type Stats struct {
 	Criticals   atomic.Int64
 	PcaseBlocks atomic.Int64
 	AskforTasks atomic.Int64
+	Reductions  atomic.Int64
 }
 
 // Option configures a Force.
@@ -130,6 +137,15 @@ func WithTrace(r *trace.Recorder) Option {
 // central monitor for comparison.
 func WithAskfor(k engine.PoolKind) Option {
 	return func(f *Force) { f.askfor = k }
+}
+
+// WithReduce selects the strategy executing global reductions (the G*
+// operations and Reduce).  Default: reduce.PrivateSlots, the padded
+// per-process accumulators combined in pid order; reduce.Critical
+// restores the paper's shared-accumulator-in-a-critical-section idiom
+// for comparison.
+func WithReduce(k reduce.Kind) Option {
+	return func(f *Force) { f.reduceK = k }
 }
 
 // WithPcaseSched selects the distribution discipline of SelfschedPcase
@@ -651,6 +667,7 @@ func newSubForce(parent *Force, np int) *Force {
 		tr:        parent.tr,
 		askfor:    parent.askfor,
 		pcaseKind: parent.pcaseKind,
+		reduceK:   parent.reduceK,
 	}
 	sub.bar = barrier.New(sub.barKind, np, sub.profile.LockFactory())
 	sub.locks = lock.NewSet(sub.profile.LockFactory())

@@ -233,6 +233,54 @@ type PutStmt struct {
 	Expr Expr
 }
 
+// GOp names a global-reduction operator at language level.
+type GOp int
+
+// The six global operators: sum, product, maximum, minimum, conjunction
+// and disjunction over the whole force.
+const (
+	GSum GOp = iota
+	GProd
+	GMax
+	GMin
+	GAnd
+	GOr
+)
+
+var gopNames = map[GOp]string{
+	GSum: "GSUM", GProd: "GPROD", GMax: "GMAX", GMin: "GMIN", GAnd: "GAND", GOr: "GOR",
+}
+
+// String returns the dialect keyword of the operator.
+func (o GOp) String() string {
+	if s, ok := gopNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("GOp(%d)", int(o))
+}
+
+// Logical reports whether the operator combines LOGICAL values (GAND,
+// GOR); the others are numeric.
+func (o GOp) Logical() bool { return o == GAnd || o == GOr }
+
+// GOps lists the operators in declaration order.
+func GOps() []GOp { return []GOp{GSum, GProd, GMax, GMin, GAnd, GOr} }
+
+// ReduceStmt is a global reduction statement: GSUM target = expr (and
+// GPROD/GMAX/GMIN/GAND/GOR).  Every process of the force evaluates expr,
+// the values are combined with the operator, and target receives the
+// combined value: a shared target is stored exactly once while the force
+// is suspended, a private target is assigned in every process.  The
+// statement is collective — all processes must reach it together, so it
+// is illegal inside single-stream contexts (Askfor task bodies, Pcase
+// blocks, DOALL iteration bodies, barrier sections, Critical bodies).
+type ReduceStmt struct {
+	stmtBase
+	Op     GOp
+	Target Ref
+	Expr   Expr
+}
+
 // ProduceStmt is Produce var = expr, or Produce var(sub) = expr for an
 // asynchronous array element (Sub nil for scalars).  Async arrays are the
 // HEP idiom — a full/empty bit on every cell — and are one-dimensional.

@@ -310,6 +310,34 @@ func (c *checker) stmt(st Stmt, s *Scope) error {
 		})
 		c.askfor--
 		return err
+	case *ReduceStmt:
+		// A reduction is collective: every process contributes and the
+		// construct synchronizes the whole force, so inside a
+		// single-stream context (an Askfor task body, a Pcase block, a
+		// DOALL iteration, a barrier section, a Critical body — directly
+		// or through a Call) it would suspend the one process that
+		// reached it forever.
+		if err := c.collective(t.Pos(), t.Op.String()); err != nil {
+			return err
+		}
+		lt, err := c.refType(&t.Target, s)
+		if err != nil {
+			return err
+		}
+		et, err := c.exprType(t.Expr, s)
+		if err != nil {
+			return err
+		}
+		if t.Op.Logical() {
+			if lt != TLogical || et != TLogical {
+				return fmt.Errorf("line %d: %s combines LOGICAL values", t.Pos(), t.Op)
+			}
+			return nil
+		}
+		if lt == TLogical || et == TLogical {
+			return fmt.Errorf("line %d: %s combines numeric values", t.Pos(), t.Op)
+		}
+		return assignable(lt, et, t.Pos())
 	case *PutStmt:
 		if c.askfor == 0 {
 			return fmt.Errorf("line %d: Put outside an Askfor body", t.Pos())

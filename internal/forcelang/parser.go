@@ -447,6 +447,24 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return &PutStmt{stmtBase: base, Expr: expr}, nil
 	case p.peekWord("PCASE"):
 		return p.parsePcase(base)
+	case p.peekGOp() != nil:
+		op := *p.peekGOp()
+		p.pos++
+		target, err := p.parseRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectEOL(); err != nil {
+			return nil, err
+		}
+		return &ReduceStmt{stmtBase: base, Op: op, Target: target, Expr: e}, nil
 	case p.peekWord("PRODUCE"):
 		p.pos++
 		name, sub, err := p.parseAsyncRef()
@@ -711,6 +729,21 @@ func (p *parser) parseParDo(kind SchedKind, base stmtBase) (Stmt, error) {
 		return nil, err
 	}
 	return pd, nil
+}
+
+// peekGOp reports (without consuming) whether the current token starts a
+// global-reduction statement, returning the operator.
+func (p *parser) peekGOp() *GOp {
+	if p.cur().kind != tokIdent {
+		return nil
+	}
+	for _, op := range GOps() {
+		if p.cur().text == op.String() {
+			op := op
+			return &op
+		}
+	}
+	return nil
 }
 
 // parseAskfor parses Askfor VAR = seed ... End Askfor (ASKFOR already

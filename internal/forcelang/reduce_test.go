@@ -1,0 +1,130 @@
+package forcelang
+
+import (
+	"strings"
+	"testing"
+)
+
+// wrap builds a minimal program around body statements.
+func wrapReduce(decls, body string) string {
+	return "Force P of NP ident ME\n" + decls + "End Declarations\n" + body + "Join\n"
+}
+
+func TestParseReduceStatements(t *testing.T) {
+	src := wrapReduce(
+		"Shared Real TOTAL\nShared Integer COUNT\nShared Logical OK\nPrivate Real X\nPrivate Integer I\nPrivate Logical B\n",
+		"GSUM TOTAL = X * 2.0\n"+
+			"GPROD COUNT = I + 1\n"+
+			"GMAX TOTAL = X\n"+
+			"GMIN X = TOTAL\n"+
+			"GAND OK = B\n"+
+			"GOR B = OK\n")
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []GOp{GSum, GProd, GMax, GMin, GAnd, GOr}
+	if len(prog.Body) != len(wantOps) {
+		t.Fatalf("parsed %d statements, want %d", len(prog.Body), len(wantOps))
+	}
+	for i, st := range prog.Body {
+		rs, ok := st.(*ReduceStmt)
+		if !ok {
+			t.Fatalf("statement %d is %T, want *ReduceStmt", i, st)
+		}
+		if rs.Op != wantOps[i] {
+			t.Errorf("statement %d op = %s, want %s", i, rs.Op, wantOps[i])
+		}
+	}
+}
+
+func TestReduceIntoArrayElement(t *testing.T) {
+	src := wrapReduce(
+		"Shared Real A(10)\nPrivate Real X\n",
+		"GSUM A(3) = X\n")
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceTypeRules(t *testing.T) {
+	cases := []struct {
+		name, decls, body, wantErr string
+	}{
+		{"logical into numeric", "Shared Real T\nPrivate Logical B\n", "GSUM T = B\n", "numeric"},
+		{"numeric into logical target", "Shared Logical OK\nPrivate Real X\n", "GMAX OK = X\n", "numeric"},
+		{"gand numeric operand", "Shared Logical OK\nPrivate Real X\n", "GAND OK = X\n", "LOGICAL"},
+		{"gor numeric target", "Shared Real T\nPrivate Logical B\n", "GOR T = B\n", "LOGICAL"},
+		{"undeclared target", "Private Real X\n", "GSUM NOWHERE = X\n", "undeclared"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(wrapReduce(tc.decls, tc.body))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestReduceIsCollective(t *testing.T) {
+	cases := []struct {
+		name, body string
+	}{
+		{"askfor body", "Askfor I = 1\n  GSUM T = X\nEnd Askfor\n"},
+		{"pcase block", "Pcase\nUsect\n  GSUM T = X\nEnd Pcase\n"},
+		{"doall body", "Selfsched DO I = 1, 10\n  GSUM T = X\nEnd Selfsched DO\n"},
+		{"critical body", "Critical C\n  GSUM T = X\nEnd Critical\n"},
+		{"barrier section", "Barrier\n  GSUM T = X\nEnd Barrier\n"},
+	}
+	decls := "Shared Real T\nPrivate Real X\nPrivate Integer I\n"
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(wrapReduce(decls, tc.body))
+			if err == nil || !strings.Contains(err.Error(), "single-stream context") {
+				t.Errorf("error = %v, want single-stream rejection", err)
+			}
+		})
+	}
+}
+
+func TestReduceIsCollectiveThroughCall(t *testing.T) {
+	// The PR-1 collective-in-task machinery re-checks callees: a task
+	// body smuggling a reduction in through a Call is rejected too.
+	src := "Force P of NP ident ME\n" +
+		"Shared Real T\n" +
+		"Private Integer I\n" +
+		"End Declarations\n" +
+		"Askfor I = 1\n" +
+		"  Call HELPER\n" +
+		"End Askfor\n" +
+		"Join\n" +
+		"Forcesub HELPER\n" +
+		"Private Real X\n" +
+		"End Declarations\n" +
+		"GSUM T = X\n" +
+		"Endsub\n"
+	_, err := Parse(src)
+	if err == nil || !strings.Contains(err.Error(), "single-stream context") {
+		t.Errorf("error = %v, want single-stream rejection through Call", err)
+	}
+}
+
+func TestReduceLegalAtTopLevelOfSub(t *testing.T) {
+	// A reduction inside a subroutine called from SPMD top level is
+	// legal: the whole force reaches it together.
+	src := "Force P of NP ident ME\n" +
+		"Shared Real T\n" +
+		"End Declarations\n" +
+		"Call HELPER\n" +
+		"Join\n" +
+		"Forcesub HELPER\n" +
+		"Private Real X\n" +
+		"End Declarations\n" +
+		"X = 1.5\n" +
+		"GSUM T = X\n" +
+		"Endsub\n"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/forcelang"
 	"repro/internal/machine"
+	"repro/internal/reduce"
 	"repro/internal/sched"
 	"repro/internal/shm"
 	"repro/internal/trace"
@@ -62,6 +63,11 @@ type Config struct {
 	// statements: the engine's work-stealing deques (zero value) or the
 	// [LO83]-style central monitor (engine.MonitorPool).
 	Askfor engine.PoolKind
+	// Reduce selects the strategy executing the global-reduction
+	// statements (GSUM, GPROD, GMAX, GMIN, GAND, GOR): per-process
+	// padded slots (zero value), the paper's critical-section baseline
+	// (reduce.Critical), the combining tree, or lock-free CAS.
+	Reduce reduce.Kind
 }
 
 // Run executes the program and returns the first runtime error, if any.
@@ -81,7 +87,7 @@ func Run(prog *forcelang.Program, cfg Config) (err error) {
 	in := newInstance(prog, cfg)
 	f := core.New(cfg.NP, core.WithMachine(cfg.Machine), core.WithBarrier(cfg.Barrier),
 		core.WithTrace(cfg.Trace), core.WithAskfor(cfg.Askfor),
-		core.WithPcaseSched(cfg.Selfsched))
+		core.WithPcaseSched(cfg.Selfsched), core.WithReduce(cfg.Reduce))
 	defer f.Close()
 	defer func() {
 		flushErr := in.flush()
@@ -487,6 +493,8 @@ func (pr *proc) stmt(st forcelang.Stmt, f *frame) {
 		}
 	case *forcelang.AskforStmt:
 		pr.askfor(t, f)
+	case *forcelang.ReduceStmt:
+		pr.greduce(t, f)
 	case *forcelang.PutStmt:
 		if len(pr.puts) == 0 {
 			panic(rtErrf(t.Pos(), "Put outside an Askfor body"))
@@ -579,6 +587,46 @@ func (pr *proc) askfor(t *forcelang.AskforStmt, f *frame) {
 		defer func() { pr.puts = pr.puts[:len(pr.puts)-1] }()
 		pr.stmts(t.Body, f)
 	})
+}
+
+// greduce executes a global-reduction statement: evaluate the operand,
+// coerce it to the target's type (the reduction is performed in the
+// target's type, so the interpreter and the code generator combine in
+// the same arithmetic), reduce across the force, and assign the combined
+// value to the target.  The interpreter assigns per process — its shared
+// storage is mutex-serialized, and every process stores the same value.
+func (pr *proc) greduce(t *forcelang.ReduceStmt, f *frame) {
+	tb := pr.lookup(f, t.Target.Name, t.Pos())
+	v := pr.eval(t.Expr, f)
+	var out value
+	switch {
+	case t.Op.Logical():
+		b := v.b
+		if t.Op == forcelang.GAnd {
+			out = boolVal(core.Gand(pr.p, b))
+		} else {
+			out = boolVal(core.Gor(pr.p, b))
+		}
+	case tb.decl.Type == forcelang.TInt:
+		out = intVal(greduceNum(pr.p, t.Op, coerce(v, forcelang.TInt, t.Pos()).i))
+	default:
+		out = realVal(greduceNum(pr.p, t.Op, v.asReal()))
+	}
+	pr.assign(&t.Target, out, f)
+}
+
+// greduceNum dispatches a numeric reduction over the operand type.
+func greduceNum[T core.Number](p *core.Proc, op forcelang.GOp, x T) T {
+	switch op {
+	case forcelang.GSum:
+		return core.Gsum(p, x)
+	case forcelang.GProd:
+		return core.Gprod(p, x)
+	case forcelang.GMax:
+		return core.Gmax(p, x)
+	default:
+		return core.Gmin(p, x)
+	}
 }
 
 func (pr *proc) print(t *forcelang.PrintStmt, f *frame) {

@@ -61,6 +61,17 @@ s/^ *End +critical *$/end_critical/i
 s/^ *Produce +([A-Za-z][A-Za-z0-9_]*) *= *(.*)$/produce(\1,` + "`\\2'" + `)/i
 s/^ *Consume +([A-Za-z][A-Za-z0-9_]*) +into +([A-Za-z][A-Za-z0-9_()]*) *$/consume(\1,\2)/i
 s/^ *Void +([A-Za-z][A-Za-z0-9_]*) *$/void_async(\1)/i
+
+# Global reductions: GSUM target = expr and friends.  The independent
+# layer expands them to the critical-section baseline (the only
+# realization the 1989 preprocessor could emit); the Go runtime offers
+# the contention-free strategies behind the same statements.
+s/^ *Gsum +([A-Za-z][A-Za-z0-9_()]*) *= *(.*)$/greduce(SUM,\1,` + "`\\2'" + `)/i
+s/^ *Gprod +([A-Za-z][A-Za-z0-9_()]*) *= *(.*)$/greduce(PROD,\1,` + "`\\2'" + `)/i
+s/^ *Gmax +([A-Za-z][A-Za-z0-9_()]*) *= *(.*)$/greduce(MAX,\1,` + "`\\2'" + `)/i
+s/^ *Gmin +([A-Za-z][A-Za-z0-9_()]*) *= *(.*)$/greduce(MIN,\1,` + "`\\2'" + `)/i
+s/^ *Gand +([A-Za-z][A-Za-z0-9_()]*) *= *(.*)$/greduce(AND,\1,` + "`\\2'" + `)/i
+s/^ *Gor +([A-Za-z][A-Za-z0-9_()]*) *= *(.*)$/greduce(OR,\1,` + "`\\2'" + `)/i
 `
 
 // Independent is the machine-independent statement-macro layer.  Every
@@ -178,7 +189,16 @@ const Independent = "" +
 	"      IF (ZZFULL($1)) THEN\n" +
 	"      lock(E_$1)\n" +
 	"      unlock(F_$1)\n" +
-	"      END IF')dnl\n"
+	"      END IF')dnl\n" +
+	// --- global reductions (critical-section baseline: fold the
+	//     contribution under a per-target lock, then the exit
+	//     synchronization every collective construct shares) -------------
+	"define(`greduce', `C global $1 reduction into $2\n" +
+	"      lock(RDC_$2)\n" +
+	"      $2 = ZZG$1($2, $3)\n" +
+	"      unlock(RDC_$2)\n" +
+	"C reduction exit synchronization\n" +
+	"      CALL ZZGBAR')dnl\n"
 
 // machineLayers maps a machine name to its machine-dependent macro file.
 // "generic" maps to the empty layer: the low-level macros stay symbolic,

@@ -1,0 +1,490 @@
+// Package reduce implements global reductions — the Force's collective
+// combine-and-broadcast operation — as a first-class runtime layer with
+// selectable strategies.
+//
+// The paper's programs express a global reduction with the only tools the
+// 1989 language had: a shared accumulator updated inside a named critical
+// section, closed by a barrier.  That serializes the hottest collective
+// operation in every SPMD kernel.  Modern runtimes (Cilk reducers,
+// Charm++ contribute-style reductions) make the reduction itself the
+// primitive; this package provides that primitive over the repository's
+// own lock and barrier substrate, keeping the paper's idiom as the
+// Critical baseline strategy for comparison.
+//
+// An Episode is the shared state of ONE dynamic reduction instance for a
+// force of np processes: every process contributes exactly once through
+// Do and receives the combined value, and no process returns before the
+// combination is complete — a reduction is also a full synchronization
+// point, like the implicit barrier closing a DOALL.  Episodes are
+// one-shot: the runtime materializes a fresh Episode per construct
+// execution (internal/core's construct-entry table), so no sense-reversal
+// machinery is needed.
+//
+// The combining function must be associative and commutative; the order
+// in which contributions meet is strategy-dependent.  PrivateSlots is the
+// deterministic strategy: it always folds the per-process slots in pid
+// order, so even floating-point reductions reproduce bit-identically for
+// a fixed np.
+package reduce
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/barrier"
+	"repro/internal/lock"
+)
+
+// Kind names a reduction strategy.  The zero value is PrivateSlots, the
+// default the runtime uses.
+type Kind int
+
+const (
+	// PrivateSlots gives every process its own padded accumulator slot;
+	// the last process to arrive folds the slots in pid order (the
+	// "combined in a barrier section" shape) and publishes the result.
+	// Contention-free contribution, deterministic combination order.
+	PrivateSlots Kind = iota
+	// Critical is the paper's baseline, reproduced whole: contributions
+	// fold into one shared accumulator under a machine lock, and the
+	// construct closes with the paper's own two-lock barrier (section
+	// included) — the critical-section-plus-barrier idiom every 1989
+	// Force program hand-rolled, kept for comparison.
+	Critical
+	// Tree combines contributions up the k-ary combining tree the tree
+	// barrier uses (barrier.TreeTopology): the last arrival at each node
+	// carries the node's partial result to its parent, and the process
+	// reaching the root publishes the total.  Log-depth critical path.
+	Tree
+	// Atomic folds contributions into a single cell with a lock-free
+	// CAS loop — for the commutative integer and boolean operators.
+	// Element types without an integer representation (float64) and
+	// custom operators fall back to PrivateSlots.
+	Atomic
+)
+
+var kindNames = map[Kind]string{
+	Critical:     "critical",
+	PrivateSlots: "slots",
+	Tree:         "tree",
+	Atomic:       "atomic",
+}
+
+// kindGoNames are the Go identifiers of the kinds, for code generators
+// emitting reduce.<name> against this package.
+var kindGoNames = map[Kind]string{
+	Critical:     "Critical",
+	PrivateSlots: "PrivateSlots",
+	Tree:         "Tree",
+	Atomic:       "Atomic",
+}
+
+// String returns the strategy's short name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("reduce.Kind(%d)", int(k))
+}
+
+// GoName returns the kind's Go identifier within this package, the form
+// internal/codegen emits into generated programs.
+func (k Kind) GoName() string {
+	if s, ok := kindGoNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ParseKind converts a short name into a Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("reduce: unknown kind %q (kinds: %s, %s, %s, %s)",
+		s, Critical, PrivateSlots, Tree, Atomic)
+}
+
+// Kinds lists the strategies in presentation order (baseline first).
+func Kinds() []Kind { return []Kind{Critical, PrivateSlots, Tree, Atomic} }
+
+// Op names the combining operator of a global reduction.  The named
+// operators let the Atomic strategy pick its integer identity and give
+// trace events a stable label; Custom covers user-supplied combiners.
+type Op int
+
+// The global operators of the Force dialect (GSUM, GPROD, GMAX, GMIN,
+// GAND, GOR) plus Custom for arbitrary combine functions.
+const (
+	Sum Op = iota
+	Prod
+	Max
+	Min
+	And
+	Or
+	Custom
+)
+
+var opNames = map[Op]string{
+	Sum: "sum", Prod: "prod", Max: "max", Min: "min", And: "and", Or: "or", Custom: "custom",
+}
+
+// String returns the operator's short name.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("reduce.Op(%d)", int(o))
+}
+
+// Episode is the shared state of one dynamic reduction instance for a
+// fixed force.  Every participating process calls Do exactly once with
+// its process id and contribution; Do returns the global combination to
+// every caller, and no caller returns before all have contributed.  An
+// Episode must not be reused.
+type Episode[T any] interface {
+	Do(pid int, x T) T
+}
+
+// Config carries the machine-dependent hooks an Episode may need; it
+// is generic in the element type because the completion hook receives
+// the result.
+type Config[T any] struct {
+	// Lock supplies the accumulator lock for the Critical strategy —
+	// the machine profile's lock mechanism, exactly as the paper's
+	// critical section macro uses it.  Nil defaults to system locks.
+	Lock func() lock.Lock
+	// FanIn is the Tree strategy's combining fan-in (default 4, the
+	// tree barrier's default).
+	FanIn int
+	// OnComplete, when non-nil, runs exactly once per episode, in the
+	// process that completes the combination, after the result is final
+	// and before any process is released — the barrier-section position.
+	// The runtime uses it to retire the construct entry and to execute
+	// single-process reduction sections.
+	OnComplete func(result T)
+}
+
+// New builds the shared state of one reduction episode for np processes.
+// combine must be associative and commutative; op describes it (pass
+// Custom for user combiners).  The Atomic strategy serves the named
+// operators over integer and boolean element types and silently falls
+// back to PrivateSlots otherwise, so callers can select it force-wide
+// without per-callsite type checks.
+func New[T any](k Kind, np int, op Op, combine func(T, T) T, cfg Config[T]) Episode[T] {
+	if np <= 0 {
+		panic(fmt.Sprintf("reduce: np = %d, need np >= 1", np))
+	}
+	switch k {
+	case Critical:
+		factory := cfg.Lock
+		if factory == nil {
+			factory = lock.Factory(lock.System)
+		}
+		return &criticalEpisode[T]{
+			np: np, combine: combine, lk: factory(),
+			bar: barrier.NewTwoLock(np, factory), onComplete: cfg.OnComplete,
+		}
+	case Tree:
+		fanIn := cfg.FanIn
+		if fanIn < 2 {
+			fanIn = 4
+		}
+		parent, expect := barrier.TreeTopology(np, fanIn)
+		e := &treeEpisode[T]{fanIn: fanIn, combine: combine, nodes: make([]reduceNode[T], len(parent)), rel: newRelease[T](), onComplete: cfg.OnComplete}
+		for i := range e.nodes {
+			e.nodes[i].parent = parent[i]
+			e.nodes[i].pending = expect[i]
+		}
+		return e
+	case Atomic:
+		if enc, dec, ident, ok := atomicCodec[T](op); ok {
+			e := &atomicEpisode[T]{np: np, combine: combine, enc: enc, dec: dec, rel: newRelease[T](), onComplete: cfg.OnComplete}
+			e.acc.Store(enc(ident))
+			return e
+		}
+		// No lock-free integer representation: fall through to slots.
+		fallthrough
+	default:
+		return newSlots[T](np, combine, cfg.OnComplete)
+	}
+}
+
+// release publishes the episode result to the waiting processes.  The
+// completing process stores the result, runs the section hook, and
+// releases everyone; the atomic store of done orders the result write
+// before every reader.  Waiting is spin-then-park: a short yield-spiced
+// spin catches the common fast path under real parallelism, after which
+// the waiter parks on the release channel — on an oversubscribed
+// machine (more processes than CPUs, the 1989 normality and the CI
+// box's too) parked waiters leave the scheduler to the processes that
+// still owe contributions instead of cycling through the run queue.
+type release[T any] struct {
+	done   atomic.Uint32
+	ch     chan struct{}
+	result T
+}
+
+func newRelease[T any]() release[T] {
+	return release[T]{ch: make(chan struct{})}
+}
+
+func (r *release[T]) publish(v T, onComplete func(T)) T {
+	r.result = v
+	if onComplete != nil {
+		onComplete(v)
+	}
+	r.done.Store(1)
+	close(r.ch)
+	return v
+}
+
+func (r *release[T]) await() T {
+	for i := 0; i < 64; i++ {
+		if r.done.Load() == 1 {
+			return r.result
+		}
+		if i%16 == 15 {
+			runtime.Gosched()
+		}
+	}
+	<-r.ch
+	return r.result
+}
+
+// criticalEpisode is the paper's idiom reproduced whole: fold the
+// contribution into one shared accumulator inside a critical section
+// (the machine's lock), then close the construct with the paper's
+// two-lock barrier — the completion hook runs as that barrier's section.
+// This is what every 1989 Force program spelled out by hand, and it
+// carries the idiom's full cost: serialized folds plus the lock-handoff
+// barrier.  The other strategies replace both halves.
+type criticalEpisode[T any] struct {
+	np         int
+	combine    func(T, T) T
+	lk         lock.Lock
+	bar        *barrier.TwoLockBarrier
+	acc        T
+	seeded     bool
+	onComplete func(T)
+}
+
+func (e *criticalEpisode[T]) Do(pid int, x T) T {
+	e.lk.Lock()
+	if e.seeded {
+		e.acc = e.combine(e.acc, x)
+	} else {
+		e.acc, e.seeded = x, true
+	}
+	e.lk.Unlock()
+	var section func()
+	if e.onComplete != nil {
+		section = func() { e.onComplete(e.acc) }
+	}
+	e.bar.Sync(pid, section)
+	// All folds happened before the last arrival opened the barrier
+	// drain, so the accumulator is final and safe to read.
+	return e.acc
+}
+
+// paddedSlot keeps one process's accumulator on its own cache line so
+// concurrent contributions do not false-share.
+type paddedSlot[T any] struct {
+	v T
+	_ [64]byte
+}
+
+// slotsEpisode: contribution is a plain store into the process's own
+// slot; the last arrival folds the slots in pid order (the deterministic
+// combination) and publishes.  Slots are cache-line padded only when the
+// program can actually run in parallel (GOMAXPROCS > 1): padding exists
+// to defeat false sharing between concurrently-writing CPUs, and on a
+// single-CPU box it would only dilute the cache.
+type slotsEpisode[T any] struct {
+	np         int
+	combine    func(T, T) T
+	slots      []paddedSlot[T] // padded storage (nil when compact)
+	compact    []T             // unpadded storage (GOMAXPROCS == 1)
+	arrived    atomic.Int64
+	rel        release[T]
+	onComplete func(T)
+}
+
+func newSlots[T any](np int, combine func(T, T) T, onComplete func(T)) *slotsEpisode[T] {
+	e := &slotsEpisode[T]{np: np, combine: combine, rel: newRelease[T](), onComplete: onComplete}
+	if runtime.GOMAXPROCS(0) > 1 {
+		e.slots = make([]paddedSlot[T], np)
+	} else {
+		e.compact = make([]T, np)
+	}
+	return e
+}
+
+func (e *slotsEpisode[T]) put(pid int, x T) {
+	if e.slots != nil {
+		e.slots[pid].v = x
+	} else {
+		e.compact[pid] = x
+	}
+}
+
+func (e *slotsEpisode[T]) at(pid int) T {
+	if e.slots != nil {
+		return e.slots[pid].v
+	}
+	return e.compact[pid]
+}
+
+func (e *slotsEpisode[T]) Do(pid int, x T) T {
+	e.put(pid, x)
+	if e.arrived.Add(1) == int64(e.np) {
+		acc := e.at(0)
+		for i := 1; i < e.np; i++ {
+			acc = e.combine(acc, e.at(i))
+		}
+		return e.rel.publish(acc, e.onComplete)
+	}
+	return e.rel.await()
+}
+
+// reduceNode is one combining-tree node: a small mutex guards the partial
+// accumulator, an arrival count decides who climbs.
+type reduceNode[T any] struct {
+	mu      sync.Mutex
+	acc     T
+	seeded  bool
+	pending int64
+	parent  int
+	_       [24]byte
+}
+
+// treeEpisode climbs barrier.TreeTopology's k-ary tree: the last arrival
+// at each node carries the combined partial value upward, and the process
+// that closes the root publishes.
+type treeEpisode[T any] struct {
+	fanIn      int
+	combine    func(T, T) T
+	nodes      []reduceNode[T]
+	rel        release[T]
+	onComplete func(T)
+}
+
+func (e *treeEpisode[T]) Do(pid int, x T) T {
+	node := pid / e.fanIn
+	v := x
+	for {
+		n := &e.nodes[node]
+		n.mu.Lock()
+		if n.seeded {
+			n.acc = e.combine(n.acc, v)
+		} else {
+			n.acc, n.seeded = v, true
+		}
+		n.pending--
+		last := n.pending == 0
+		if last {
+			v = n.acc
+		}
+		n.mu.Unlock()
+		if !last {
+			return e.rel.await()
+		}
+		if n.parent < 0 {
+			return e.rel.publish(v, e.onComplete)
+		}
+		node = n.parent
+	}
+}
+
+// atomicEpisode folds contributions into one int64 cell with a CAS loop.
+type atomicEpisode[T any] struct {
+	np         int
+	combine    func(T, T) T
+	enc        func(T) int64
+	dec        func(int64) T
+	acc        atomic.Int64
+	arrived    atomic.Int64
+	rel        release[T]
+	onComplete func(T)
+}
+
+func (e *atomicEpisode[T]) Do(pid int, x T) T {
+	for {
+		old := e.acc.Load()
+		nw := e.enc(e.combine(e.dec(old), x))
+		if nw == old || e.acc.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	if e.arrived.Add(1) == int64(e.np) {
+		return e.rel.publish(e.dec(e.acc.Load()), e.onComplete)
+	}
+	return e.rel.await()
+}
+
+// atomicCodec reports whether T has a lock-free int64 representation for
+// the named operator, and if so returns the codec and the operator's
+// identity element (the initial accumulator value).
+func atomicCodec[T any](op Op) (enc func(T) int64, dec func(int64) T, ident T, ok bool) {
+	var zero T
+	switch any(zero).(type) {
+	case int:
+		enc = func(v T) int64 { return int64(any(v).(int)) }
+		dec = func(b int64) T { return any(int(b)).(T) }
+	case int64:
+		enc = func(v T) int64 { return any(v).(int64) }
+		dec = func(b int64) T { return any(b).(T) }
+	case bool:
+		enc = func(v T) int64 {
+			if any(v).(bool) {
+				return 1
+			}
+			return 0
+		}
+		dec = func(b int64) T { return any(b != 0).(T) }
+	default:
+		return nil, nil, zero, false
+	}
+	// The Max/Min identities must fit T: int is 32 bits on 32-bit
+	// platforms, where int(math.MinInt64) would truncate to 0 and
+	// poison the fold.
+	_, isInt := any(zero).(int)
+	var id int64
+	switch op {
+	case Sum:
+		id = 0
+	case Prod:
+		id = 1
+	case Max:
+		if isInt {
+			id = int64(math.MinInt)
+		} else {
+			id = math.MinInt64
+		}
+	case Min:
+		if isInt {
+			id = int64(math.MaxInt)
+		} else {
+			id = math.MaxInt64
+		}
+	case And:
+		id = 1
+	case Or:
+		id = 0
+	default:
+		// Custom combiners have no known identity to seed the cell with.
+		return nil, nil, zero, false
+	}
+	if _, isBool := any(zero).(bool); isBool && (op == Sum || op == Prod || op == Max || op == Min) {
+		return nil, nil, zero, false
+	}
+	if _, isB := any(zero).(bool); !isB && (op == And || op == Or) {
+		return nil, nil, zero, false
+	}
+	return enc, dec, dec(id), true
+}

@@ -35,6 +35,8 @@ const (
 	AskforTask
 	ProduceOp
 	ConsumeOp
+	ReduceEnter
+	ReduceLeave
 )
 
 var kindNames = map[Kind]string{
@@ -51,6 +53,8 @@ var kindNames = map[Kind]string{
 	AskforTask:    "askfor-task",
 	ProduceOp:     "produce",
 	ConsumeOp:     "consume",
+	ReduceEnter:   "reduce-enter",
+	ReduceLeave:   "reduce-leave",
 }
 
 // String returns the kind's name.
@@ -250,6 +254,47 @@ func CheckBarrierEpisodes(events []Event, np int) error {
 	}
 	if outstanding != 0 || inSection {
 		return fmt.Errorf("trace: log ends with %d processes inside (section=%v)", outstanding, inSection)
+	}
+	return nil
+}
+
+// CheckReduceParticipation verifies the collective contract of the
+// global-reduction events: every episode (identified by the event Arg,
+// the construct sequence number) has exactly np ReduceEnter and np
+// ReduceLeave events, one pair per process, and no process leaves an
+// episode it did not enter.
+func CheckReduceParticipation(events []Event, np int) error {
+	type key struct {
+		seq int64
+		pid int
+	}
+	enters := map[key]int{}
+	leaves := map[key]int{}
+	perEpisode := map[int64]int{}
+	for _, e := range events {
+		switch e.Kind {
+		case ReduceEnter:
+			enters[key{e.Arg, e.PID}]++
+			perEpisode[e.Arg]++
+		case ReduceLeave:
+			if enters[key{e.Arg, e.PID}] == 0 {
+				return fmt.Errorf("trace: %v left a reduction it never entered", e)
+			}
+			leaves[key{e.Arg, e.PID}]++
+		}
+	}
+	for k, n := range enters {
+		if n != 1 {
+			return fmt.Errorf("trace: p%d entered reduction %d %d times", k.pid, k.seq, n)
+		}
+		if leaves[k] != 1 {
+			return fmt.Errorf("trace: p%d left reduction %d %d times", k.pid, k.seq, leaves[k])
+		}
+	}
+	for seq, n := range perEpisode {
+		if n != np {
+			return fmt.Errorf("trace: reduction %d had %d participants, want %d", seq, n, np)
+		}
 	}
 	return nil
 }
