@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sync"
@@ -13,6 +14,8 @@ import (
 	"repro/internal/barrier"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/forcelang"
+	"repro/internal/interp"
 	"repro/internal/lock"
 	"repro/internal/machine"
 	"repro/internal/maclib"
@@ -766,3 +769,160 @@ func runForce(np int, body func(pid int)) {
 }
 
 var _ = time.Now // time is used by stats only; keep import sets stable
+
+// interpCell is one T11 measurement, the machine-readable record the
+// -json flag emits (BENCH_interp.json).
+type interpCell struct {
+	Exec        string  `json:"exec"`
+	Kernel      string  `json:"kernel"`
+	NP          int     `json:"np"`
+	Iters       int     `json:"iters"` // kernel-body executions per run
+	SecondsMed  float64 `json:"seconds_median"`
+	MicrosPer   float64 `json:"micros_per_iter"`
+	ItersPerSec float64 `json:"iters_per_sec"`
+}
+
+// interpReport is the top-level T11 JSON document.
+type interpReport struct {
+	Experiment string       `json:"experiment"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Runs       int          `json:"runs"`
+	Results    []interpCell `json:"results"`
+}
+
+// expT11 is the interpreter experiment: the same Force kernels executed
+// by the original tree walker (names resolved through string maps on
+// every access, all shared storage serialized by one mutex) and by the
+// slot-resolved closure compiler (index-addressed frames, per-variable
+// atomic cells and lock-striped arrays), across NP.
+//
+// The shared-heavy kernel is scalar shared traffic — every iteration
+// reads and writes shared scalars, the access pattern the global mutex
+// penalizes even single-process (map lookup + lock per access).  The
+// disjoint-writes kernel sweeps a shared array with each iteration
+// touching its own element: under the tree walker every element store
+// serializes on the one mutex regardless of NP; under the striped store
+// disjoint elements take disjoint stripes.
+func expT11(c config) error {
+	sharedN := 200000
+	arrayN, sweeps := 4096, 50
+	if c.quick {
+		sharedN = 20000
+		arrayN, sweeps = 1024, 10
+	}
+	type kernel struct {
+		name  string
+		src   string
+		iters int
+	}
+	kernels := []kernel{
+		{
+			name: "shared-heavy",
+			src: fmt.Sprintf(`Force SHEAVY of NP ident ME
+Shared Real ACC
+Shared Integer TICKS
+Private Integer I
+Private Real X
+End Declarations
+Presched DO I = 1, %d
+  X = REAL(I) * 0.5
+  ACC = ACC + X
+  TICKS = TICKS + 1
+End Presched DO
+Barrier
+End Barrier
+Join
+`, sharedN),
+			iters: sharedN,
+		},
+		{
+			name: "disjoint-writes",
+			src: fmt.Sprintf(`Force DISJ of NP ident ME
+Shared Real A(%d)
+Private Integer I, S
+End Declarations
+Presched DO I = 1, %d
+  A(I) = REAL(I)
+End Presched DO
+DO S = 1, %d
+  Presched DO I = 1, %d
+    A(I) = A(I) * 0.999 + REAL(I) * 0.001
+  End Presched DO
+End DO
+Join
+`, arrayN, arrayN, sweeps, arrayN),
+			iters: arrayN * sweeps,
+		},
+	}
+	report := interpReport{Experiment: "interp-throughput", GoMaxProcs: runtime.GOMAXPROCS(0), Runs: c.runs}
+	perSec := map[string]map[int]float64{} // exec/kernel → np → iters/s
+	for _, k := range kernels {
+		prog, err := forcelang.Parse(k.src)
+		if err != nil {
+			return err
+		}
+		tbl := &stats.Table{
+			Title:  fmt.Sprintf("interp %s kernel (%d iterations): µs per iteration", k.name, k.iters),
+			Header: append([]string{"engine"}, npHeaders(c.npSweep())...),
+			Notes: []string{
+				"tree = map-addressed walker, one mutex around all shared storage",
+				"compiled = slot-resolved typed closures, per-variable atomic cells + striped arrays",
+			},
+		}
+		for _, mode := range interp.ExecModes() {
+			key := mode.String() + "/" + k.name
+			perSec[key] = map[int]float64{}
+			row := []any{mode.String()}
+			for _, np := range c.npSweep() {
+				cfg := interp.Config{NP: np, Stdout: io.Discard, Exec: mode}
+				if c.barSet {
+					cfg.Barrier = c.barKind
+				}
+				var runErr error
+				s := stats.Time(c.runs, func() {
+					if err := interp.Run(prog, cfg); err != nil && runErr == nil {
+						runErr = err
+					}
+				})
+				if runErr != nil {
+					return runErr
+				}
+				med := s.Median()
+				row = append(row, med/float64(k.iters)*1e6)
+				perSec[key][np] = float64(k.iters) / med
+				report.Results = append(report.Results, interpCell{
+					Exec: mode.String(), Kernel: k.name, NP: np, Iters: k.iters,
+					SecondsMed: med, MicrosPer: med / float64(k.iters) * 1e6,
+					ItersPerSec: float64(k.iters) / med,
+				})
+			}
+			tbl.AddRow(row...)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	// Acceptance summary: single-process compiled-vs-tree on the scalar
+	// kernel, and the compiled engine's self-relative scaling on the
+	// disjoint kernel (meaningful only when GOMAXPROCS allows overlap).
+	if tree, comp := perSec["tree/shared-heavy"][1], perSec["compiled/shared-heavy"][1]; tree > 0 {
+		fmt.Printf("compiled vs tree, shared-heavy, np=1: %.2fx\n", comp/tree)
+	}
+	nps := c.npSweep()
+	last := nps[len(nps)-1]
+	if base, top := perSec["compiled/disjoint-writes"][1], perSec["compiled/disjoint-writes"][last]; base > 0 && last > 1 {
+		fmt.Printf("compiled self-relative scaling, disjoint-writes, np=1→%d: %.2fx (GOMAXPROCS=%d)\n",
+			last, top/base, runtime.GOMAXPROCS(0))
+	}
+	if c.jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d cells)\n", c.jsonPath, len(report.Results))
+	}
+	return nil
+}

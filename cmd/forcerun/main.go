@@ -1,7 +1,7 @@
 // Command forcerun parses a Force program and executes it SPMD on the
 // runtime library:
 //
-//	forcerun [-np N] [-machine NAME] [-barrier ALG] [-selfsched KIND] [-askfor POOL] [-reduce STRAT] file.force
+//	forcerun [-np N] [-machine NAME] [-barrier ALG] [-selfsched KIND] [-askfor POOL] [-reduce STRAT] [-exec ENGINE] file.force
 //
 // -machine selects a historical machine profile (hep, flex32, encore,
 // sequent, alliant, cray2) or "native" (default); -barrier selects the
@@ -13,6 +13,17 @@
 // executing global reductions (GSUM and friends): "slots" (the default),
 // "critical" (the paper's baseline), "tree" or "atomic".  A file name of
 // "-" reads standard input.
+//
+// -exec selects the execution engine: "compiled" (the default: the
+// slot-resolved closure compiler with per-variable shared cells) or
+// "tree" (the original map-addressed tree walker behind one shared
+// mutex), the A/B escape hatch forcebench T11 measures.
+//
+// -cpuprofile and -memprofile write pprof profiles (CPU over the whole
+// run, heap at exit — both also on runtime errors) so interpreter hot
+// paths can be measured directly:
+//
+//	forcerun -np 8 -cpuprofile cpu.out file.force && go tool pprof cpu.out
 package main
 
 import (
@@ -20,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/barrier"
 	"repro/internal/engine"
@@ -31,6 +44,15 @@ import (
 )
 
 func main() {
+	// All work happens in run so its defers (profile finalization) fire
+	// before the error exit.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "forcerun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		np      = flag.Int("np", 4, "number of force processes")
 		machF   = flag.String("machine", "native", "machine profile")
@@ -38,46 +60,67 @@ func main() {
 		selfK   = flag.String("selfsched", "selfsched-lock", "discipline for Selfsched DO and selfscheduled Pcase")
 		askforF = flag.String("askfor", "stealing", "Askfor pool discipline: stealing or monitor")
 		reduceF = flag.String("reduce", "slots", "global-reduction strategy: critical, slots, tree or atomic")
+		execF   = flag.String("exec", "compiled", "execution engine: compiled (slot-resolved closures) or tree (map-addressed walker)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		showAST = flag.Bool("ast", false, "print a program summary before running")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: forcerun [-np N] [-machine NAME] [-barrier ALG] file.force")
+		fmt.Fprintln(os.Stderr, "usage: forcerun [-np N] [-machine NAME] [-barrier ALG] [-exec ENGINE] file.force")
 		os.Exit(2)
 	}
 	src, err := readSource(flag.Arg(0))
 	if err != nil {
-		fail(err)
+		return err
 	}
 	prog, err := forcelang.Parse(src)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	prof, err := machine.ByName(*machF)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	bk, err := barrier.ParseKind(*barF)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	sk, err := sched.ParseSelfschedKind(*selfK)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	pool, err := engine.ParsePoolKind(*askforF)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	rk, err := reduce.ParseKind(*reduceF)
 	if err != nil {
-		fail(err)
+		return err
+	}
+	em, err := interp.ParseExecMode(*execF)
+	if err != nil {
+		return err
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer writeMemProfile(*memProf)
 	}
 	if *showAST {
 		fmt.Printf("program %s: %d declarations, %d subroutines, %d top-level statements\n",
 			prog.Name, len(prog.Decls), len(prog.Subs), len(prog.Body))
 	}
-	err = interp.Run(prog, interp.Config{
+	return interp.Run(prog, interp.Config{
 		NP:        *np,
 		Machine:   prof,
 		Barrier:   bk,
@@ -85,9 +128,22 @@ func main() {
 		Selfsched: sk,
 		Askfor:    pool,
 		Reduce:    rk,
+		Exec:      em,
 	})
+}
+
+// writeMemProfile dumps the heap profile after a GC so the numbers
+// reflect live interpreter allocations, not garbage.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(os.Stderr, "forcerun:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "forcerun:", err)
 	}
 }
 
@@ -98,9 +154,4 @@ func readSource(name string) (string, error) {
 	}
 	b, err := os.ReadFile(name)
 	return string(b), err
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "forcerun:", err)
-	os.Exit(1)
 }

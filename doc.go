@@ -6,8 +6,16 @@
 //
 //		forcelang            front end: lexer, parser, AST, checker for the
 //		   │                 Force dialect (incl. language-level Askfor/Put
-//		   │                 and the GSUM/GMAX global-reduction statements)
-//		   ├── interp        SPMD interpreter executing programs on core
+//		   │                 and the GSUM/GMAX global-reduction statements);
+//		   │                 the checker records a (unit, slot) identity on
+//		   │                 every declaration
+//		   ├── interp        SPMD interpreter: a resolve pass binds every
+//		   │                 reference to a (storage class, slot) pair and a
+//		   │                 compile pass emits typed closures over
+//		   │                 index-addressed frames — shared scalars are
+//		   │                 atomic cells, shared arrays lock-striped — with
+//		   │                 the original tree walker kept as the A/B
+//		   │                 baseline (forcerun -exec tree, forcebench T11)
 //		   └── codegen       compiler back end emitting Go against core
 //		        │
 //		        ▼
@@ -55,5 +63,7 @@
 // and experiment index, and EXPERIMENTS.md for paper-vs-measured results.
 // The benchmarks in bench_test.go and the cmd/forcebench harness
 // regenerate every experiment table; forcebench -exp T9 -json FILE emits
-// the monitor-vs-stealing Askfor comparison machine-readably.
+// the monitor-vs-stealing Askfor comparison, T10 the reduction-strategy
+// comparison, and T11 the interpreter tree-walker-vs-closure-compiler
+// comparison machine-readably (the committed BENCH_*.json baselines).
 package repro

@@ -142,6 +142,67 @@ func TestReduceSemantics(t *testing.T) {
 	}
 }
 
+// TestExecModesIdenticalOnExamples is the tentpole acceptance check for
+// the slot-resolved interpreter: every shipped .force program runs under
+// both execution engines (-exec tree and -exec compiled) and the outputs
+// are byte-identical wherever the program is deterministic.
+//
+//   - wave.force prints one line, a pure function of NP;
+//   - heat.force is a barrier-synchronized Jacobi relaxation, so its
+//     values are schedule-independent at every NP;
+//   - reduce.force folds float partial sums whose grouping depends on
+//     selfscheduling, so byte-identity is asserted at NP=1 (exact) and
+//     the schedule-independent lines are asserted at NP=4.
+func TestExecModesIdenticalOnExamples(t *testing.T) {
+	srcs := exampleSources(t)
+	runMode := func(t *testing.T, src string, np int, mode interp.ExecMode) string {
+		t.Helper()
+		prog := forcelang.MustParse(src)
+		var sb strings.Builder
+		if err := interp.Run(prog, interp.Config{NP: np, Stdout: &sb, Exec: mode}); err != nil {
+			t.Fatalf("np=%d %s: %v", np, mode, err)
+		}
+		return sb.String()
+	}
+	byteIdentical := []struct {
+		path string
+		nps  []int
+	}{
+		{"examples/wavefront/wave.force", []int{1, 2, 6}},
+		{"examples/forcefile/heat.force", []int{1, 4, 6}},
+		{"examples/generated/reduce.force", []int{1}},
+	}
+	for _, tc := range byteIdentical {
+		tc := tc
+		t.Run(tc.path, func(t *testing.T) {
+			for _, np := range tc.nps {
+				tree := runMode(t, srcs[tc.path], np, interp.ExecTree)
+				compiled := runMode(t, srcs[tc.path], np, interp.ExecCompiled)
+				if tree != compiled {
+					t.Errorf("np=%d: engines disagree\ntree:\n%s\ncompiled:\n%s", np, tree, compiled)
+				}
+				if tree == "" {
+					t.Errorf("np=%d: program printed nothing", np)
+				}
+			}
+		})
+	}
+	t.Run("examples/generated/reduce.force/np4-semantics", func(t *testing.T) {
+		for _, mode := range interp.ExecModes() {
+			out := runMode(t, srcs["examples/generated/reduce.force"], 4, mode)
+			for _, want := range []string{
+				"sum of squares = 333.833",
+				"largest element = 1.0",
+				"processes contributing: 4",
+			} {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s: missing %q:\n%s", mode, want, out)
+				}
+			}
+		}
+	})
+}
+
 // TestWavefrontExample runs the wavefront program (the async-array
 // dataflow demo) through the interpreter on the HEP profile: the wave
 // must cross the force and accumulate 1000 + 1 + ... + (np-1).

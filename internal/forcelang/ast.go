@@ -46,12 +46,25 @@ func (t Type) String() string {
 }
 
 // Decl is one variable declaration.
+//
+// Unit and Slot are filled in by the semantic checker: Unit names the
+// compilation unit owning the storage ("" for the main program, the
+// subroutine name for unit-local declarations), and Slot is the
+// declaration's index within that unit's storage-class sequence (shared
+// scalars, shared arrays, async variables, private scalars and private
+// arrays are numbered independently, in declaration order).  Slot 0 of
+// the main unit's shared scalars is the implicit NP variable, and slot 0
+// of every unit's private scalars is the implicit ident (ME) variable.
+// The interpreter's resolve/compile pass executes against these indices
+// instead of re-resolving names at run time.
 type Decl struct {
 	Class shm.Class
 	Type  Type
 	Name  string
 	Dims  []int // nil for scalars; 1 or 2 dimensions for arrays
 	Line  int
+	Unit  string // owning unit, recorded by the checker
+	Slot  int    // index in the unit's per-class sequence, recorded by the checker
 }
 
 // Size returns the element count (1 for scalars).

@@ -2,12 +2,15 @@ package forcelang
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/shm"
 )
 
 // Scope is a resolved symbol table for one compilation unit (the main
-// program or a subroutine body).
+// program or a subroutine body).  Every Decl in the scope carries the
+// slot information the checker assigned (see Decl): the unit owning the
+// storage and the index within that unit's storage-class sequence.
 type Scope struct {
 	vars map[string]Decl
 }
@@ -27,6 +30,59 @@ func (s *Scope) Names() []string {
 	return out
 }
 
+// Decls returns every declaration visible in the scope — inherited
+// (COMMON-like) ones included — sorted by owning unit, class, shape and
+// slot: the stable enumeration the interpreter's resolver allocates
+// index-addressed storage from.
+func (s *Scope) Decls() []Decl {
+	out := make([]Decl, 0, len(s.vars))
+	for _, d := range s.vars {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Unit != b.Unit {
+			return a.Unit < b.Unit
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		aArr, bArr := len(a.Dims) > 0, len(b.Dims) > 0
+		if aArr != bArr {
+			return !aArr
+		}
+		return a.Slot < b.Slot
+	})
+	return out
+}
+
+// slotCounters numbers a unit's declarations per storage-class sequence:
+// shared scalars, shared arrays, async variables, private scalars and
+// private arrays each count independently.
+type slotCounters struct {
+	sharedScalar, sharedArray, async, privScalar, privArray int
+}
+
+// next assigns the next slot for d's sequence.
+func (sc *slotCounters) next(d Decl) int {
+	var n *int
+	switch {
+	case d.Class == shm.Async:
+		n = &sc.async
+	case d.Class == shm.Shared && len(d.Dims) > 0:
+		n = &sc.sharedArray
+	case d.Class == shm.Shared:
+		n = &sc.sharedScalar
+	case len(d.Dims) > 0:
+		n = &sc.privArray
+	default:
+		n = &sc.privScalar
+	}
+	slot := *n
+	*n++
+	return slot
+}
+
 // Check runs semantic analysis: declaration consistency, name resolution,
 // type checking, async-variable usage rules, and call-site validation.
 // It follows the Force model: shared and async variables are global
@@ -34,7 +90,7 @@ func (s *Scope) Names() []string {
 // variables are not.
 func Check(prog *Program) error {
 	c := &checker{prog: prog}
-	global, err := c.buildScope(prog.Decls, nil, prog)
+	global, err := c.buildScope("", prog.Decls, nil, prog)
 	if err != nil {
 		return err
 	}
@@ -64,7 +120,7 @@ func Check(prog *Program) error {
 // the code generator.
 func GlobalScope(prog *Program) (*Scope, error) {
 	c := &checker{prog: prog}
-	return c.buildScope(prog.Decls, nil, prog)
+	return c.buildScope("", prog.Decls, nil, prog)
 }
 
 // SubScope returns a subroutine's resolved scope.
@@ -112,11 +168,17 @@ func (c *checker) inSerial(ctx string, check func() error) error {
 	return err
 }
 
-// buildScope assembles a scope from declarations.  When base is non-nil
-// its shared/async entries are inherited (subroutine case).  When prog is
-// non-nil the implicit NPVar (shared integer) and MeVar (private integer)
-// are added.
-func (c *checker) buildScope(decls []Decl, base *Scope, prog *Program) (*Scope, error) {
+// buildScope assembles a scope from declarations for the unit named
+// unit ("" for the main program).  When base is non-nil its shared/async
+// entries are inherited (subroutine case).  When prog is non-nil the
+// implicit NPVar (shared integer) and MeVar (private integer) are added.
+//
+// Every declaration is recorded with its owning unit and storage slot —
+// the index-addressed identity the interpreter's resolve/compile pass
+// executes against.  NP is shared-scalar slot 0 of the main unit, ME is
+// private-scalar slot 0 of every unit; a unit's own declarations number
+// from there in declaration order, per class sequence.
+func (c *checker) buildScope(unit string, decls []Decl, base *Scope, prog *Program) (*Scope, error) {
 	s := &Scope{vars: map[string]Decl{}}
 	if base != nil {
 		for n, d := range base.vars {
@@ -125,14 +187,19 @@ func (c *checker) buildScope(decls []Decl, base *Scope, prog *Program) (*Scope, 
 			}
 		}
 	}
+	var slots slotCounters
 	if prog != nil {
 		np := normalize(prog.NPVar)
 		me := normalize(prog.MeVar)
 		if np == me {
 			return nil, fmt.Errorf("force header: NP variable and ident variable are both %s", np)
 		}
-		s.vars[np] = Decl{Class: shm.Shared, Type: TInt, Name: np}
-		s.vars[me] = Decl{Class: shm.Private, Type: TInt, Name: me}
+		s.vars[np] = Decl{Class: shm.Shared, Type: TInt, Name: np, Unit: "", Slot: 0}
+		s.vars[me] = Decl{Class: shm.Private, Type: TInt, Name: me, Unit: unit, Slot: 0}
+		if unit == "" {
+			slots.sharedScalar = 1
+		}
+		slots.privScalar = 1
 	}
 	for _, d := range decls {
 		n := normalize(d.Name)
@@ -148,6 +215,8 @@ func (c *checker) buildScope(decls []Decl, base *Scope, prog *Program) (*Scope, 
 			}
 		}
 		d.Name = n
+		d.Unit = unit
+		d.Slot = slots.next(d)
 		s.vars[n] = d
 	}
 	return s, nil
@@ -155,13 +224,13 @@ func (c *checker) buildScope(decls []Decl, base *Scope, prog *Program) (*Scope, 
 
 func (c *checker) buildSubScope(sub *Subroutine) (*Scope, error) {
 	if c.global == nil {
-		g, err := c.buildScope(c.prog.Decls, nil, c.prog)
+		g, err := c.buildScope("", c.prog.Decls, nil, c.prog)
 		if err != nil {
 			return nil, err
 		}
 		c.global = g
 	}
-	s, err := c.buildScope(sub.Decls, c.global, c.prog)
+	s, err := c.buildScope(sub.Name, sub.Decls, c.global, c.prog)
 	if err != nil {
 		return nil, err
 	}

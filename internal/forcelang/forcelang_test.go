@@ -342,3 +342,86 @@ func TestStringEscapes(t *testing.T) {
 		t.Errorf("string = %q", got)
 	}
 }
+
+// TestCheckerRecordsSlots verifies the slot information the checker
+// attaches to declarations: per-unit, per-class sequences in declaration
+// order, NP at shared-scalar slot 0 of the main unit, ME at private-scalar
+// slot 0 of every unit, and inherited (COMMON-like) declarations keeping
+// their main-unit identity inside subroutine scopes.
+func TestCheckerRecordsSlots(t *testing.T) {
+	prog := MustParse(`Force SL of NP ident ME
+Shared Integer A, B
+Shared Real M(4, 4)
+Async Real Q(8)
+Private Integer I
+Private Real W(3)
+End Declarations
+Join
+Forcesub S(P)
+Shared Real P
+Shared Integer LOCALSH
+Private Integer K
+End Declarations
+K = 0
+Endsub
+`)
+	g, err := GlobalScope(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMain := map[string]struct {
+		unit string
+		slot int
+	}{
+		"NP": {"", 0}, "A": {"", 1}, "B": {"", 2}, // shared scalars
+		"M":  {"", 0},               // shared arrays
+		"Q":  {"", 0},               // async
+		"ME": {"", 0}, "I": {"", 1}, // private scalars
+		"W": {"", 0}, // private arrays
+	}
+	for name, want := range wantMain {
+		d, ok := g.Lookup(name)
+		if !ok {
+			t.Fatalf("main: %s not in scope", name)
+		}
+		if d.Unit != want.unit || d.Slot != want.slot {
+			t.Errorf("main %s: unit %q slot %d, want unit %q slot %d", name, d.Unit, d.Slot, want.unit, want.slot)
+		}
+	}
+	sc, err := SubScope(prog, prog.Subs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSub := map[string]struct {
+		unit string
+		slot int
+	}{
+		"NP": {"", 0}, "A": {"", 1}, "B": {"", 2}, // inherited shared keeps main slots
+		"P":       {"S", 0},              // unit-local shared numbers from 0 (param: aliased at call time)
+		"LOCALSH": {"S", 1},              // ...continuing in declaration order
+		"ME":      {"S", 0},              // ident is private slot 0 in every unit
+		"K":       {"S", 1},              // private scalars number after ME
+		"M":       {"", 0}, "Q": {"", 0}, // inherited array/async keep main slots
+	}
+	for name, want := range wantSub {
+		d, ok := sc.Lookup(name)
+		if !ok {
+			t.Fatalf("sub: %s not in scope", name)
+		}
+		if d.Unit != want.unit || d.Slot != want.slot {
+			t.Errorf("sub %s: unit %q slot %d, want unit %q slot %d", name, d.Unit, d.Slot, want.unit, want.slot)
+		}
+	}
+	// Decls() enumerates stably: every visible decl exactly once.
+	all := sc.Decls()
+	seen := map[string]bool{}
+	for _, d := range all {
+		if seen[d.Name] {
+			t.Errorf("Decls(): %s listed twice", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	if len(all) != len(sc.Names()) {
+		t.Errorf("Decls() returned %d entries, scope has %d names", len(all), len(sc.Names()))
+	}
+}

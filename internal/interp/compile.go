@@ -1,0 +1,899 @@
+package interp
+
+// The closure compiler: one walk over the checked, slot-resolved AST
+// produces a tree of typed Go closures over index-addressed frames.  All
+// name resolution, type dispatch and operator dispatch happens here,
+// once; execution then runs straight-line closure calls — private
+// variables are direct slot reads, shared scalars single atomic
+// operations, shared array elements stripe-locked element accesses.
+// Expressions whose static type the checker knows compile to unboxed
+// int64/float64/bool closures, so arithmetic never touches the boxed
+// value representation between a load and a store.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/forcelang"
+	"repro/internal/sched"
+)
+
+// compileErr carries a compilation failure (an unchecked or internally
+// inconsistent program) out of the recursive compiler.
+type compileErr struct{ error }
+
+func compileErrf(format string, args ...any) compileErr {
+	return compileErr{fmt.Errorf("interp: compile: "+format, args...)}
+}
+
+type compiler struct {
+	in    *cinstance
+	res   *resolution
+	units map[string]*cunit
+}
+
+// compileProgram compiles every unit of the instance's program.  Unit
+// shells are created first so Call statements (including recursive ones)
+// link to their target by pointer before its body exists.
+func compileProgram(in *cinstance) (cp *cprogram, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(compileErr); ok {
+				err = ce.error
+				return
+			}
+			panic(r)
+		}
+	}()
+	c := &compiler{in: in, res: in.res, units: map[string]*cunit{}}
+	for name, lay := range in.res.units {
+		c.units[name] = &cunit{lay: lay}
+	}
+	for _, cu := range c.units {
+		body := in.res.prog.Body
+		if cu.lay.sub != nil {
+			body = cu.lay.sub.Body
+		}
+		cu.body = c.stmts(body, cu.lay)
+	}
+	return &cprogram{units: c.units, main: c.units[""]}, nil
+}
+
+// typ returns the checker's static type of e in the unit's scope.
+func (c *compiler) typ(e forcelang.Expr, lay *unitLayout) forcelang.Type {
+	t, err := forcelang.TypeOf(c.res.prog, lay.scope, e)
+	if err != nil {
+		panic(compileErr{fmt.Errorf("interp: compile: %w", err)})
+	}
+	return t
+}
+
+// --- statements --------------------------------------------------------
+
+func (c *compiler) stmts(list []forcelang.Stmt, lay *unitLayout) []stmtFn {
+	out := make([]stmtFn, len(list))
+	for i, st := range list {
+		out[i] = c.stmt(st, lay)
+	}
+	return out
+}
+
+func runBody(body []stmtFn, pr *cproc, fr *frame) {
+	for _, st := range body {
+		st(pr, fr)
+	}
+}
+
+func (c *compiler) stmt(st forcelang.Stmt, lay *unitLayout) stmtFn {
+	switch t := st.(type) {
+	case *forcelang.Assign:
+		store, tt := c.refStore(&t.Target, lay)
+		ev := c.valAs(t.Expr, lay, tt)
+		return func(pr *cproc, fr *frame) { store(pr, fr, ev(pr, fr)) }
+	case *forcelang.If:
+		cond := c.cBool(t.Cond, lay)
+		then := c.stmts(t.Then, lay)
+		els := c.stmts(t.Else, lay)
+		return func(pr *cproc, fr *frame) {
+			if cond(pr, fr) {
+				runBody(then, pr, fr)
+			} else {
+				runBody(els, pr, fr)
+			}
+		}
+	case *forcelang.SeqDo:
+		fromF, toF, stepF := c.cInt(t.From, lay), c.cInt(t.To, lay), c.stepFn(t.Step, lay)
+		storeVar := c.intVarStore(t.Var, lay, t.Pos())
+		body := c.stmts(t.Body, lay)
+		line := t.From.Pos()
+		return func(pr *cproc, fr *frame) {
+			from, to := fromF(pr, fr), toF(pr, fr)
+			step := stepF(pr, fr)
+			if step == 0 {
+				panic(rtErrf(line, "loop step is zero"))
+			}
+			for i := from; (step > 0 && i <= to) || (step < 0 && i >= to); i += step {
+				storeVar(pr, fr, i)
+				runBody(body, pr, fr)
+			}
+		}
+	case *forcelang.WhileDo:
+		cond := c.cBool(t.Cond, lay)
+		body := c.stmts(t.Body, lay)
+		return func(pr *cproc, fr *frame) {
+			for cond(pr, fr) {
+				runBody(body, pr, fr)
+			}
+		}
+	case *forcelang.ParDo:
+		return c.parDo(t, lay)
+	case *forcelang.BarrierStmt:
+		section := c.stmts(t.Section, lay)
+		return func(pr *cproc, fr *frame) {
+			pr.p.BarrierSection(func() { runBody(section, pr, fr) })
+		}
+	case *forcelang.CriticalStmt:
+		body := c.stmts(t.Body, lay)
+		name := t.Name
+		return func(pr *cproc, fr *frame) {
+			pr.p.Critical(name, func() { runBody(body, pr, fr) })
+		}
+	case *forcelang.PcaseStmt:
+		type cblock struct {
+			cond boolFn
+			body []stmtFn
+		}
+		blocks := make([]cblock, len(t.Blocks))
+		for i, b := range t.Blocks {
+			if b.Cond != nil {
+				blocks[i].cond = c.cBool(b.Cond, lay)
+			}
+			blocks[i].body = c.stmts(b.Body, lay)
+		}
+		selfsched := t.Selfsched
+		return func(pr *cproc, fr *frame) {
+			bl := make([]core.Block, len(blocks))
+			for i := range blocks {
+				b := blocks[i]
+				var cond func() bool
+				if b.cond != nil {
+					cond = func() bool { return b.cond(pr, fr) }
+				}
+				bl[i] = core.Block{Cond: cond, Body: func() { runBody(b.body, pr, fr) }}
+			}
+			if selfsched {
+				pr.p.SelfschedPcase(bl...)
+			} else {
+				pr.p.Pcase(bl...)
+			}
+		}
+	case *forcelang.AskforStmt:
+		seedF := c.cInt(t.Seed, lay)
+		storeVar := c.intVarStore(t.Var, lay, t.Pos())
+		body := c.stmts(t.Body, lay)
+		return func(pr *cproc, fr *frame) {
+			seed := seedF(pr, fr)
+			pr.p.Askfor([]any{seed}, func(task any, put func(any)) {
+				storeVar(pr, fr, task.(int64))
+				pr.puts = append(pr.puts, put)
+				defer func() { pr.puts = pr.puts[:len(pr.puts)-1] }()
+				runBody(body, pr, fr)
+			})
+		}
+	case *forcelang.PutStmt:
+		ev := c.asInt(t.Expr, lay)
+		line := t.Pos()
+		return func(pr *cproc, fr *frame) {
+			if len(pr.puts) == 0 {
+				panic(rtErrf(line, "Put outside an Askfor body"))
+			}
+			pr.puts[len(pr.puts)-1](ev(pr, fr))
+		}
+	case *forcelang.ReduceStmt:
+		return c.greduce(t, lay)
+	case *forcelang.ProduceStmt:
+		cellF := c.asyncCellFn(t.Var, t.Sub, lay, t.Pos())
+		ev, _ := c.val(t.Expr, lay)
+		return func(pr *cproc, fr *frame) { cellF(pr, fr).Produce(ev(pr, fr)) }
+	case *forcelang.ConsumeStmt:
+		cellF := c.asyncCellFn(t.Var, t.Sub, lay, t.Pos())
+		store, tt := c.refStore(&t.Target, lay)
+		line := t.Pos()
+		return func(pr *cproc, fr *frame) {
+			// The cell holds whatever type the producer stored, so the
+			// coercion to the target's type is a runtime one.
+			store(pr, fr, coerce(cellF(pr, fr).Consume(), tt, line))
+		}
+	case *forcelang.CopyStmt:
+		cellF := c.asyncCellFn(t.Var, t.Sub, lay, t.Pos())
+		store, tt := c.refStore(&t.Target, lay)
+		line := t.Pos()
+		return func(pr *cproc, fr *frame) {
+			store(pr, fr, coerce(cellF(pr, fr).Copy(), tt, line))
+		}
+	case *forcelang.VoidStmt:
+		cellF := c.asyncCellFn(t.Var, t.Sub, lay, t.Pos())
+		return func(pr *cproc, fr *frame) { cellF(pr, fr).Void() }
+	case *forcelang.PrintStmt:
+		return c.print(t, lay)
+	case *forcelang.CallStmt:
+		return c.call(t, lay)
+	default:
+		panic(compileErrf("line %d: unhandled statement %T", st.Pos(), st))
+	}
+}
+
+// stepFn compiles an optional loop step (nil means 1).
+func (c *compiler) stepFn(step forcelang.Expr, lay *unitLayout) intFn {
+	if step == nil {
+		return func(pr *cproc, fr *frame) int64 { return 1 }
+	}
+	return c.cInt(step, lay)
+}
+
+// intVarStore compiles the store of a raw int64 into a scalar INTEGER
+// variable (loop indices, Askfor task variables).
+func (c *compiler) intVarStore(name string, lay *unitLayout, line int) func(pr *cproc, fr *frame, i int64) {
+	sym := lay.lookup(name, line)
+	switch sym.class {
+	case scPrivate:
+		slot := sym.slot
+		return func(pr *cproc, fr *frame, i int64) { fr.priv[slot] = intVal(i) }
+	case scShared:
+		cell := c.in.scalar(sym.unit, sym.slot)
+		return func(pr *cproc, fr *frame, i int64) { cell.store(intVal(i)) }
+	case scParam:
+		idx := sym.slot
+		return func(pr *cproc, fr *frame, i int64) { fr.params[idx].sc.store(intVal(i)) }
+	default:
+		panic(compileErrf("line %d: %s is not a scalar variable", line, name))
+	}
+}
+
+func (c *compiler) parDo(t *forcelang.ParDo, lay *unitLayout) stmtFn {
+	fromF, toF, stepF := c.cInt(t.From, lay), c.cInt(t.To, lay), c.stepFn(t.Step, lay)
+	storeVar := c.intVarStore(t.Var, lay, t.Pos())
+	body := c.stmts(t.Body, lay)
+	line := t.From.Pos()
+	presched := t.Sched == forcelang.Presched
+	if t.Inner == nil {
+		return func(pr *cproc, fr *frame) {
+			from, to := fromF(pr, fr), toF(pr, fr)
+			step := stepF(pr, fr)
+			if step == 0 {
+				panic(rtErrf(line, "loop step is zero"))
+			}
+			r := sched.Range{Start: int(from), Last: int(to), Incr: int(step)}
+			bodyFn := func(i int) {
+				storeVar(pr, fr, int64(i))
+				runBody(body, pr, fr)
+			}
+			if presched {
+				pr.p.PreschedDo(r, bodyFn)
+			} else {
+				pr.p.DoAll(pr.in.cfg.Selfsched, r, bodyFn)
+			}
+		}
+	}
+	ifromF, itoF, istepF := c.cInt(t.Inner.From, lay), c.cInt(t.Inner.To, lay), c.stepFn(t.Inner.Step, lay)
+	storeInner := c.intVarStore(t.Inner.Var, lay, t.Pos())
+	iline := t.Inner.From.Pos()
+	return func(pr *cproc, fr *frame) {
+		from, to := fromF(pr, fr), toF(pr, fr)
+		step := stepF(pr, fr)
+		if step == 0 {
+			panic(rtErrf(line, "loop step is zero"))
+		}
+		ifrom, ito := ifromF(pr, fr), itoF(pr, fr)
+		istep := istepF(pr, fr)
+		if istep == 0 {
+			panic(rtErrf(iline, "loop step is zero"))
+		}
+		r := sched.Range{Start: int(from), Last: int(to), Incr: int(step)}
+		r2 := sched.Range{Start: int(ifrom), Last: int(ito), Incr: int(istep)}
+		bodyFn := func(i, j int) {
+			storeVar(pr, fr, int64(i))
+			storeInner(pr, fr, int64(j))
+			runBody(body, pr, fr)
+		}
+		if presched {
+			pr.p.PreschedDo2(r, r2, bodyFn)
+		} else {
+			pr.p.DoAll2(pr.in.cfg.Selfsched, r, r2, bodyFn)
+		}
+	}
+}
+
+// greduce compiles a global-reduction statement: the operand combines
+// across the force in the target's type (so the compiled executor, the
+// tree walker and the code generator all fold in the same arithmetic)
+// and every process assigns the combined value.
+func (c *compiler) greduce(t *forcelang.ReduceStmt, lay *unitLayout) stmtFn {
+	store, tt := c.refStore(&t.Target, lay)
+	op := t.Op
+	if op.Logical() {
+		bv := c.cBool(t.Expr, lay)
+		return func(pr *cproc, fr *frame) {
+			b := bv(pr, fr)
+			var out bool
+			if op == forcelang.GAnd {
+				out = core.Gand(pr.p, b)
+			} else {
+				out = core.Gor(pr.p, b)
+			}
+			store(pr, fr, boolVal(out))
+		}
+	}
+	if tt == forcelang.TInt {
+		iv := c.asInt(t.Expr, lay)
+		return func(pr *cproc, fr *frame) {
+			store(pr, fr, intVal(greduceNum(pr.p, op, iv(pr, fr))))
+		}
+	}
+	rv := c.cReal(t.Expr, lay)
+	return func(pr *cproc, fr *frame) {
+		store(pr, fr, realVal(greduceNum(pr.p, op, rv(pr, fr))))
+	}
+}
+
+// asyncCellFn compiles the cell address of an async statement: the entry
+// is resolved at compile time, only the optional subscript at run time.
+func (c *compiler) asyncCellFn(varName string, sub forcelang.Expr, lay *unitLayout, line int) func(pr *cproc, fr *frame) asyncCell {
+	sym := lay.lookup(varName, line)
+	if sym.class != scAsync {
+		panic(compileErrf("line %d: %s is not an Async variable", line, varName))
+	}
+	e := c.in.async(sym.unit, sym.slot)
+	name := varName
+	if sub == nil {
+		return func(pr *cproc, fr *frame) asyncCell { return e.at(0, false, name, line) }
+	}
+	sf := c.cInt(sub, lay)
+	return func(pr *cproc, fr *frame) asyncCell { return e.at(sf(pr, fr), true, name, line) }
+}
+
+func (c *compiler) print(t *forcelang.PrintStmt, lay *unitLayout) stmtFn {
+	type part struct {
+		lit string
+		ev  valFn
+	}
+	parts := make([]part, len(t.Items))
+	for i, item := range t.Items {
+		if s, ok := item.(*forcelang.StrLit); ok {
+			parts[i] = part{lit: s.Value}
+			continue
+		}
+		ev, _ := c.val(item, lay)
+		parts[i] = part{ev: ev}
+	}
+	return func(pr *cproc, fr *frame) {
+		strs := make([]string, len(parts))
+		for i := range parts {
+			if parts[i].ev == nil {
+				strs[i] = parts[i].lit
+			} else {
+				strs[i] = parts[i].ev(pr, fr).String()
+			}
+		}
+		pr.in.out.writeLine(strings.Join(strs, " ") + "\n")
+	}
+}
+
+func (c *compiler) call(t *forcelang.CallStmt, lay *unitLayout) stmtFn {
+	target, ok := c.units[t.Name]
+	if !ok {
+		panic(compileErrf("line %d: call of undefined subroutine %s", t.Pos(), t.Name))
+	}
+	binders := make([]func(pr *cproc, fr *frame) cparam, len(t.Args))
+	for i := range t.Args {
+		binders[i] = c.bindArg(&t.Args[i], target.lay.params[i].decl, lay)
+	}
+	return func(pr *cproc, fr *frame) {
+		nf := target.newFrame(int64(pr.p.ID()))
+		for i, bind := range binders {
+			nf.params[i] = bind(pr, fr)
+		}
+		runBody(target.body, pr, nf)
+	}
+}
+
+// bindArg compiles the binding of one call argument to the callee's
+// parameter: a scalar alias (shared cell, caller-private slot, array
+// element, or a forwarded parameter) or a whole-array alias.
+func (c *compiler) bindArg(arg *forcelang.Ref, paramDecl forcelang.Decl, lay *unitLayout) func(pr *cproc, fr *frame) cparam {
+	sym := lay.lookup(arg.Name, arg.Pos())
+	if len(arg.Subs) > 0 {
+		// Element argument: alias the single cell.
+		switch sym.class {
+		case scSharedArray:
+			arr := c.in.array(sym.unit, sym.slot)
+			off := c.offsetFn(sym.decl.Dims, arg.Subs, arg.Name, arg.Pos(), lay)
+			return func(pr *cproc, fr *frame) cparam {
+				return cparam{sc: elemRef{a: arr, off: off(pr, fr)}}
+			}
+		case scPrivArray:
+			slot := sym.slot
+			off := c.offsetFn(sym.decl.Dims, arg.Subs, arg.Name, arg.Pos(), lay)
+			return func(pr *cproc, fr *frame) cparam {
+				return cparam{sc: elemRef{a: fr.arrs[slot], off: off(pr, fr)}}
+			}
+		case scParam:
+			idx := sym.slot
+			subs := c.intFns(arg.Subs, lay)
+			name, line := arg.Name, arg.Pos()
+			return func(pr *cproc, fr *frame) cparam {
+				ar := fr.params[idx].ar
+				off := flatOffset(ar.shape(), evalSubs(subs, pr, fr), name, line)
+				return cparam{sc: elemRef{a: ar, off: off}}
+			}
+		}
+		panic(compileErrf("line %d: %s is not an array", arg.Pos(), arg.Name))
+	}
+	if len(paramDecl.Dims) > 0 {
+		// Whole-array argument.
+		switch sym.class {
+		case scSharedArray:
+			arr := c.in.array(sym.unit, sym.slot)
+			return func(pr *cproc, fr *frame) cparam { return cparam{ar: arr} }
+		case scPrivArray:
+			slot := sym.slot
+			return func(pr *cproc, fr *frame) cparam { return cparam{ar: fr.arrs[slot]} }
+		case scParam:
+			idx := sym.slot
+			return func(pr *cproc, fr *frame) cparam { return cparam{ar: fr.params[idx].ar} }
+		}
+		panic(compileErrf("line %d: argument %s is not an array", arg.Pos(), arg.Name))
+	}
+	// Scalar argument.
+	switch sym.class {
+	case scShared:
+		cell := c.in.scalar(sym.unit, sym.slot)
+		return func(pr *cproc, fr *frame) cparam { return cparam{sc: cell} }
+	case scPrivate:
+		slot := sym.slot
+		return func(pr *cproc, fr *frame) cparam { return cparam{sc: privPtr{p: &fr.priv[slot]}} }
+	case scParam:
+		idx := sym.slot
+		return func(pr *cproc, fr *frame) cparam { return cparam{sc: fr.params[idx].sc} }
+	}
+	panic(compileErrf("line %d: argument %s is not a scalar variable", arg.Pos(), arg.Name))
+}
+
+// --- variable access ----------------------------------------------------
+
+// refStore compiles a store into an lvalue, returning the store closure
+// and the variable's declared type; the caller compiles the value to
+// that type.
+func (c *compiler) refStore(t *forcelang.Ref, lay *unitLayout) (func(pr *cproc, fr *frame, v value), forcelang.Type) {
+	sym := lay.lookup(t.Name, t.Pos())
+	tt := sym.decl.Type
+	if len(t.Subs) == 0 {
+		switch sym.class {
+		case scPrivate:
+			slot := sym.slot
+			return func(pr *cproc, fr *frame, v value) { fr.priv[slot] = v }, tt
+		case scShared:
+			cell := c.in.scalar(sym.unit, sym.slot)
+			return func(pr *cproc, fr *frame, v value) { cell.store(v) }, tt
+		case scParam:
+			idx := sym.slot
+			return func(pr *cproc, fr *frame, v value) { fr.params[idx].sc.store(v) }, tt
+		}
+		panic(compileErrf("line %d: cannot assign to %s", t.Pos(), t.Name))
+	}
+	switch sym.class {
+	case scSharedArray:
+		arr := c.in.array(sym.unit, sym.slot)
+		off := c.offsetFn(sym.decl.Dims, t.Subs, t.Name, t.Pos(), lay)
+		return func(pr *cproc, fr *frame, v value) { arr.store(off(pr, fr), v) }, tt
+	case scPrivArray:
+		slot := sym.slot
+		off := c.offsetFn(sym.decl.Dims, t.Subs, t.Name, t.Pos(), lay)
+		return func(pr *cproc, fr *frame, v value) { fr.arrs[slot].data[off(pr, fr)] = v }, tt
+	case scParam:
+		idx := sym.slot
+		subs := c.intFns(t.Subs, lay)
+		name, line := t.Name, t.Pos()
+		return func(pr *cproc, fr *frame, v value) {
+			ar := fr.params[idx].ar
+			ar.store(flatOffset(ar.shape(), evalSubs(subs, pr, fr), name, line), v)
+		}, tt
+	}
+	panic(compileErrf("line %d: %s is not an array", t.Pos(), t.Name))
+}
+
+// refLoad compiles a load of a variable or array-element reference.
+func (c *compiler) refLoad(t *forcelang.Ref, lay *unitLayout) valFn {
+	sym := lay.lookup(t.Name, t.Pos())
+	if len(t.Subs) == 0 {
+		switch sym.class {
+		case scPrivate:
+			slot := sym.slot
+			return func(pr *cproc, fr *frame) value { return fr.priv[slot] }
+		case scShared:
+			cell := c.in.scalar(sym.unit, sym.slot)
+			return func(pr *cproc, fr *frame) value { return cell.load() }
+		case scParam:
+			idx := sym.slot
+			return func(pr *cproc, fr *frame) value { return fr.params[idx].sc.load() }
+		}
+		panic(compileErrf("line %d: %s cannot be read directly", t.Pos(), t.Name))
+	}
+	switch sym.class {
+	case scSharedArray:
+		arr := c.in.array(sym.unit, sym.slot)
+		off := c.offsetFn(sym.decl.Dims, t.Subs, t.Name, t.Pos(), lay)
+		return func(pr *cproc, fr *frame) value { return arr.load(off(pr, fr)) }
+	case scPrivArray:
+		slot := sym.slot
+		off := c.offsetFn(sym.decl.Dims, t.Subs, t.Name, t.Pos(), lay)
+		return func(pr *cproc, fr *frame) value { return fr.arrs[slot].data[off(pr, fr)] }
+	case scParam:
+		idx := sym.slot
+		subs := c.intFns(t.Subs, lay)
+		name, line := t.Name, t.Pos()
+		return func(pr *cproc, fr *frame) value {
+			ar := fr.params[idx].ar
+			return ar.load(flatOffset(ar.shape(), evalSubs(subs, pr, fr), name, line))
+		}
+	}
+	panic(compileErrf("line %d: %s is not an array", t.Pos(), t.Name))
+}
+
+// offsetFn compiles the flat offset of a subscripted reference against
+// statically known dimensions, bounds-checking at run time.
+func (c *compiler) offsetFn(dims []int, subs []forcelang.Expr, name string, line int, lay *unitLayout) func(pr *cproc, fr *frame) int {
+	if len(subs) != len(dims) {
+		panic(compileErrf("line %d: %s: %d subscripts for %d dims", line, name, len(subs), len(dims)))
+	}
+	fns := c.intFns(subs, lay)
+	if len(dims) == 1 {
+		d0, s0 := dims[0], fns[0]
+		return func(pr *cproc, fr *frame) int {
+			s := s0(pr, fr)
+			if s < 1 || s > int64(d0) {
+				panic(rtErrf(line, "subscript 1 of %s out of range: %d not in [1,%d]", name, s, d0))
+			}
+			return int(s - 1)
+		}
+	}
+	return func(pr *cproc, fr *frame) int {
+		return flatOffset(dims, evalSubs(fns, pr, fr), name, line)
+	}
+}
+
+func (c *compiler) intFns(exprs []forcelang.Expr, lay *unitLayout) []intFn {
+	out := make([]intFn, len(exprs))
+	for i, e := range exprs {
+		out[i] = c.cInt(e, lay)
+	}
+	return out
+}
+
+func evalSubs(fns []intFn, pr *cproc, fr *frame) []int64 {
+	out := make([]int64, len(fns))
+	for i, f := range fns {
+		out[i] = f(pr, fr)
+	}
+	return out
+}
+
+// --- expressions --------------------------------------------------------
+
+// val compiles an expression to a boxed value closure (Print, Produce),
+// returning its static type.
+func (c *compiler) val(e forcelang.Expr, lay *unitLayout) (valFn, forcelang.Type) {
+	t := c.typ(e, lay)
+	switch t {
+	case forcelang.TInt:
+		iv := c.cInt(e, lay)
+		return func(pr *cproc, fr *frame) value { return intVal(iv(pr, fr)) }, t
+	case forcelang.TReal:
+		rv := c.cReal(e, lay)
+		return func(pr *cproc, fr *frame) value { return realVal(rv(pr, fr)) }, t
+	default:
+		bv := c.cBool(e, lay)
+		return func(pr *cproc, fr *frame) value { return boolVal(bv(pr, fr)) }, t
+	}
+}
+
+// valAs compiles an expression to a boxed value of the wanted type,
+// placing the numeric conversion at compile time (the coercion the tree
+// walker re-decides on every store).
+func (c *compiler) valAs(e forcelang.Expr, lay *unitLayout, want forcelang.Type) valFn {
+	switch want {
+	case forcelang.TInt:
+		iv := c.asInt(e, lay)
+		return func(pr *cproc, fr *frame) value { return intVal(iv(pr, fr)) }
+	case forcelang.TReal:
+		rv := c.cReal(e, lay)
+		return func(pr *cproc, fr *frame) value { return realVal(rv(pr, fr)) }
+	default:
+		bv := c.cBool(e, lay)
+		return func(pr *cproc, fr *frame) value { return boolVal(bv(pr, fr)) }
+	}
+}
+
+// asInt compiles a numeric expression to int64, truncating REAL values
+// (Fortran coercion).
+func (c *compiler) asInt(e forcelang.Expr, lay *unitLayout) intFn {
+	if c.typ(e, lay) == forcelang.TInt {
+		return c.cInt(e, lay)
+	}
+	rv := c.cReal(e, lay)
+	return func(pr *cproc, fr *frame) int64 { return int64(rv(pr, fr)) }
+}
+
+// cInt compiles an INTEGER-typed expression to an unboxed int64 closure.
+func (c *compiler) cInt(e forcelang.Expr, lay *unitLayout) intFn {
+	switch t := e.(type) {
+	case *forcelang.IntLit:
+		v := t.Value
+		return func(pr *cproc, fr *frame) int64 { return v }
+	case *forcelang.Ref:
+		return c.refInt(t, lay)
+	case *forcelang.Un:
+		x := c.cInt(t.X, lay)
+		return func(pr *cproc, fr *frame) int64 { return -x(pr, fr) }
+	case *forcelang.Bin:
+		l, r := c.cInt(t.L, lay), c.cInt(t.R, lay)
+		switch t.Op {
+		case forcelang.OpAdd:
+			return func(pr *cproc, fr *frame) int64 { return l(pr, fr) + r(pr, fr) }
+		case forcelang.OpSub:
+			return func(pr *cproc, fr *frame) int64 { return l(pr, fr) - r(pr, fr) }
+		case forcelang.OpMul:
+			return func(pr *cproc, fr *frame) int64 { return l(pr, fr) * r(pr, fr) }
+		case forcelang.OpDiv:
+			line := t.Pos()
+			return func(pr *cproc, fr *frame) int64 {
+				rv := r(pr, fr)
+				if rv == 0 {
+					panic(rtErrf(line, "integer division by zero"))
+				}
+				return l(pr, fr) / rv
+			}
+		}
+	case *forcelang.Intrinsic:
+		return c.intrinsicInt(t, lay)
+	}
+	panic(compileErrf("line %d: internal: %T is not an INTEGER expression", e.Pos(), e))
+}
+
+func (c *compiler) refInt(t *forcelang.Ref, lay *unitLayout) intFn {
+	sym := lay.lookup(t.Name, t.Pos())
+	if len(t.Subs) == 0 {
+		switch sym.class {
+		case scPrivate:
+			slot := sym.slot
+			return func(pr *cproc, fr *frame) int64 { return fr.priv[slot].i }
+		case scShared:
+			cell := c.in.scalar(sym.unit, sym.slot)
+			return func(pr *cproc, fr *frame) int64 { return int64(cell.bits.Load()) }
+		}
+	}
+	lv := c.refLoad(t, lay)
+	return func(pr *cproc, fr *frame) int64 { return lv(pr, fr).i }
+}
+
+func (c *compiler) intrinsicInt(t *forcelang.Intrinsic, lay *unitLayout) intFn {
+	switch t.Name {
+	case "ABS":
+		x := c.cInt(t.Args[0], lay)
+		return func(pr *cproc, fr *frame) int64 {
+			v := x(pr, fr)
+			if v < 0 {
+				return -v
+			}
+			return v
+		}
+	case "INT":
+		// The tree walker converts through asReal even for INTEGER
+		// arguments; keep the identical data path.
+		rv := c.cReal(t.Args[0], lay)
+		return func(pr *cproc, fr *frame) int64 { return int64(rv(pr, fr)) }
+	case "NINT":
+		rv := c.cReal(t.Args[0], lay)
+		return func(pr *cproc, fr *frame) int64 { return int64(math.Round(rv(pr, fr))) }
+	case "MOD":
+		l, r := c.cInt(t.Args[0], lay), c.cInt(t.Args[1], lay)
+		line := t.Pos()
+		return func(pr *cproc, fr *frame) int64 {
+			rv := r(pr, fr)
+			if rv == 0 {
+				panic(rtErrf(line, "MOD by zero"))
+			}
+			return l(pr, fr) % rv
+		}
+	case "MIN", "MAX":
+		args := c.intFns(t.Args, lay)
+		min := t.Name == "MIN"
+		return func(pr *cproc, fr *frame) int64 {
+			best := args[0](pr, fr)
+			for _, a := range args[1:] {
+				x := a(pr, fr)
+				if (min && x < best) || (!min && x > best) {
+					best = x
+				}
+			}
+			return best
+		}
+	}
+	panic(compileErrf("line %d: internal: %s is not an INTEGER intrinsic", t.Pos(), t.Name))
+}
+
+// cReal compiles a numeric expression to an unboxed float64 closure,
+// converting statically INTEGER subexpressions at the boundary.
+func (c *compiler) cReal(e forcelang.Expr, lay *unitLayout) realFn {
+	if c.typ(e, lay) == forcelang.TInt {
+		iv := c.cInt(e, lay)
+		return func(pr *cproc, fr *frame) float64 { return float64(iv(pr, fr)) }
+	}
+	switch t := e.(type) {
+	case *forcelang.RealLit:
+		v := t.Value
+		return func(pr *cproc, fr *frame) float64 { return v }
+	case *forcelang.Ref:
+		return c.refReal(t, lay)
+	case *forcelang.Un:
+		x := c.cReal(t.X, lay)
+		return func(pr *cproc, fr *frame) float64 { return -x(pr, fr) }
+	case *forcelang.Bin:
+		l, r := c.cReal(t.L, lay), c.cReal(t.R, lay)
+		switch t.Op {
+		case forcelang.OpAdd:
+			return func(pr *cproc, fr *frame) float64 { return l(pr, fr) + r(pr, fr) }
+		case forcelang.OpSub:
+			return func(pr *cproc, fr *frame) float64 { return l(pr, fr) - r(pr, fr) }
+		case forcelang.OpMul:
+			return func(pr *cproc, fr *frame) float64 { return l(pr, fr) * r(pr, fr) }
+		case forcelang.OpDiv:
+			// IEEE semantics for real division, as in the tree walker.
+			return func(pr *cproc, fr *frame) float64 { return l(pr, fr) / r(pr, fr) }
+		}
+	case *forcelang.Intrinsic:
+		return c.intrinsicReal(t, lay)
+	}
+	panic(compileErrf("line %d: internal: %T is not a REAL expression", e.Pos(), e))
+}
+
+func (c *compiler) refReal(t *forcelang.Ref, lay *unitLayout) realFn {
+	sym := lay.lookup(t.Name, t.Pos())
+	if len(t.Subs) == 0 {
+		switch sym.class {
+		case scPrivate:
+			slot := sym.slot
+			return func(pr *cproc, fr *frame) float64 { return fr.priv[slot].r }
+		case scShared:
+			cell := c.in.scalar(sym.unit, sym.slot)
+			return func(pr *cproc, fr *frame) float64 { return math.Float64frombits(cell.bits.Load()) }
+		}
+	}
+	lv := c.refLoad(t, lay)
+	return func(pr *cproc, fr *frame) float64 { return lv(pr, fr).r }
+}
+
+func (c *compiler) intrinsicReal(t *forcelang.Intrinsic, lay *unitLayout) realFn {
+	switch t.Name {
+	case "ABS":
+		x := c.cReal(t.Args[0], lay)
+		return func(pr *cproc, fr *frame) float64 { return math.Abs(x(pr, fr)) }
+	case "SQRT":
+		x := c.cReal(t.Args[0], lay)
+		line := t.Pos()
+		return func(pr *cproc, fr *frame) float64 {
+			v := x(pr, fr)
+			if v < 0 {
+				panic(rtErrf(line, "SQRT of negative value %g", v))
+			}
+			return math.Sqrt(v)
+		}
+	case "REAL":
+		return c.cReal(t.Args[0], lay)
+	case "MOD":
+		l, r := c.cReal(t.Args[0], lay), c.cReal(t.Args[1], lay)
+		return func(pr *cproc, fr *frame) float64 { return math.Mod(l(pr, fr), r(pr, fr)) }
+	case "MIN", "MAX":
+		args := make([]realFn, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = c.cReal(a, lay)
+		}
+		min := t.Name == "MIN"
+		return func(pr *cproc, fr *frame) float64 {
+			best := args[0](pr, fr)
+			for _, a := range args[1:] {
+				x := a(pr, fr)
+				if (min && x < best) || (!min && x > best) {
+					best = x
+				}
+			}
+			return best
+		}
+	}
+	panic(compileErrf("line %d: internal: %s is not a REAL intrinsic", t.Pos(), t.Name))
+}
+
+// cBool compiles a LOGICAL-typed expression to an unboxed bool closure.
+func (c *compiler) cBool(e forcelang.Expr, lay *unitLayout) boolFn {
+	switch t := e.(type) {
+	case *forcelang.BoolLit:
+		v := t.Value
+		return func(pr *cproc, fr *frame) bool { return v }
+	case *forcelang.Ref:
+		sym := lay.lookup(t.Name, t.Pos())
+		if len(t.Subs) == 0 {
+			switch sym.class {
+			case scPrivate:
+				slot := sym.slot
+				return func(pr *cproc, fr *frame) bool { return fr.priv[slot].b }
+			case scShared:
+				cell := c.in.scalar(sym.unit, sym.slot)
+				return func(pr *cproc, fr *frame) bool { return cell.bits.Load() != 0 }
+			}
+		}
+		lv := c.refLoad(t, lay)
+		return func(pr *cproc, fr *frame) bool { return lv(pr, fr).b }
+	case *forcelang.Un:
+		x := c.cBool(t.X, lay)
+		return func(pr *cproc, fr *frame) bool { return !x(pr, fr) }
+	case *forcelang.Bin:
+		return c.binBool(t, lay)
+	}
+	panic(compileErrf("line %d: internal: %T is not a LOGICAL expression", e.Pos(), e))
+}
+
+func (c *compiler) binBool(t *forcelang.Bin, lay *unitLayout) boolFn {
+	switch t.Op {
+	case forcelang.OpAnd:
+		l, r := c.cBool(t.L, lay), c.cBool(t.R, lay)
+		return func(pr *cproc, fr *frame) bool { return l(pr, fr) && r(pr, fr) }
+	case forcelang.OpOr:
+		l, r := c.cBool(t.L, lay), c.cBool(t.R, lay)
+		return func(pr *cproc, fr *frame) bool { return l(pr, fr) || r(pr, fr) }
+	}
+	lt, rt := c.typ(t.L, lay), c.typ(t.R, lay)
+	if lt == forcelang.TLogical || rt == forcelang.TLogical {
+		l, r := c.cBool(t.L, lay), c.cBool(t.R, lay)
+		if t.Op == forcelang.OpNe {
+			return func(pr *cproc, fr *frame) bool { return l(pr, fr) != r(pr, fr) }
+		}
+		return func(pr *cproc, fr *frame) bool { return l(pr, fr) == r(pr, fr) }
+	}
+	if lt == forcelang.TInt && rt == forcelang.TInt {
+		l, r := c.cInt(t.L, lay), c.cInt(t.R, lay)
+		switch t.Op {
+		case forcelang.OpEq:
+			return func(pr *cproc, fr *frame) bool { return l(pr, fr) == r(pr, fr) }
+		case forcelang.OpNe:
+			return func(pr *cproc, fr *frame) bool { return l(pr, fr) != r(pr, fr) }
+		case forcelang.OpLt:
+			return func(pr *cproc, fr *frame) bool { return l(pr, fr) < r(pr, fr) }
+		case forcelang.OpLe:
+			return func(pr *cproc, fr *frame) bool { return l(pr, fr) <= r(pr, fr) }
+		case forcelang.OpGt:
+			return func(pr *cproc, fr *frame) bool { return l(pr, fr) > r(pr, fr) }
+		default:
+			return func(pr *cproc, fr *frame) bool { return l(pr, fr) >= r(pr, fr) }
+		}
+	}
+	// Real comparisons follow the tree walker's three-way-compare
+	// formulation (cmp stays 0 when neither side orders, e.g. NaN), so
+	// both engines agree on every input.
+	l, r := c.cReal(t.L, lay), c.cReal(t.R, lay)
+	switch t.Op {
+	case forcelang.OpEq:
+		return func(pr *cproc, fr *frame) bool { lv, rv := l(pr, fr), r(pr, fr); return !(lv < rv) && !(lv > rv) }
+	case forcelang.OpNe:
+		return func(pr *cproc, fr *frame) bool { lv, rv := l(pr, fr), r(pr, fr); return lv < rv || lv > rv }
+	case forcelang.OpLt:
+		return func(pr *cproc, fr *frame) bool { return l(pr, fr) < r(pr, fr) }
+	case forcelang.OpLe:
+		return func(pr *cproc, fr *frame) bool { return !(l(pr, fr) > r(pr, fr)) }
+	case forcelang.OpGt:
+		return func(pr *cproc, fr *frame) bool { return l(pr, fr) > r(pr, fr) }
+	default:
+		return func(pr *cproc, fr *frame) bool { return !(l(pr, fr) < r(pr, fr)) }
+	}
+}

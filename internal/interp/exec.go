@@ -1,0 +1,184 @@
+package interp
+
+// Runtime of the compiled executor: index-addressed frames, the
+// per-process execution context, the instance-wide storage (per-variable
+// shared cells, striped arrays, async entries), and the Run driver.  The
+// compiler in compile.go produces closures over these structures.
+
+import (
+	"repro/internal/asyncvar"
+	"repro/internal/core"
+	"repro/internal/forcelang"
+	"repro/internal/machine"
+)
+
+// stmtFn is one compiled statement.
+type stmtFn func(pr *cproc, fr *frame)
+
+// valFn is a compiled expression producing a boxed value; intFn, realFn
+// and boolFn are the unboxed specializations the compiler prefers when
+// the checker's static type allows.
+type valFn func(pr *cproc, fr *frame) value
+type intFn func(pr *cproc, fr *frame) int64
+type realFn func(pr *cproc, fr *frame) float64
+type boolFn func(pr *cproc, fr *frame) bool
+
+// frame is one executing unit's index-addressed storage view: private
+// scalar slots, private arrays, and the by-reference parameter bindings
+// of the current call.  No name is resolved at execution time.
+type frame struct {
+	priv   []value
+	arrs   []*privArray
+	params []cparam
+}
+
+// cparam is one bound parameter: a scalar alias or a whole-array alias.
+type cparam struct {
+	sc scalarRef
+	ar arrayRef
+}
+
+// cproc is one force process executing the compiled program.
+type cproc struct {
+	in *cinstance
+	p  *core.Proc
+	// puts is the stack of enclosing Askfor put functions; the innermost
+	// one serves Put statements.
+	puts []func(any)
+}
+
+// cunit is one compiled unit: its resolved layout plus the statement
+// closures of its body (filled after every unit shell exists, so calls —
+// including recursive ones — link by pointer).
+type cunit struct {
+	lay  *unitLayout
+	body []stmtFn
+}
+
+// newFrame builds a fresh frame for the unit: typed-zero private scalars
+// with ME in slot 0, fresh private arrays, and empty parameter bindings
+// for the caller to fill.
+func (u *cunit) newFrame(me int64) *frame {
+	lay := u.lay
+	fr := &frame{priv: make([]value, len(lay.privInit))}
+	copy(fr.priv, lay.privInit)
+	fr.priv[0] = intVal(me)
+	if n := len(lay.privArrs); n > 0 {
+		fr.arrs = make([]*privArray, n)
+		for i, d := range lay.privArrs {
+			if d.Name != "" {
+				fr.arrs[i] = newPrivArray(d)
+			}
+		}
+	}
+	if n := len(lay.params); n > 0 {
+		fr.params = make([]cparam, n)
+	}
+	return fr
+}
+
+// cprogram is a fully compiled program.
+type cprogram struct {
+	units map[string]*cunit
+	main  *cunit
+}
+
+// cinstance is the shared state of one compiled run: slot-indexed
+// per-variable shared storage instead of the tree walker's name-keyed
+// maps behind one mutex.
+type cinstance struct {
+	prog    *forcelang.Program
+	cfg     Config
+	res     *resolution
+	scalars map[string][]*sharedScalar
+	arrays  map[string][]*sharedArray
+	asyncs  map[string][]*asyncEntry
+	out     *outsink
+}
+
+func newCInstance(prog *forcelang.Program, cfg Config, res *resolution) *cinstance {
+	in := &cinstance{
+		prog:    prog,
+		cfg:     cfg,
+		res:     res,
+		scalars: map[string][]*sharedScalar{},
+		arrays:  map[string][]*sharedArray{},
+		asyncs:  map[string][]*asyncEntry{},
+		out:     newOutsink(cfg.Stdout),
+	}
+	for unit, alloc := range res.allocs {
+		ss := make([]*sharedScalar, len(alloc.scalars))
+		for i, d := range alloc.scalars {
+			if d.Name != "" {
+				ss[i] = newSharedScalar(d.Type)
+			}
+		}
+		sa := make([]*sharedArray, len(alloc.arrays))
+		for i, d := range alloc.arrays {
+			if d.Name != "" {
+				sa[i] = newSharedArray(d)
+			}
+		}
+		as := make([]*asyncEntry, len(alloc.asyncs))
+		for i, d := range alloc.asyncs {
+			if d.Name == "" {
+				continue
+			}
+			e := &asyncEntry{}
+			if len(d.Dims) == 1 {
+				e.arr = asyncvar.NewArray[value](cfg.Machine.Async, cfg.Machine.LockFactory(), d.Dims[0])
+			} else {
+				e.cell = machine.NewAsync[value](cfg.Machine)
+			}
+			as[i] = e
+		}
+		in.scalars[unit] = ss
+		in.arrays[unit] = sa
+		in.asyncs[unit] = as
+	}
+	// NP is shared-scalar slot 0 of the main unit.
+	np := res.units[""].syms[prog.NPVar]
+	in.scalars[np.unit][np.slot].store(intVal(int64(cfg.NP)))
+	return in
+}
+
+func (in *cinstance) scalar(unit string, slot int) *sharedScalar { return in.scalars[unit][slot] }
+func (in *cinstance) array(unit string, slot int) *sharedArray   { return in.arrays[unit][slot] }
+func (in *cinstance) async(unit string, slot int) *asyncEntry    { return in.asyncs[unit][slot] }
+
+// runCompiled resolves, compiles and executes the program on the core
+// runtime — the default execution engine (Config.Exec == ExecCompiled).
+func runCompiled(prog *forcelang.Program, cfg Config) (err error) {
+	res, err := resolveProgram(prog)
+	if err != nil {
+		return err
+	}
+	in := newCInstance(prog, cfg, res)
+	cp, err := compileProgram(in)
+	if err != nil {
+		return err
+	}
+	f := core.New(cfg.NP, core.WithMachine(cfg.Machine), core.WithBarrier(cfg.Barrier),
+		core.WithTrace(cfg.Trace), core.WithAskfor(cfg.Askfor),
+		core.WithPcaseSched(cfg.Selfsched), core.WithReduce(cfg.Reduce))
+	defer f.Close()
+	defer func() {
+		flushErr := in.out.flush()
+		if r := recover(); r != nil {
+			if ie, ok := r.(runtimeErr); ok {
+				err = error(ie)
+				return
+			}
+			panic(r)
+		}
+		err = flushErr
+	}()
+	f.Run(func(p *core.Proc) {
+		pr := &cproc{in: in, p: p}
+		fr := cp.main.newFrame(int64(p.ID()))
+		for _, st := range cp.main.body {
+			st(pr, fr)
+		}
+	})
+	return nil
+}

@@ -9,9 +9,23 @@
 // variables (of the main program and of every subroutine, COMMON-like)
 // are allocated once per run and shared by all processes; private
 // variables live per process, and subroutine-local privates per call.
-// Shared accesses are serialized by a per-run mutex, so even an
-// improperly synchronized Force program is a well-defined (if
-// nondeterministic) Go program.
+// Either way an improperly synchronized Force program remains a
+// well-defined (if nondeterministic) Go program.
+//
+// Two execution engines implement those semantics (Config.Exec):
+//
+//   - ExecCompiled (the default) stages execution: a resolution pass
+//     (resolve.go) assigns every variable reference a (storage class,
+//     slot) pair, and a compile pass (compile.go) turns the checked AST
+//     into a tree of typed closures over index-addressed frames.
+//     Private variables are direct slot accesses; shared scalars are
+//     individual atomic cells and shared arrays lock-striped element
+//     stores (store.go), so an interpreted DOALL over disjoint elements
+//     runs in parallel.
+//   - ExecTree is the original tree walker: names resolved through
+//     string maps on every access and all shared storage serialized by
+//     one per-run mutex.  It is kept as the A/B baseline (forcebench
+//     T11, forcerun -exec tree).
 //
 // Error handling matches the original system's reality: a runtime error
 // (subscript out of range, division by zero) aborts the erring process
@@ -68,10 +82,51 @@ type Config struct {
 	// padded slots (zero value), the paper's critical-section baseline
 	// (reduce.Critical), the combining tree, or lock-free CAS.
 	Reduce reduce.Kind
+	// Exec selects the execution engine: the slot-resolved closure
+	// compiler (zero value) or the original tree walker (ExecTree).
+	Exec ExecMode
+}
+
+// ExecMode selects the interpreter's execution engine.
+type ExecMode int
+
+const (
+	// ExecCompiled resolves every variable reference to a (storage
+	// class, slot) pair at compile time and executes typed closures over
+	// index-addressed frames with per-variable shared-memory
+	// synchronization.  The default.
+	ExecCompiled ExecMode = iota
+	// ExecTree is the original tree walker: map-addressed frames and one
+	// global mutex serializing all shared access.  Kept as the A/B
+	// baseline.
+	ExecTree
+)
+
+// String returns the CLI spelling of the mode.
+func (m ExecMode) String() string {
+	if m == ExecTree {
+		return "tree"
+	}
+	return "compiled"
+}
+
+// ExecModes lists the engines, baseline first.
+func ExecModes() []ExecMode { return []ExecMode{ExecTree, ExecCompiled} }
+
+// ParseExecMode parses a CLI spelling of an execution mode.
+func ParseExecMode(s string) (ExecMode, error) {
+	switch s {
+	case "compiled":
+		return ExecCompiled, nil
+	case "tree":
+		return ExecTree, nil
+	default:
+		return 0, fmt.Errorf("interp: unknown exec mode %q (want compiled or tree)", s)
+	}
 }
 
 // Run executes the program and returns the first runtime error, if any.
-func Run(prog *forcelang.Program, cfg Config) (err error) {
+func Run(prog *forcelang.Program, cfg Config) error {
 	if cfg.NP <= 0 {
 		cfg.NP = 4
 	}
@@ -84,6 +139,14 @@ func Run(prog *forcelang.Program, cfg Config) (err error) {
 	if cfg.Selfsched == 0 {
 		cfg.Selfsched = sched.SelfLock
 	}
+	if cfg.Exec == ExecTree {
+		return runTree(prog, cfg)
+	}
+	return runCompiled(prog, cfg)
+}
+
+// runTree executes the program on the original tree walker.
+func runTree(prog *forcelang.Program, cfg Config) (err error) {
 	in := newInstance(prog, cfg)
 	f := core.New(cfg.NP, core.WithMachine(cfg.Machine), core.WithBarrier(cfg.Barrier),
 		core.WithTrace(cfg.Trace), core.WithAskfor(cfg.Askfor),
@@ -225,7 +288,33 @@ func newBinding(d forcelang.Decl, shared bool) *binding {
 	return b
 }
 
-// instance is the shared state of one interpreter run.
+// outsink is the serialized Print sink shared by both execution engines.
+type outsink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+func newOutsink(w io.Writer) *outsink { return &outsink{w: bufio.NewWriter(w)} }
+
+func (o *outsink) writeLine(s string) {
+	o.mu.Lock()
+	if _, err := o.w.WriteString(s); err != nil && o.err == nil {
+		o.err = err
+	}
+	o.mu.Unlock()
+}
+
+func (o *outsink) flush() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if err := o.w.Flush(); err != nil && o.err == nil {
+		o.err = err
+	}
+	return o.err
+}
+
+// instance is the shared state of one tree-walker run.
 type instance struct {
 	prog *forcelang.Program
 	cfg  Config
@@ -234,9 +323,7 @@ type instance struct {
 	shared map[string]map[string]*binding
 	asyncs map[string]*asyncEntry
 
-	outMu  sync.Mutex
-	out    *bufio.Writer
-	outErr error
+	out *outsink
 }
 
 // asyncCell is the method set of asyncvar.V[value], named locally to keep
@@ -278,7 +365,7 @@ func newInstance(prog *forcelang.Program, cfg Config) *instance {
 		cfg:    cfg,
 		shared: map[string]map[string]*binding{},
 		asyncs: map[string]*asyncEntry{},
-		out:    bufio.NewWriter(cfg.Stdout),
+		out:    newOutsink(cfg.Stdout),
 	}
 	allocUnit := func(unit string, decls []forcelang.Decl, params []string) {
 		isParam := func(name string) bool {
@@ -322,14 +409,7 @@ func newInstance(prog *forcelang.Program, cfg Config) *instance {
 	return in
 }
 
-func (in *instance) flush() error {
-	in.outMu.Lock()
-	defer in.outMu.Unlock()
-	if err := in.out.Flush(); err != nil && in.outErr == nil {
-		in.outErr = err
-	}
-	return in.outErr
-}
+func (in *instance) flush() error { return in.out.flush() }
 
 // asyncFor resolves an async variable visible from unit: unit-local entry
 // first, then the main program's (COMMON-like) entry.
@@ -343,8 +423,9 @@ func (in *instance) asyncFor(unit, name string, line int) *asyncEntry {
 	panic(rtErrf(line, "async variable %s not found", name))
 }
 
-// frame is one call frame: the name-to-binding map for the executing unit.
-type frame struct {
+// tframe is one tree-walker call frame: the name-to-binding map for the
+// executing unit.
+type tframe struct {
 	unit string
 	vars map[string]*binding
 }
@@ -361,8 +442,8 @@ type proc struct {
 // newMainFrame builds the main program's frame for this process: private
 // declarations fresh, shared declarations from the instance, ME bound to
 // the process id.
-func (pr *proc) newMainFrame() *frame {
-	f := &frame{unit: "", vars: map[string]*binding{}}
+func (pr *proc) newMainFrame() *tframe {
+	f := &tframe{unit: "", vars: map[string]*binding{}}
 	for _, d := range pr.in.prog.Decls {
 		switch d.Class {
 		case shm.Private:
@@ -385,7 +466,7 @@ func (pr *proc) runMain() {
 
 // lookup resolves a name in the frame, falling back to main shared
 // variables (COMMON) when executing a subroutine.
-func (pr *proc) lookup(f *frame, name string, line int) *binding {
+func (pr *proc) lookup(f *tframe, name string, line int) *binding {
 	if b, ok := f.vars[name]; ok {
 		return b
 	}
@@ -442,13 +523,13 @@ func (pr *proc) storeElem(b *binding, subs []int64, v value, name string, line i
 
 // --- statements --------------------------------------------------------
 
-func (pr *proc) stmts(list []forcelang.Stmt, f *frame) {
+func (pr *proc) stmts(list []forcelang.Stmt, f *tframe) {
 	for _, st := range list {
 		pr.stmt(st, f)
 	}
 }
 
-func (pr *proc) stmt(st forcelang.Stmt, f *frame) {
+func (pr *proc) stmt(st forcelang.Stmt, f *tframe) {
 	switch t := st.(type) {
 	case *forcelang.Assign:
 		v := pr.eval(t.Expr, f)
@@ -522,7 +603,7 @@ func (pr *proc) stmt(st forcelang.Stmt, f *frame) {
 
 // asyncCellFor resolves the cell addressed by an async statement,
 // evaluating the optional subscript.
-func (pr *proc) asyncCellFor(f *frame, name string, sub forcelang.Expr, line int) asyncCell {
+func (pr *proc) asyncCellFor(f *tframe, name string, sub forcelang.Expr, line int) asyncCell {
 	e := pr.in.asyncFor(f.unit, name, line)
 	if sub == nil {
 		return e.at(0, false, name, line)
@@ -530,7 +611,7 @@ func (pr *proc) asyncCellFor(f *frame, name string, sub forcelang.Expr, line int
 	return e.at(pr.evalInt(sub, f), true, name, line)
 }
 
-func (pr *proc) loopBounds(fromE, toE, stepE forcelang.Expr, f *frame) (from, to, step int64) {
+func (pr *proc) loopBounds(fromE, toE, stepE forcelang.Expr, f *tframe) (from, to, step int64) {
 	from = pr.evalInt(fromE, f)
 	to = pr.evalInt(toE, f)
 	step = 1
@@ -543,7 +624,7 @@ func (pr *proc) loopBounds(fromE, toE, stepE forcelang.Expr, f *frame) (from, to
 	return
 }
 
-func (pr *proc) parDo(t *forcelang.ParDo, f *frame) {
+func (pr *proc) parDo(t *forcelang.ParDo, f *tframe) {
 	from, to, step := pr.loopBounds(t.From, t.To, t.Step, f)
 	r := sched.Range{Start: int(from), Last: int(to), Incr: int(step)}
 	lv := pr.lookup(f, t.Var, t.Pos())
@@ -578,7 +659,7 @@ func (pr *proc) parDo(t *forcelang.ParDo, f *frame) {
 // the seed expression's value (SPMD-identical in every process) seeds the
 // pool, each drawn task binds the private task variable, and Put
 // statements in the body enqueue onto the innermost pool.
-func (pr *proc) askfor(t *forcelang.AskforStmt, f *frame) {
+func (pr *proc) askfor(t *forcelang.AskforStmt, f *tframe) {
 	seed := pr.evalInt(t.Seed, f)
 	lv := pr.lookup(f, t.Var, t.Pos())
 	pr.p.Askfor([]any{seed}, func(task any, put func(any)) {
@@ -595,7 +676,7 @@ func (pr *proc) askfor(t *forcelang.AskforStmt, f *frame) {
 // the same arithmetic), reduce across the force, and assign the combined
 // value to the target.  The interpreter assigns per process — its shared
 // storage is mutex-serialized, and every process stores the same value.
-func (pr *proc) greduce(t *forcelang.ReduceStmt, f *frame) {
+func (pr *proc) greduce(t *forcelang.ReduceStmt, f *tframe) {
 	tb := pr.lookup(f, t.Target.Name, t.Pos())
 	v := pr.eval(t.Expr, f)
 	var out value
@@ -629,7 +710,7 @@ func greduceNum[T core.Number](p *core.Proc, op forcelang.GOp, x T) T {
 	}
 }
 
-func (pr *proc) print(t *forcelang.PrintStmt, f *frame) {
+func (pr *proc) print(t *forcelang.PrintStmt, f *tframe) {
 	parts := make([]string, len(t.Items))
 	for i, item := range t.Items {
 		if s, ok := item.(*forcelang.StrLit); ok {
@@ -638,20 +719,15 @@ func (pr *proc) print(t *forcelang.PrintStmt, f *frame) {
 		}
 		parts[i] = pr.eval(item, f).String()
 	}
-	line := strings.Join(parts, " ") + "\n"
-	pr.in.outMu.Lock()
-	if _, err := pr.in.out.WriteString(line); err != nil && pr.in.outErr == nil {
-		pr.in.outErr = err
-	}
-	pr.in.outMu.Unlock()
+	pr.in.out.writeLine(strings.Join(parts, " ") + "\n")
 }
 
-func (pr *proc) call(t *forcelang.CallStmt, f *frame) {
+func (pr *proc) call(t *forcelang.CallStmt, f *tframe) {
 	sub := pr.in.prog.Sub(t.Name)
 	if sub == nil {
 		panic(rtErrf(t.Pos(), "undefined subroutine %s", t.Name))
 	}
-	nf := &frame{unit: sub.Name, vars: map[string]*binding{}}
+	nf := &tframe{unit: sub.Name, vars: map[string]*binding{}}
 	// Parameters bind by reference to the caller's storage.
 	for i, param := range sub.Params {
 		arg := t.Args[i]
@@ -696,7 +772,7 @@ func (pr *proc) call(t *forcelang.CallStmt, f *frame) {
 	pr.stmts(sub.Body, nf)
 }
 
-func (pr *proc) assign(target *forcelang.Ref, v value, f *frame) {
+func (pr *proc) assign(target *forcelang.Ref, v value, f *tframe) {
 	b := pr.lookup(f, target.Name, target.Pos())
 	if len(target.Subs) == 0 {
 		pr.storeScalar(b, v, target.Pos())
@@ -706,7 +782,7 @@ func (pr *proc) assign(target *forcelang.Ref, v value, f *frame) {
 	pr.storeElem(b, subs, v, target.Name, target.Pos())
 }
 
-func (pr *proc) evalSubs(subs []forcelang.Expr, f *frame) []int64 {
+func (pr *proc) evalSubs(subs []forcelang.Expr, f *tframe) []int64 {
 	out := make([]int64, len(subs))
 	for i, s := range subs {
 		out[i] = pr.evalInt(s, f)
@@ -716,7 +792,7 @@ func (pr *proc) evalSubs(subs []forcelang.Expr, f *frame) []int64 {
 
 // --- expressions -------------------------------------------------------
 
-func (pr *proc) eval(e forcelang.Expr, f *frame) value {
+func (pr *proc) eval(e forcelang.Expr, f *tframe) value {
 	switch t := e.(type) {
 	case *forcelang.IntLit:
 		return intVal(t.Value)
@@ -750,7 +826,7 @@ func (pr *proc) eval(e forcelang.Expr, f *frame) value {
 	}
 }
 
-func (pr *proc) evalBool(e forcelang.Expr, f *frame) bool {
+func (pr *proc) evalBool(e forcelang.Expr, f *tframe) bool {
 	v := pr.eval(e, f)
 	if v.t != forcelang.TLogical {
 		panic(rtErrf(e.Pos(), "expected LOGICAL, got %s", v.t))
@@ -758,11 +834,11 @@ func (pr *proc) evalBool(e forcelang.Expr, f *frame) bool {
 	return v.b
 }
 
-func (pr *proc) evalInt(e forcelang.Expr, f *frame) int64 {
+func (pr *proc) evalInt(e forcelang.Expr, f *tframe) int64 {
 	return coerce(pr.eval(e, f), forcelang.TInt, e.Pos()).i
 }
 
-func (pr *proc) evalBin(t *forcelang.Bin, f *frame) value {
+func (pr *proc) evalBin(t *forcelang.Bin, f *tframe) value {
 	// Short-circuit logical operators.
 	switch t.Op {
 	case forcelang.OpAnd:
@@ -846,7 +922,7 @@ func (pr *proc) evalBin(t *forcelang.Bin, f *frame) value {
 	}
 }
 
-func (pr *proc) evalIntrinsic(t *forcelang.Intrinsic, f *frame) value {
+func (pr *proc) evalIntrinsic(t *forcelang.Intrinsic, f *tframe) value {
 	args := make([]value, len(t.Args))
 	for i, a := range t.Args {
 		args[i] = pr.eval(a, f)

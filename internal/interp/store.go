@@ -1,0 +1,187 @@
+package interp
+
+// Slot-addressed storage for the compiled executor.  The tree walker
+// serializes every shared access behind one per-run mutex; the compiled
+// executor gives each shared variable its own synchronization instead:
+// scalars become atomic cells (one word suffices once the declared type
+// is fixed) and arrays stripe a small set of cache-line-padded locks
+// over the element space, so accesses to disjoint elements proceed in
+// parallel while accesses to the same element still serialize.  Either
+// way an improperly synchronized Force program remains a well-defined
+// (if nondeterministic) Go program, the same guarantee the global mutex
+// gave.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/forcelang"
+)
+
+// sharedScalar is one shared scalar variable: an atomic cell holding the
+// value's bit pattern in the variable's declared type (int64 bits,
+// float64 bits, or 0/1 for LOGICAL).  Loads and stores are single atomic
+// operations — the per-variable replacement for the tree walker's global
+// shared-memory mutex.
+type sharedScalar struct {
+	t    forcelang.Type
+	bits atomic.Uint64
+}
+
+func newSharedScalar(t forcelang.Type) *sharedScalar { return &sharedScalar{t: t} }
+
+func (c *sharedScalar) load() value {
+	b := c.bits.Load()
+	switch c.t {
+	case forcelang.TInt:
+		return intVal(int64(b))
+	case forcelang.TReal:
+		return realVal(math.Float64frombits(b))
+	default:
+		return boolVal(b != 0)
+	}
+}
+
+// store saves v, which must already be coerced to the cell's type.
+func (c *sharedScalar) store(v value) {
+	var b uint64
+	switch c.t {
+	case forcelang.TInt:
+		b = uint64(v.i)
+	case forcelang.TReal:
+		b = math.Float64bits(v.r)
+	default:
+		if v.b {
+			b = 1
+		}
+	}
+	c.bits.Store(b)
+}
+
+// stripeCount bounds the number of locks striped over one shared array.
+const stripeCount = 64
+
+// paddedMutex keeps neighbouring stripe locks on separate cache lines.
+type paddedMutex struct {
+	sync.Mutex
+	_ [56]byte
+}
+
+// sharedArray is one shared array: a flat element slice with a
+// power-of-two set of padded locks striped over the element space.
+// Accesses to different elements usually take different stripes and run
+// in parallel; accesses to the same element always meet on the same
+// stripe.
+type sharedArray struct {
+	dims  []int
+	data  []value
+	locks []paddedMutex
+	mask  int
+}
+
+func newSharedArray(d forcelang.Decl) *sharedArray {
+	n := d.Size()
+	stripes := 1
+	for stripes < n && stripes < stripeCount {
+		stripes <<= 1
+	}
+	a := &sharedArray{
+		dims:  d.Dims,
+		data:  make([]value, n),
+		locks: make([]paddedMutex, stripes),
+		mask:  stripes - 1,
+	}
+	zero := value{t: d.Type}
+	for i := range a.data {
+		a.data[i] = zero
+	}
+	return a
+}
+
+func (a *sharedArray) shape() []int { return a.dims }
+
+func (a *sharedArray) load(off int) value {
+	mu := &a.locks[off&a.mask].Mutex
+	mu.Lock()
+	v := a.data[off]
+	mu.Unlock()
+	return v
+}
+
+func (a *sharedArray) store(off int, v value) {
+	mu := &a.locks[off&a.mask].Mutex
+	mu.Lock()
+	a.data[off] = v
+	mu.Unlock()
+}
+
+// privArray is a private array: per-process (or per-call) storage, no
+// synchronization needed.
+type privArray struct {
+	dims []int
+	data []value
+}
+
+func newPrivArray(d forcelang.Decl) *privArray {
+	a := &privArray{dims: d.Dims, data: make([]value, d.Size())}
+	zero := value{t: d.Type}
+	for i := range a.data {
+		a.data[i] = zero
+	}
+	return a
+}
+
+func (a *privArray) shape() []int           { return a.dims }
+func (a *privArray) load(off int) value     { return a.data[off] }
+func (a *privArray) store(off int, v value) { a.data[off] = v }
+
+// scalarRef abstracts one scalar storage location for by-reference
+// parameter binding: the callee stores through the interface without
+// knowing whether the argument was a shared cell, a caller-private slot
+// or an array element.  Stored values must already be coerced to the
+// variable's declared type.
+type scalarRef interface {
+	load() value
+	store(v value)
+}
+
+// privPtr aliases a private scalar slot (a parameter bound to
+// caller-private storage); only the binding process touches it.
+type privPtr struct{ p *value }
+
+func (r privPtr) load() value   { return *r.p }
+func (r privPtr) store(v value) { *r.p = v }
+
+// arrayRef abstracts whole-array parameter bindings the same way.
+type arrayRef interface {
+	shape() []int
+	load(off int) value
+	store(off int, v value)
+}
+
+// elemRef aliases one array element (an element argument at a call
+// site); shared-array elements keep their stripe discipline through it.
+type elemRef struct {
+	a   arrayRef
+	off int
+}
+
+func (r elemRef) load() value   { return r.a.load(r.off) }
+func (r elemRef) store(v value) { r.a.store(r.off, v) }
+
+// flatOffset converts 1-based subscripts to a flat row-major offset,
+// bounds-checking every dimension.
+func flatOffset(dims []int, subs []int64, name string, line int) int {
+	if len(subs) != len(dims) {
+		panic(rtErrf(line, "%s: %d subscripts for %d dims", name, len(subs), len(dims)))
+	}
+	off := 0
+	for k, s := range subs {
+		if s < 1 || s > int64(dims[k]) {
+			panic(rtErrf(line, "subscript %d of %s out of range: %d not in [1,%d]", k+1, name, s, dims[k]))
+		}
+		off = off*dims[k] + int(s-1)
+	}
+	return off
+}

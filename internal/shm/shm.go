@@ -127,7 +127,8 @@ type Arena struct {
 	declsBy   map[string][]Decl
 	finalized bool
 	regions   []Region
-	sharedLo  int // shared area span after Finalize (page-aligned outer bounds)
+	index     map[string]int // qualified name → regions index, built at Finalize
+	sharedLo  int            // shared area span after Finalize (page-aligned outer bounds)
 	sharedHi  int
 	linkSeen  bool // LinkTime: LinkerCommands consulted (first pass done)
 }
@@ -279,6 +280,16 @@ func (a *Arena) Finalize() error {
 	}
 
 	a.regions = append(shared, private...)
+	// Index the placements so Lookup is a map hit instead of a linear
+	// scan over every region; the first registration of a qualified name
+	// wins, matching the scan order the index replaces.
+	a.index = make(map[string]int, len(a.regions))
+	for i, r := range a.regions {
+		q := qualify(r.Module, r.Name)
+		if _, dup := a.index[q]; !dup {
+			a.index[q] = i
+		}
+	}
 	return nil
 }
 
@@ -290,12 +301,11 @@ func (a *Arena) Regions() []Region {
 	return out
 }
 
-// Lookup returns the placed region for module.name.
+// Lookup returns the placed region for module.name, valid after
+// Finalize (indexed: one map hit, not a scan over every region).
 func (a *Arena) Lookup(module, name string) (Region, bool) {
-	for _, r := range a.regions {
-		if r.Module == module && r.Name == name {
-			return r, true
-		}
+	if i, ok := a.index[qualify(module, name)]; ok {
+		return a.regions[i], true
 	}
 	return Region{}, false
 }

@@ -326,3 +326,88 @@ func TestPageMapEmptyArena(t *testing.T) {
 		t.Errorf("empty arena PageMap = %q", got)
 	}
 }
+
+// TestLookupIndexed exercises the Finalize-built lookup index: hits
+// across modules (including the same variable name registered by two
+// modules), misses, and the unfinalized arena.
+func TestLookupIndexed(t *testing.T) {
+	a := NewArena(RunTimePadded, 64, 10)
+	if _, ok := a.Lookup("main", "X"); ok {
+		t.Error("Lookup before Finalize returned a region")
+	}
+	if err := a.Register("main",
+		Decl{Name: "X", Class: Shared, Size: 8},
+		Decl{Name: "Y", Class: Private, Size: 16},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Register("sub",
+		Decl{Name: "X", Class: Shared, Size: 24},
+		Decl{Name: "Q", Class: Async, Size: 8},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		module, name string
+		size         int
+		shared       bool
+	}{
+		{"main", "X", 8, true},
+		{"main", "Y", 16, false},
+		{"sub", "X", 24, true},
+		{"sub", "Q", 8, true},
+	} {
+		r, ok := a.Lookup(tc.module, tc.name)
+		if !ok {
+			t.Fatalf("Lookup(%s, %s) missed", tc.module, tc.name)
+		}
+		if r.Size != tc.size || r.Class.IsShared() != tc.shared {
+			t.Errorf("Lookup(%s, %s) = size %d shared %v, want size %d shared %v",
+				tc.module, tc.name, r.Size, r.Class.IsShared(), tc.size, tc.shared)
+		}
+		// The indexed result must be the placed region.
+		found := false
+		for _, reg := range a.Regions() {
+			if reg.Module == tc.module && reg.Name == tc.name && reg.Addr == r.Addr {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Lookup(%s, %s) returned an unplaced region", tc.module, tc.name)
+		}
+	}
+	if _, ok := a.Lookup("main", "NOPE"); ok {
+		t.Error("Lookup of an unregistered name succeeded")
+	}
+	if _, ok := a.Lookup("ghost", "X"); ok {
+		t.Error("Lookup of an unregistered module succeeded")
+	}
+}
+
+// BenchmarkLookup measures the indexed decl lookup (formerly a linear
+// scan over every region).
+func BenchmarkLookup(b *testing.B) {
+	a := NewArena(CompileTime, 64, 0)
+	for m := 0; m < 16; m++ {
+		mod := fmt.Sprintf("m%d", m)
+		decls := make([]Decl, 64)
+		for i := range decls {
+			decls[i] = Decl{Name: fmt.Sprintf("V%d", i), Class: Shared, Size: 8}
+		}
+		if err := a.Register(mod, decls...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := a.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := a.Lookup("m15", "V63"); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
