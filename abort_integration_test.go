@@ -1,0 +1,238 @@
+// Fault-containment integration tests: the repro from the issue — a
+// non-uniform runtime error followed by a barrier — must abort the
+// whole force promptly with a force runtime error, under every barrier
+// algorithm and both execution engines, through the real forcerun
+// binary.  Before the poison protocol this program hard-deadlocked
+// forcerun at np > 1 and died with Go's raw "all goroutines are
+// asleep" dump (exit status 2).
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/barrier"
+	"repro/internal/codegen"
+	"repro/internal/forcelang"
+	"repro/internal/interp"
+)
+
+// reproSrc is the issue's repro: pid 1 divides by zero, everyone else
+// proceeds to the barrier.
+const reproSrc = `Force REPRO of NP ident ME
+Private Integer I
+End Declarations
+IF (ME .EQ. 1) THEN
+I = 1 / 0
+END IF
+Barrier
+End Barrier
+Join
+`
+
+// stallSrc is a genuinely non-conformant SPMD program: only process 0
+// reaches the barrier, so no error occurs and no abort fires — the
+// stall watchdog's territory.
+const stallSrc = `Force STALL of NP ident ME
+End Declarations
+IF (ME .EQ. 0) THEN
+Barrier
+End Barrier
+END IF
+Join
+`
+
+// buildForcerun compiles cmd/forcerun once per test run.
+func buildForcerun(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "forcerun")
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/forcerun").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building forcerun: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.force")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// runForcerun executes the binary with a hard deadline and returns
+// (combined output, exit code).
+func runForcerun(t *testing.T, deadline time.Duration, bin string, args ...string) (string, int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	err := cmd.Run()
+	if ctx.Err() != nil {
+		t.Fatalf("forcerun %v did not exit within %v (hang regression):\n%s", args, deadline, buf.String())
+	}
+	code := 0
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("forcerun %v: %v", args, err)
+	}
+	return buf.String(), code
+}
+
+// TestReproAbortsEverywhere is the acceptance criterion: the repro
+// exits promptly with code 1 and a force runtime message at np=4 under
+// both -exec engines and every -barrier kind — no goroutine dump, no
+// hang.
+func TestReproAbortsEverywhere(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs forcerun with the go toolchain")
+	}
+	bin := buildForcerun(t)
+	prog := writeProgram(t, reproSrc)
+	for _, execMode := range []string{"tree", "compiled"} {
+		for _, bk := range barrier.Kinds() {
+			t.Run(execMode+"/"+bk.String(), func(t *testing.T) {
+				start := time.Now()
+				out, code := runForcerun(t, 30*time.Second, bin,
+					"-np", "4", "-exec", execMode, "-barrier", bk.String(), prog)
+				elapsed := time.Since(start)
+				if code != 1 {
+					t.Errorf("exit code %d, want 1\n%s", code, out)
+				}
+				if !strings.Contains(out, "force runtime") {
+					t.Errorf("output missing force runtime message:\n%s", out)
+				}
+				if strings.Contains(out, "all goroutines are asleep") || strings.Contains(out, "goroutine ") {
+					t.Errorf("raw goroutine dump leaked:\n%s", out)
+				}
+				// The criterion is 2s; allow headroom for a loaded CI
+				// box while still catching a reintroduced park-forever.
+				if elapsed > 10*time.Second {
+					t.Errorf("took %v, want prompt abort", elapsed)
+				}
+			})
+		}
+	}
+}
+
+// TestProfilesWrittenOnAbortedRun: -cpuprofile/-memprofile must
+// finalize when the run exits through the new error path.  (The old
+// failure mode — a Go fatal deadlock — bypassed the defers and lost
+// both profiles silently.)
+func TestProfilesWrittenOnAbortedRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs forcerun with the go toolchain")
+	}
+	bin := buildForcerun(t)
+	prog := writeProgram(t, reproSrc)
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.out"), filepath.Join(dir, "mem.out")
+	out, code := runForcerun(t, 30*time.Second, bin,
+		"-np", "4", "-cpuprofile", cpu, "-memprofile", mem, prog)
+	if code != 1 || !strings.Contains(out, "force runtime") {
+		t.Fatalf("exit=%d output:\n%s", code, out)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written on aborted run: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s empty on aborted run", p)
+		}
+	}
+}
+
+// TestHangTimeoutWatchdog: a non-conformant program under
+// -hang-timeout reports the blocked process and its construct/line,
+// then exits through the error path instead of hanging.
+func TestHangTimeoutWatchdog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs forcerun with the go toolchain")
+	}
+	bin := buildForcerun(t)
+	prog := writeProgram(t, stallSrc)
+	for _, execMode := range []string{"tree", "compiled"} {
+		t.Run(execMode, func(t *testing.T) {
+			out, code := runForcerun(t, 60*time.Second, bin,
+				"-np", "4", "-exec", execMode, "-hang-timeout", "2s", prog)
+			if code != 1 {
+				t.Errorf("exit code %d, want 1\n%s", code, out)
+			}
+			for _, want := range []string{"appears stalled", "process 0: Barrier", "line 4", "force stalled"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("watchdog output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratedDriverRecoversAbort: the codegen driver must report a
+// non-uniform runtime failure as a force runtime error and exit 1, not
+// die with a goroutine dump.
+func TestGeneratedDriverRecoversAbort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs generated code with the go toolchain")
+	}
+	// The generated dialect has no trapping division, but a subscript
+	// out of range panics in generated Go too: A(ME+1) overruns A(2)
+	// for ME >= 2.
+	src := `Force GENABORT of NP ident ME
+Shared Real A(2)
+End Declarations
+A(ME + 1) = 1.0
+Barrier
+End Barrier
+Join
+`
+	prog := forcelang.MustParse(src)
+	// Sanity: the interpreter rejects it the same way.
+	if err := interp.Run(prog, interp.Config{NP: 4}); err == nil {
+		t.Fatal("interpreter accepted the out-of-range program")
+	}
+	gen, err := codegen.Generate(prog, codegen.Options{Package: "main", DefaultNP: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := os.MkdirTemp(".", "zz_abort_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(dir+"/main.go", gen, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, "go", "run", "./"+dir, "-np", "4")
+	var buf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &buf, &buf
+	runErr := cmd.Run()
+	if ctx.Err() != nil {
+		t.Fatalf("generated program hung:\n%s", buf.String())
+	}
+	var ee *exec.ExitError
+	if !errors.As(runErr, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("generated program err=%v, want exit 1\n%s", runErr, buf.String())
+	}
+	if !strings.Contains(buf.String(), "force runtime error:") {
+		t.Fatalf("generated driver did not report the failure:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "all goroutines are asleep") {
+		t.Fatalf("generated driver leaked a goroutine dump:\n%s", buf.String())
+	}
+}

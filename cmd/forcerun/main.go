@@ -24,6 +24,26 @@
 // paths can be measured directly:
 //
 //	forcerun -np 8 -cpuprofile cpu.out file.force && go tool pprof cpu.out
+//
+// # Fault containment and the stall watchdog
+//
+// A Force runtime error (division by zero, subscript out of range)
+// aborts the whole force even when it strikes only some processes: the
+// failing process poisons the force, blocked peers unwind, and forcerun
+// prints "forcerun: force runtime: ..." and exits 1 — at every NP, not
+// just NP=1.
+//
+// -hang-timeout D arms a stall watchdog for genuinely non-conformant
+// SPMD programs (a Barrier some processes never reach, a Consume no one
+// Produces): if the run has not finished after D, forcerun reports
+// which processes are blocked at which construct and source line,
+// poisons the force so the blocked processes unwind, and exits through
+// the normal error path.
+//
+// Exit codes: 0 success; 1 any error (parse, check, runtime error,
+// watchdog-aborted stall); 2 usage; 3 a stall the watchdog could not
+// abort (the force did not unwind after poisoning, or the stall hit
+// before the force was created).
 package main
 
 import (
@@ -33,8 +53,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"time"
 
 	"repro/internal/barrier"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/forcelang"
 	"repro/internal/interp"
@@ -63,6 +86,7 @@ func run() error {
 		execF   = flag.String("exec", "compiled", "execution engine: compiled (slot-resolved closures) or tree (map-addressed walker)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		hangTO  = flag.Duration("hang-timeout", 0, "abort a run that has not finished after this long, reporting where each process is blocked (0 disables)")
 		showAST = flag.Bool("ast", false, "print a program summary before running")
 	)
 	flag.Parse()
@@ -102,6 +126,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Profile finalization is once-wrapped and shared with the
+	// watchdog: its give-up os.Exit(3) paths bypass these defers, and
+	// losing the profiles on exactly the runs being diagnosed would
+	// defeat the point.
+	var finOnce sync.Once
+	cpuStarted := false
+	finalizeProfiles := func() {
+		finOnce.Do(func() {
+			if cpuStarted {
+				pprof.StopCPUProfile()
+			}
+			if *memProf != "" {
+				writeMemProfile(*memProf)
+			}
+		})
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
@@ -111,16 +151,14 @@ func run() error {
 		if err := pprof.StartCPUProfile(f); err != nil {
 			return err
 		}
-		defer pprof.StopCPUProfile()
+		cpuStarted = true
 	}
-	if *memProf != "" {
-		defer writeMemProfile(*memProf)
-	}
+	defer finalizeProfiles()
 	if *showAST {
 		fmt.Printf("program %s: %d declarations, %d subroutines, %d top-level statements\n",
 			prog.Name, len(prog.Decls), len(prog.Subs), len(prog.Body))
 	}
-	return interp.Run(prog, interp.Config{
+	cfg := interp.Config{
 		NP:        *np,
 		Machine:   prof,
 		Barrier:   bk,
@@ -129,7 +167,75 @@ func run() error {
 		Askfor:    pool,
 		Reduce:    rk,
 		Exec:      em,
-	})
+	}
+	if *hangTO > 0 {
+		done := make(chan struct{})
+		defer close(done)
+		var mu sync.Mutex
+		var force *core.Force
+		cfg.OnForce = func(f *core.Force) {
+			mu.Lock()
+			force = f
+			mu.Unlock()
+		}
+		go watchdog(*hangTO, done, finalizeProfiles, func() *core.Force {
+			mu.Lock()
+			defer mu.Unlock()
+			return force
+		})
+	}
+	return interp.Run(prog, cfg)
+}
+
+// watchdog aborts a stalled run: after the timeout it reports where
+// each process is blocked, then poisons the force so the blocked
+// processes unwind and the run exits through the normal error path
+// (exit 1).  If the force does not unwind even then — a process stuck
+// outside every poison-aware wait — the watchdog gives up with exit 3
+// rather than hang forever.
+func watchdog(after time.Duration, done <-chan struct{}, finalizeProfiles func(), force func() *core.Force) {
+	select {
+	case <-done:
+		return
+	case <-time.After(after):
+	}
+	// A run finishing at ~the timeout races the timer: re-check before
+	// declaring a stall, so a completed run is not smeared with a
+	// spurious report and a poison.
+	select {
+	case <-done:
+		return
+	default:
+	}
+	f := force()
+	if f != nil && f.AllExited() {
+		// Every process has already returned: the run is completing
+		// right now, not stalled — poisoning it would fail a
+		// successful run.  (A residual few-instruction window remains
+		// between a process's last statement and its exited mark; a
+		// run must finish within that window of the exact timeout to
+		// be misdiagnosed.)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "forcerun: no result after %v — the force appears stalled (non-conformant SPMD program?)\n", after)
+	if f == nil {
+		fmt.Fprintln(os.Stderr, "forcerun: stalled before the force was created")
+		finalizeProfiles()
+		os.Exit(3)
+	}
+	for pid, site := range f.Blocked() {
+		fmt.Fprintf(os.Stderr, "  process %d: %s\n", pid, site)
+	}
+	f.Fault().Poison(interp.AbortError{Err: fmt.Errorf("force stalled: no result after %v (-hang-timeout)", after)})
+	select {
+	case <-done:
+		// The poison unwound the force; run() is returning the stall
+		// error and main exits 1.
+	case <-time.After(5 * time.Second):
+		fmt.Fprintln(os.Stderr, "forcerun: stalled force did not unwind after poisoning; giving up")
+		finalizeProfiles()
+		os.Exit(3)
+	}
 }
 
 // writeMemProfile dumps the heap profile after a GC so the numbers

@@ -57,7 +57,21 @@
 //	  - the portability architecture (internal/sedlite, internal/m4lite,
 //	    internal/maclib) reproduces the two-pass macro preprocessor with its
 //	    machine-independent statement-macro layer over machine-dependent
-//	    low-level layers.
+//	    low-level layers;
+//
+//	  - internal/poison is the fault-containment layer: a per-force
+//	    cancellation cell (atomic poison flag + first-failure slot) that
+//	    every blocking primitive observes — all barrier kinds, reduction
+//	    episodes, asynchronous variables, Askfor pools and loop drivers.
+//	    A runtime error in any process poisons the force, blocked peers
+//	    unwind with a distinguished abort panic recovered at the engine's
+//	    job boundary, core.Force.Run re-panics the first failure after
+//	    all processes stop, and the persistent force rebuilds its per-run
+//	    construct state so the next Run starts clean.  On the paper's
+//	    1989 machines the same failure wedged the whole force forever.
+//	    forcerun surfaces the protocol as a prompt "force runtime" error
+//	    exit at any NP, plus a -hang-timeout stall watchdog that reports
+//	    which processes are blocked at which construct and line.
 //
 // See README.md for the quickstart, DESIGN.md for the system inventory
 // and experiment index, and EXPERIMENTS.md for paper-vs-measured results.

@@ -1,0 +1,83 @@
+package asyncvar
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/poison"
+)
+
+// expectAbort runs op in a goroutine and asserts it unwinds with
+// poison.Abort after the cell is poisoned.
+func expectAbort(t *testing.T, c *poison.Cell, op func()) {
+	t.Helper()
+	unwound := make(chan any, 1)
+	go func() {
+		defer func() { unwound <- recover() }()
+		op()
+	}()
+	time.Sleep(5 * time.Millisecond)
+	c.Poison(errors.New("process died"))
+	select {
+	case r := <-unwound:
+		if _, ok := r.(poison.Abort); !ok {
+			t.Fatalf("blocked op unwound with %v (%T), want poison.Abort", r, r)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("blocked op did not wake on poison")
+	}
+}
+
+// TestPoisonWakesBlockedOps: for every implementation, a Consume/Copy
+// on an empty variable and a Produce on a full one unwind on poison.
+func TestPoisonWakesBlockedOps(t *testing.T) {
+	for _, impl := range Impls() {
+		t.Run(impl.String()+"/consume-empty", func(t *testing.T) {
+			c := poison.NewCell()
+			v := New[int](impl, nil)
+			SetPoison(v, c)
+			expectAbort(t, c, func() { v.Consume() })
+		})
+		t.Run(impl.String()+"/copy-empty", func(t *testing.T) {
+			c := poison.NewCell()
+			v := New[int](impl, nil)
+			SetPoison(v, c)
+			expectAbort(t, c, func() { v.Copy() })
+		})
+		t.Run(impl.String()+"/produce-full", func(t *testing.T) {
+			c := poison.NewCell()
+			v := New[int](impl, nil)
+			SetPoison(v, c)
+			v.Produce(1)
+			expectAbort(t, c, func() { v.Produce(2) })
+		})
+	}
+}
+
+// TestPoisonBoundTransferStillWorks: a bound but unpoisoned variable
+// behaves exactly like an unbound one.
+func TestPoisonBoundTransferStillWorks(t *testing.T) {
+	for _, impl := range Impls() {
+		c := poison.NewCell()
+		v := New[int](impl, nil)
+		SetPoison(v, c)
+		go v.Produce(42)
+		if got := v.Consume(); got != 42 {
+			t.Fatalf("%s: Consume = %d, want 42", impl, got)
+		}
+		if v.IsFull() {
+			t.Fatalf("%s: full after Consume", impl)
+		}
+	}
+}
+
+// TestArraySetPoison: array cells are bound collectively.
+func TestArraySetPoison(t *testing.T) {
+	for _, impl := range Impls() {
+		c := poison.NewCell()
+		a := NewArray[int](impl, nil, 4)
+		a.SetPoison(c)
+		expectAbort(t, c, func() { a.Consume(2) })
+	}
+}

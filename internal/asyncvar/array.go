@@ -1,6 +1,9 @@
 package asyncvar
 
-import "repro/internal/lock"
+import (
+	"repro/internal/lock"
+	"repro/internal/poison"
+)
 
 // Array is a vector of full/empty cells — the natural shape on the HEP,
 // where *every* memory cell carried a hardware full/empty bit, and the
@@ -23,6 +26,13 @@ func NewArray[T any](impl Impl, factory func() lock.Lock, n int) *Array[T] {
 		a.cells[i] = New[T](impl, factory)
 	}
 	return a
+}
+
+// SetPoison binds every cell's waits to the poison cell.
+func (a *Array[T]) SetPoison(c *poison.Cell) {
+	for _, cell := range a.cells {
+		SetPoison(cell, c)
+	}
 }
 
 // Len returns the number of cells.

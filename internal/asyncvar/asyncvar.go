@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"repro/internal/lock"
+	"repro/internal/poison"
 )
 
 // V is a full/empty asynchronous variable holding values of type T.
@@ -52,6 +53,24 @@ type V[T any] interface {
 	// is advisory: it may be stale by the time the caller acts on it,
 	// exactly as a tested full/empty bit was on the HEP.
 	IsFull() bool
+}
+
+// Poisonable is implemented by asynchronous variables that observe a
+// poison cell: a Produce/Consume/Copy blocked while the force is
+// poisoned unwinds with poison.Abort instead of waiting for a transfer
+// that can never happen.  Every implementation in this package supports
+// it.
+type Poisonable interface {
+	// SetPoison binds the variable's waits to the cell (nil unbinds).
+	// It must not be called concurrently with variable operations.
+	SetPoison(c *poison.Cell)
+}
+
+// SetPoison binds v to the poison cell when v supports it.
+func SetPoison[T any](v V[T], c *poison.Cell) {
+	if p, ok := v.(Poisonable); ok {
+		p.SetPoison(c)
+	}
 }
 
 // Impl names an asynchronous-variable implementation.
@@ -128,6 +147,7 @@ func New[T any](impl Impl, factory func() lock.Lock) V[T] {
 type twoLockVar[T any] struct {
 	e, f lock.Lock
 	val  T
+	pc   *poison.Cell
 	// full mirrors the lock-encoded state for IsFull/Void; writes happen
 	// while both locks are held, so a mutex-free bool would race only
 	// with the advisory readers — we guard it with its own tiny lock to
@@ -137,11 +157,17 @@ type twoLockVar[T any] struct {
 }
 
 var _ V[int] = (*twoLockVar[int])(nil)
+var _ Poisonable = (*twoLockVar[int])(nil)
+
+// SetPoison binds the E/F waits to the cell.  The two locks encode the
+// full/empty condition — a consumer waits in E's acquire until some
+// producer runs — so acquisition goes through lock.Acquire.
+func (v *twoLockVar[T]) SetPoison(c *poison.Cell) { v.pc = c }
 
 // Produce follows the paper: "Lock F / Write to the asynchronous variable /
 // Unlock E."  Other producers find F locked and wait.
 func (v *twoLockVar[T]) Produce(x T) {
-	v.f.Lock()
+	lock.Acquire(v.f, v.pc)
 	v.val = x
 	v.setFull(true)
 	v.e.Unlock()
@@ -151,7 +177,7 @@ func (v *twoLockVar[T]) Produce(x T) {
 // Unlock F."  While a Produce is in progress a consumer waits until E is
 // unlocked.
 func (v *twoLockVar[T]) Consume() T {
-	v.e.Lock()
+	lock.Acquire(v.e, v.pc)
 	x := v.val
 	v.setFull(false)
 	v.f.Unlock()
@@ -161,7 +187,7 @@ func (v *twoLockVar[T]) Consume() T {
 // Copy waits for full (E unlocked), reads, and restores E, leaving the
 // variable full.
 func (v *twoLockVar[T]) Copy() T {
-	v.e.Lock()
+	lock.Acquire(v.e, v.pc)
 	x := v.val
 	v.e.Unlock()
 	return x
@@ -177,7 +203,7 @@ func (v *twoLockVar[T]) Void() {
 	if !wasFull {
 		return
 	}
-	v.e.Lock()
+	lock.Acquire(v.e, v.pc)
 	var zero T
 	v.val = zero
 	v.setFull(false)
@@ -202,22 +228,64 @@ func (v *twoLockVar[T]) setFull(b bool) {
 // while empty).
 type chanVar[T any] struct {
 	ch chan T
+	pc *poison.Cell
 }
 
 var _ V[int] = (*chanVar[int])(nil)
+var _ Poisonable = (*chanVar[int])(nil)
+
+// SetPoison binds the channel waits to the cell: blocked sends and
+// receives additionally select on the cell's wake channel.
+func (v *chanVar[T]) SetPoison(c *poison.Cell) { v.pc = c }
 
 // Produce sends into the cell, blocking while it is full.
-func (v *chanVar[T]) Produce(x T) { v.ch <- x }
+func (v *chanVar[T]) Produce(x T) {
+	if v.pc == nil {
+		v.ch <- x
+		return
+	}
+	select {
+	case v.ch <- x:
+	case <-v.pc.Done():
+		v.pc.Check()
+	}
+}
 
 // Consume receives from the cell, blocking while it is empty.
-func (v *chanVar[T]) Consume() T { return <-v.ch }
+func (v *chanVar[T]) Consume() T {
+	if v.pc == nil {
+		return <-v.ch
+	}
+	select {
+	case x := <-v.ch:
+		return x
+	case <-v.pc.Done():
+		v.pc.Check()
+		return <-v.ch // unreachable: Done fired means Check panics
+	}
+}
 
 // Copy reads the value and immediately restores it.  The cell is briefly
 // observable as empty between the two steps; the HEP's read-preserving
 // access had no such window, but no Force construct depends on its absence.
 func (v *chanVar[T]) Copy() T {
-	x := <-v.ch
-	v.ch <- x
+	x := v.Consume()
+	if v.pc == nil {
+		v.ch <- x
+		return x
+	}
+	select {
+	case v.ch <- x:
+	case <-v.pc.Done():
+		// Restore before unwinding so the abort does not leave a
+		// variable empty that Copy promised to leave full; if a racing
+		// producer refilled the cell, it is full anyway.
+		select {
+		case v.ch <- x:
+		default:
+		}
+		v.pc.Check()
+	}
 	return x
 }
 
@@ -235,20 +303,42 @@ func (v *chanVar[T]) IsFull() bool { return len(v.ch) == 1 }
 // condVar is the parked implementation: one mutex, one condition variable,
 // an explicit full bit.
 type condVar[T any] struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	val  T
-	full bool
+	mu    sync.Mutex
+	cond  *sync.Cond
+	val   T
+	full  bool
+	pc    *poison.Cell
+	unsub func()
 }
 
 var _ V[int] = (*condVar[int])(nil)
+var _ Poisonable = (*condVar[int])(nil)
+
+// SetPoison binds the parked waiters to the cell.  Waiters park on the
+// condition variable, which a poison cannot close, so the variable
+// subscribes a broadcast hook; rebinding (or binding nil) cancels the
+// previous subscription.
+func (v *condVar[T]) SetPoison(c *poison.Cell) {
+	v.unsub = poison.Rebind(v.unsub, c, &v.mu, v.cond)
+	v.pc = c
+}
+
+// await parks until cond(v) holds, unwinding with poison.Abort when the
+// force is poisoned first.  Called with mu held; returns with mu held.
+func (v *condVar[T]) await(ready func() bool) {
+	for !ready() && !v.pc.Poisoned() {
+		v.cond.Wait()
+	}
+	if !ready() {
+		v.mu.Unlock()
+		v.pc.Check()
+	}
+}
 
 // Produce waits for empty under the mutex, writes, and wakes waiters.
 func (v *condVar[T]) Produce(x T) {
 	v.mu.Lock()
-	for v.full {
-		v.cond.Wait()
-	}
+	v.await(func() bool { return !v.full })
 	v.val = x
 	v.full = true
 	v.mu.Unlock()
@@ -258,9 +348,7 @@ func (v *condVar[T]) Produce(x T) {
 // Consume waits for full under the mutex, reads, and wakes waiters.
 func (v *condVar[T]) Consume() T {
 	v.mu.Lock()
-	for !v.full {
-		v.cond.Wait()
-	}
+	v.await(func() bool { return v.full })
 	x := v.val
 	v.full = false
 	v.mu.Unlock()
@@ -271,9 +359,7 @@ func (v *condVar[T]) Consume() T {
 // Copy waits for full and reads without emptying.
 func (v *condVar[T]) Copy() T {
 	v.mu.Lock()
-	for !v.full {
-		v.cond.Wait()
-	}
+	v.await(func() bool { return v.full })
 	x := v.val
 	v.mu.Unlock()
 	return x

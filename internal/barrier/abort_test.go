@@ -1,0 +1,74 @@
+package barrier
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/poison"
+)
+
+// TestPoisonWakesBlockedWaiters: for every algorithm, processes parked
+// in a barrier that can never fill (one participant missing) unwind
+// with poison.Abort when the cell is poisoned.
+func TestPoisonWakesBlockedWaiters(t *testing.T) {
+	for _, k := range Kinds() {
+		for _, n := range []int{2, 4, 7} {
+			t.Run(k.String()+"/np="+string(rune('0'+n)), func(t *testing.T) {
+				c := poison.NewCell()
+				b := New(k, n, nil)
+				SetPoison(b, c)
+				unwound := make(chan any, n)
+				for pid := 0; pid < n-1; pid++ { // pid n-1 never arrives
+					go func(pid int) {
+						defer func() { unwound <- recover() }()
+						b.Sync(pid, nil)
+					}(pid)
+				}
+				time.Sleep(10 * time.Millisecond)
+				c.Poison(errors.New("process died"))
+				for i := 0; i < n-1; i++ {
+					select {
+					case r := <-unwound:
+						if _, ok := r.(poison.Abort); !ok {
+							t.Fatalf("waiter unwound with %v (%T), want poison.Abort", r, r)
+						}
+					case <-time.After(30 * time.Second):
+						t.Fatalf("waiter still blocked after poison")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPoisonBoundUnpoisonedIsTransparent: binding a cell that is never
+// poisoned must not change barrier behaviour.
+func TestPoisonBoundUnpoisonedIsTransparent(t *testing.T) {
+	for _, k := range Kinds() {
+		c := poison.NewCell()
+		b := New(k, 4, nil)
+		SetPoison(b, c)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for ep := 0; ep < 50; ep++ {
+				ch := make(chan struct{})
+				for pid := 0; pid < 4; pid++ {
+					go func(pid int) {
+						b.Sync(pid, nil)
+						ch <- struct{}{}
+					}(pid)
+				}
+				for i := 0; i < 4; i++ {
+					<-ch
+				}
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s: episodes with a bound cell did not complete", k)
+		}
+	}
+}

@@ -14,16 +14,28 @@
 // is used episode after episode) and guarantees that no process can enter
 // episode k+1 before every process has left episode k — the property the
 // paper's BARWIN/BARWOT lock pair exists to provide.
+//
+// # Fault containment
+//
+// A barrier is where a failing force wedges: a process that dies before
+// arriving leaves its peers waiting forever.  Every implementation
+// therefore observes an optional poison cell (SetPoison): all waits —
+// the spin loops of the flag-based algorithms and the lock waits of the
+// two-lock relay — go through the shared bounded spin-then-park policy
+// of internal/poison, and a waiter that observes poison unwinds with
+// poison.Abort instead of waiting out an episode that can never
+// complete.  A poisoned barrier's internal state is unspecified; the
+// runtime discards and rebuilds barriers after an aborted run.
 package barrier
 
 import (
 	"fmt"
 	"math/bits"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/lock"
+	"repro/internal/poison"
 )
 
 // Barrier is a reusable Force barrier for a fixed number of processes.
@@ -42,6 +54,23 @@ type Barrier interface {
 
 // Wait is the sectionless rendezvous: Wait(b, pid) == b.Sync(pid, nil).
 func Wait(b Barrier, pid int) { b.Sync(pid, nil) }
+
+// Poisonable is implemented by barriers that observe a poison cell: a
+// Sync blocked while the cell is poisoned unwinds with poison.Abort
+// instead of waiting forever.  Every algorithm in this package
+// implements it.
+type Poisonable interface {
+	// SetPoison binds the barrier to a cell (nil unbinds).  It must not
+	// be called concurrently with Sync.
+	SetPoison(c *poison.Cell)
+}
+
+// SetPoison binds b to the poison cell when b supports it.
+func SetPoison(b Barrier, c *poison.Cell) {
+	if p, ok := b.(Poisonable); ok {
+		p.SetPoison(c)
+	}
+}
 
 // Kind names a barrier algorithm.
 type Kind int
@@ -143,15 +172,6 @@ func New(k Kind, n int, factory func() lock.Lock) Barrier {
 	}
 }
 
-// spinWait spins on pred with periodic yields until it reports true.
-func spinWait(pred func() bool) {
-	for i := 0; !pred(); i++ {
-		if i%32 == 31 {
-			runtime.Gosched()
-		}
-	}
-}
-
 // padded64 keeps a per-process counter on its own cache line so spinning
 // neighbours do not false-share.
 type padded64 struct {
@@ -177,9 +197,17 @@ type TwoLockBarrier struct {
 	barwin lock.Lock
 	barwot lock.Lock
 	zznbar int // guarded by whichever of the two locks is open
+	pc     *poison.Cell
 }
 
 var _ Barrier = (*TwoLockBarrier)(nil)
+var _ Poisonable = (*TwoLockBarrier)(nil)
+
+// SetPoison binds the barrier's lock waits to the cell.  The BARWIN and
+// BARWOT acquisitions are *condition* waits (ownership relays from
+// process to process), so they go through lock.Acquire rather than a
+// plain Lock.
+func (b *TwoLockBarrier) SetPoison(c *poison.Cell) { b.pc = c }
 
 // NewTwoLock builds the paper's two-lock barrier for n processes using
 // locks from factory.
@@ -197,7 +225,7 @@ func (b *TwoLockBarrier) N() int { return b.n }
 // Selfsched DO expansion listing.
 func (b *TwoLockBarrier) Sync(pid int, section func()) {
 	// Entry phase: report arrival under BARWIN.
-	b.barwin.Lock()
+	lock.Acquire(b.barwin, b.pc)
 	b.zznbar++
 	if b.zznbar == b.n {
 		// Last arrival: every other process is queued on BARWOT (or
@@ -211,7 +239,7 @@ func (b *TwoLockBarrier) Sync(pid int, section func()) {
 		b.barwin.Unlock()
 	}
 	// Exit phase: report departure under BARWOT.
-	b.barwot.Lock()
+	lock.Acquire(b.barwot, b.pc)
 	b.zznbar--
 	if b.zznbar == 0 {
 		// Last to leave re-opens the entry phase for the next
@@ -231,9 +259,14 @@ type CentralSenseBarrier struct {
 	count atomic.Int64
 	sense atomic.Uint64
 	epoch []padded64 // per-pid episode number; entry pid only
+	pc    *poison.Cell
 }
 
 var _ Barrier = (*CentralSenseBarrier)(nil)
+var _ Poisonable = (*CentralSenseBarrier)(nil)
+
+// SetPoison binds the sense wait to the cell.
+func (b *CentralSenseBarrier) SetPoison(c *poison.Cell) { b.pc = c }
 
 // NewCentralSense builds a sense-reversing central barrier for n processes.
 func NewCentralSense(n int) *CentralSenseBarrier {
@@ -257,7 +290,7 @@ func (b *CentralSenseBarrier) Sync(pid int, section func()) {
 		b.sense.Store(target)
 		return
 	}
-	spinWait(func() bool { return b.sense.Load() == target })
+	poison.Wait(b.pc, func() bool { return b.sense.Load() == target })
 }
 
 // TreeBarrier is a combining-tree barrier: processes are grouped into
@@ -271,7 +304,13 @@ type TreeBarrier struct {
 	fanIn int
 	nodes []treeNode
 	epoch []padded64 // per-pid episode number; entry pid only
+	pc    *poison.Cell
 }
+
+var _ Poisonable = (*TreeBarrier)(nil)
+
+// SetPoison binds the node waits to the cell.
+func (b *TreeBarrier) SetPoison(c *poison.Cell) { b.pc = c }
 
 type treeNode struct {
 	count  atomic.Int64
@@ -363,7 +402,7 @@ func (b *TreeBarrier) Sync(pid int, section func()) {
 			// the current episode's release.  The node's sense may
 			// lag behind (previous release wave still in flight);
 			// equality on the episode number tolerates that.
-			spinWait(func() bool { return b.nodes[node].sense.Load() == target })
+			poison.Wait(b.pc, func() bool { return b.nodes[node].sense.Load() == target })
 			return
 		}
 		parent := b.nodes[node].parent
@@ -398,9 +437,14 @@ type TournamentBarrier struct {
 	arrive  [][]padded64 // [round][pid], written only by pid
 	release atomic.Uint64
 	epoch   []padded64
+	pc      *poison.Cell
 }
 
 var _ Barrier = (*TournamentBarrier)(nil)
+var _ Poisonable = (*TournamentBarrier)(nil)
+
+// SetPoison binds the round and release waits to the cell.
+func (b *TournamentBarrier) SetPoison(c *poison.Cell) { b.pc = c }
 
 // NewTournament builds a tournament barrier for n processes.
 func NewTournament(n int) *TournamentBarrier {
@@ -431,13 +475,13 @@ func (b *TournamentBarrier) Sync(pid int, section func()) {
 			loser := pid + bit
 			if loser < b.n {
 				slot := &b.arrive[r][loser]
-				spinWait(func() bool { return atomic.LoadUint64(&slot.v) == target })
+				poison.Wait(b.pc, func() bool { return atomic.LoadUint64(&slot.v) == target })
 			}
 			continue
 		}
 		// Loser: post arrival, then wait out the episode.
 		atomic.StoreUint64(&b.arrive[r][pid].v, target)
-		spinWait(func() bool { return b.release.Load() == target })
+		poison.Wait(b.pc, func() bool { return b.release.Load() == target })
 		return
 	}
 	// Champion (pid 0): the force has arrived.
@@ -461,9 +505,14 @@ type DisseminationBarrier struct {
 	flags  [][]atomic.Uint64 // [round][pid]
 	relSns atomic.Uint64
 	epoch  []padded64
+	pc     *poison.Cell
 }
 
 var _ Barrier = (*DisseminationBarrier)(nil)
+var _ Poisonable = (*DisseminationBarrier)(nil)
+
+// SetPoison binds the signalling waits to the cell.
+func (b *DisseminationBarrier) SetPoison(c *poison.Cell) { b.pc = c }
 
 // NewDissemination builds a dissemination barrier for n processes.
 func NewDissemination(n int) *DisseminationBarrier {
@@ -490,7 +539,7 @@ func (b *DisseminationBarrier) Sync(pid int, section func()) {
 		to := (pid + 1<<r) % b.n
 		b.flags[r][to].Add(1)
 		slot := &b.flags[r][pid]
-		spinWait(func() bool { return slot.Load() >= episode })
+		poison.Wait(b.pc, func() bool { return slot.Load() >= episode })
 	}
 	if section == nil {
 		return
@@ -500,7 +549,7 @@ func (b *DisseminationBarrier) Sync(pid int, section func()) {
 		b.relSns.Store(episode)
 		return
 	}
-	spinWait(func() bool { return b.relSns.Load() >= episode })
+	poison.Wait(b.pc, func() bool { return b.relSns.Load() >= episode })
 }
 
 // ButterflyBarrier is Brooks' algorithm as compared in [AJ87]: log2(n)
@@ -513,9 +562,14 @@ type ButterflyBarrier struct {
 	flags  [][]atomic.Uint64 // [round][pid]
 	relSns atomic.Uint64
 	epoch  []padded64
+	pc     *poison.Cell
 }
 
 var _ Barrier = (*ButterflyBarrier)(nil)
+var _ Poisonable = (*ButterflyBarrier)(nil)
+
+// SetPoison binds the exchange waits to the cell.
+func (b *ButterflyBarrier) SetPoison(c *poison.Cell) { b.pc = c }
 
 // NewButterfly builds a butterfly barrier; n must be a power of two.
 func NewButterfly(n int) *ButterflyBarrier {
@@ -546,7 +600,7 @@ func (b *ButterflyBarrier) Sync(pid int, section func()) {
 		partner := pid ^ (1 << r)
 		b.flags[r][partner].Add(1)
 		slot := &b.flags[r][pid]
-		spinWait(func() bool { return slot.Load() >= episode })
+		poison.Wait(b.pc, func() bool { return slot.Load() >= episode })
 	}
 	if section == nil {
 		return
@@ -556,7 +610,7 @@ func (b *ButterflyBarrier) Sync(pid int, section func()) {
 		b.relSns.Store(episode)
 		return
 	}
-	spinWait(func() bool { return b.relSns.Load() >= episode })
+	poison.Wait(b.pc, func() bool { return b.relSns.Load() >= episode })
 }
 
 // CondBroadcastBarrier parks waiters on a condition variable — the shape a
@@ -568,9 +622,21 @@ type CondBroadcastBarrier struct {
 	cond    *sync.Cond
 	count   int
 	episode uint64
+	pc      *poison.Cell
+	unsub   func()
 }
 
 var _ Barrier = (*CondBroadcastBarrier)(nil)
+var _ Poisonable = (*CondBroadcastBarrier)(nil)
+
+// SetPoison binds the parked waiters to the cell.  Waiters park on the
+// condition variable, which a poison cannot close, so the barrier
+// subscribes a broadcast hook; rebinding (or binding nil) cancels the
+// previous subscription.
+func (b *CondBroadcastBarrier) SetPoison(c *poison.Cell) {
+	b.unsub = poison.Rebind(b.unsub, c, &b.mu, b.cond)
+	b.pc = c
+}
 
 // NewCondBroadcast builds a condition-variable barrier for n processes.
 func NewCondBroadcast(n int) *CondBroadcastBarrier {
@@ -582,25 +648,48 @@ func NewCondBroadcast(n int) *CondBroadcastBarrier {
 // N returns the number of participants.
 func (b *CondBroadcastBarrier) N() int { return b.n }
 
-// Sync parks on the condition variable until the episode advances.
+// Sync parks on the condition variable until the episode advances, or
+// unwinds with poison.Abort when the force is poisoned first.
 func (b *CondBroadcastBarrier) Sync(pid int, section func()) {
 	b.mu.Lock()
+	if b.pc.Poisoned() {
+		b.mu.Unlock()
+		b.pc.Check()
+	}
 	e := b.episode
 	b.count++
 	if b.count == b.n {
+		// Release under a defer: a panicking barrier section (it is
+		// user code) must not leave mu held, or the parked waiters
+		// could never drain even after the poison broadcast.  The
+		// episode advances only on a *completed* section, so a panic
+		// keeps the waiters suspended — they loop back into cond.Wait
+		// on the spurious broadcast and unwind only when the panic
+		// reaches the job boundary and poisons the force, exactly like
+		// every other barrier kind.
+		b.count = 0
+		completed := false
+		defer func() {
+			if completed {
+				b.episode++
+			}
+			b.mu.Unlock()
+			b.cond.Broadcast()
+		}()
 		if section != nil {
 			section()
 		}
-		b.count = 0
-		b.episode++
-		b.mu.Unlock()
-		b.cond.Broadcast()
+		completed = true
 		return
 	}
-	for b.episode == e {
+	for b.episode == e && !b.pc.Poisoned() {
 		b.cond.Wait()
 	}
+	poisoned := b.episode == e // only a poison wake leaves the episode unchanged
 	b.mu.Unlock()
+	if poisoned {
+		b.pc.Check()
+	}
 }
 
 // Rounds reports the number of signalling rounds a log-depth algorithm

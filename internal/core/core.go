@@ -68,6 +68,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lock"
 	"repro/internal/machine"
+	"repro/internal/poison"
 	"repro/internal/reduce"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -90,8 +91,25 @@ type Force struct {
 
 	eng *engine.Engine // persistent workers; nil on scoped sub-forces
 
+	pc    *poison.Cell // fault-containment cell; shared with sub-forces
+	sites []procSite   // per-pid blocked-construct state for the stall watchdog
+
 	entries sync.Map // construct seq (uint64) -> *constructEntry
 	stats   Stats
+}
+
+// procSite records where one process currently blocks: the construct
+// name (set by the core construct methods) and an optional front-end
+// note ("Barrier, line 12", set by interpreters via Proc.Note).  Read
+// by Force.Blocked for the stall watchdog.  A Proc addresses its slot
+// through a direct pointer, so sub-force Procs (Resolve components)
+// report into the parent process's slot and remain visible to the
+// top-level watchdog.  Sized to a whole cache line so neighbouring
+// processes' site stores do not false-share.
+type procSite struct {
+	construct atomic.Pointer[string]
+	note      atomic.Pointer[string]
+	_         [48]byte
 }
 
 // Stats counts construct executions; all fields are updated atomically and
@@ -174,7 +192,10 @@ func New(np int, opts ...Option) *Force {
 	for _, o := range opts {
 		o(f)
 	}
+	f.pc = poison.NewCell()
+	f.sites = make([]procSite, np)
 	f.bar = barrier.New(f.barKind, np, f.profile.LockFactory())
+	barrier.SetPoison(f.bar, f.pc)
 	f.locks = lock.NewSet(f.profile.LockFactory())
 	// Capture the profile by value: the start hook must not reference f,
 	// or the workers would keep an abandoned force alive forever.
@@ -197,18 +218,119 @@ func (f *Force) NP() int { return f.np }
 // NewAsync creates an asynchronous (full/empty) variable realized with the
 // force's machine profile: hardware-style on the HEP, the two-lock scheme
 // elsewhere.  (A free function because Go methods cannot introduce type
-// parameters.)
+// parameters.)  The variable observes the force's poison cell: a
+// Produce/Consume blocked when the force aborts unwinds instead of
+// waiting for a transfer that can never happen.  On machine profiles
+// whose realization parks waiters (the condition-variable impl) the
+// binding holds a subscription on the cell for the variable's — i.e.
+// the force's — lifetime, so allocate such variables per force, not
+// per Run (or unbind retired ones with asyncvar.SetPoison(v, nil)).
 func NewAsync[T any](f *Force) asyncvar.V[T] {
-	return machine.NewAsync[T](f.profile)
+	v := machine.NewAsync[T](f.profile)
+	asyncvar.SetPoison(v, f.pc)
+	return v
 }
 
 // NewAsyncArray creates an array of n asynchronous cells realized with the
 // force's machine profile — the HEP's per-cell full/empty idiom.  On
 // two-lock machines each cell costs a lock pair, the paper's "locks may
-// be scarce resources" caveat.
+// be scarce resources" caveat.  Like NewAsync, the cells observe the
+// force's poison cell.
 func NewAsyncArray[T any](f *Force, n int) *asyncvar.Array[T] {
-	return asyncvar.NewArray[T](f.profile.Async, f.profile.LockFactory(), n)
+	a := asyncvar.NewArray[T](f.profile.Async, f.profile.LockFactory(), n)
+	a.SetPoison(f.pc)
+	return a
 }
+
+// Fault returns the force's fault-containment cell.  Front ends use it
+// to bind their own blocking state to the force (interp binds the
+// asynchronous variables it allocates), and watchdogs use it to abort a
+// stalled force from outside: poisoning the cell wakes every process
+// blocked in a force construct, and the in-flight Run panics with the
+// poison value.
+func (f *Force) Fault() *poison.Cell { return f.pc }
+
+// Blocked reports, for each process, where it currently blocks: the
+// core construct name plus the front end's location note when one was
+// recorded.  Meaningful while a Run is stalled (the stall watchdog's
+// view); a process not inside a blocking construct reports what it last
+// recorded.
+func (f *Force) Blocked() []string {
+	out := make([]string, f.np)
+	for i := range out {
+		c := f.sites[i].construct.Load()
+		n := f.sites[i].note.Load()
+		switch {
+		case c != nil && n != nil:
+			out[i] = *c + " (" + *n + ")"
+		case c != nil:
+			out[i] = *c
+		case n != nil:
+			out[i] = "running; last synchronization site: " + *n
+		default:
+			out[i] = "running (no synchronization site recorded)"
+		}
+	}
+	return out
+}
+
+// AllExited reports whether every process has returned from the
+// current (or last) Run's program.  Stall watchdogs consult it before
+// declaring a stall: when it holds, the Run is already completing and
+// poisoning it would smear a successful run with a spurious abort.
+func (f *Force) AllExited() bool {
+	for i := range f.sites {
+		if f.sites[i].construct.Load() != &siteExited {
+			return false
+		}
+	}
+	return true
+}
+
+// Construct-site labels for Blocked; static so enter/leave stores never
+// allocate.
+var (
+	siteBarrier  = "Barrier"
+	siteLoop     = "DOALL"
+	sitePcase    = "Pcase"
+	siteAskfor   = "Askfor"
+	siteReduce   = "global reduction"
+	siteResolve  = "Resolve"
+	siteCritical = "Critical"
+	siteExited   = "finished the program"
+)
+
+// AsyncSiteLabel is the construct label front ends pass to WithSite
+// around asynchronous-variable statements, which block outside any
+// core construct method.
+var AsyncSiteLabel = "async variable"
+
+// WithSite runs op with label recorded as the process's blocked site
+// (shown by Blocked), for front-end operations that block outside the
+// core constructs.  label must point to a long-lived string.  The
+// label is retained when op unwinds, for post-mortem reports.
+func (p *Proc) WithSite(label *string, op func()) {
+	p.enterSite(label)
+	op()
+	p.leaveSite()
+}
+
+func (p *Proc) enterSite(s *string) { p.site.construct.Store(s) }
+func (p *Proc) leaveSite()          { p.site.construct.Store(nil) }
+
+// Note records a front-end location note ("Barrier, line 12") shown by
+// Blocked next to the construct name.  Interpreters call it before each
+// potentially blocking statement; nil clears.  The note is sticky until
+// the next Note.
+func (p *Proc) Note(s *string) { p.site.note.Store(s) }
+
+// Check unwinds the process (with the runtime's distinguished abort
+// panic) when the force has been poisoned.  Every force construct
+// checks on entry; long computational stretches between constructs —
+// an interpreter's WHILE loop, a long library computation — may call
+// it so an externally aborted force does not have to wait them out.
+// The cost is one atomic load.
+func (p *Proc) Check() { p.f.pc.Check() }
 
 // Machine returns the machine profile the force runs under.
 func (f *Force) Machine() machine.Profile { return f.profile }
@@ -221,12 +343,20 @@ func (f *Force) Stats() *Stats { return &f.stats }
 // when all have — the Join statement of the paper, executed by the
 // generated driver.  The creation cost was paid when the force was
 // created (§4.1.1: fork models pay more than create-call); Run itself is
-// a handoff to the already-running workers.  If any process panics, Run
-// re-panics with the first panic value after all processes have stopped;
-// note that a process which panics while its peers are inside a barrier
-// leaves them blocked, exactly as an aborted process did on the 1989
-// machines, so recovery is only useful for whole-force failures.  Run
-// must not be invoked concurrently on the same force.
+// a handoff to the already-running workers.
+//
+// Failures are contained by the poison protocol: when any process
+// panics, the engine records the panic in the force's poison cell,
+// which wakes every peer blocked in a force construct (barriers,
+// reductions, asynchronous variables, Askfor pools); the peers unwind,
+// and after all processes have stopped Run re-panics with the *first*
+// failure.  The 1989 machines had no such protocol — an aborted process
+// left its peers blocked in the next barrier forever — but a runtime
+// meant to run unattended cannot afford that.  After an aborted Run the
+// force's per-run construct state (barrier, named locks, construct
+// table) is rebuilt, so the persistent force remains reusable: the next
+// Run starts clean.  Run must not be invoked concurrently on the same
+// force.
 func (f *Force) Run(program func(p *Proc)) {
 	if f.eng == nil {
 		// Only scoped sub-forces lack workers, and their processes are
@@ -234,8 +364,70 @@ func (f *Force) Run(program func(p *Proc)) {
 		// directly and never calls Run.
 		panic("core: Run on a scoped sub-force")
 	}
-	f.eng.Run(func(id int) {
-		program(&Proc{id: id, f: f})
+	// A cell poisoned before the Run starts is a pre-Run abort request
+	// (an external watchdog via Fault): honor it rather than silently
+	// erasing it.  An *aborted* Run never leaves leftover poison — it
+	// is consumed by recoverAborted below.
+	if f.pc.Poisoned() {
+		v := f.pc.Value()
+		f.recoverAborted()
+		panic(v)
+	}
+	f.eng.RunCell(f.pc, func(id int) {
+		f.sites[id].construct.Store(nil)
+		f.sites[id].note.Store(nil)
+		program(&Proc{id: id, f: f, site: &f.sites[id]})
+		// Reached only on normal return: a panicking process keeps its
+		// last blocked site for post-mortem inspection.  The sticky
+		// note clears too — a finished process has no "current" line.
+		f.sites[id].note.Store(nil)
+		f.sites[id].construct.Store(&siteExited)
+	})
+	if f.pc.Poisoned() {
+		v := f.pc.Value()
+		f.recoverAborted()
+		panic(v)
+	}
+}
+
+// recoverAborted rebuilds the per-run construct state an aborted Run
+// leaves in an unspecified condition — the barrier's relay may be
+// mid-episode, named locks may be held by unwound processes, and the
+// construct table may hold half-used entries — so that the persistent
+// force can serve the next Run.  Called after every process has
+// stopped.
+func (f *Force) recoverAborted() {
+	// Rearm the cell before the rebuild: the next Run must start with
+	// an unpoisoned cell anyway, and resubscribing primitives (the cond
+	// barrier) on a still-poisoned cell would fire their hooks once
+	// immediately — harmless, but pointless work this ordering avoids.
+	f.pc.Reset()
+	barrier.SetPoison(f.bar, nil) // release the old barrier's subscription, if any
+	f.bar = barrier.New(f.barKind, f.np, f.profile.LockFactory())
+	barrier.SetPoison(f.bar, f.pc)
+	f.locks = lock.NewSet(f.profile.LockFactory())
+	f.releaseEntries()
+}
+
+// releaseEntries retires every abandoned construct entry after an
+// abort: Askfor pools still hold poison subscriptions (their exit
+// barrier never completed), and a Resolve plan's sub-forces hold bound
+// barriers and construct tables of their own.
+func (f *Force) releaseEntries() {
+	f.entries.Range(func(k, v any) bool {
+		if e, ok := v.(*constructEntry); ok {
+			switch st := e.state.(type) {
+			case engine.Pool:
+				st.Close()
+			case *resolvePlan:
+				for _, s := range st.sub {
+					barrier.SetPoison(s.bar, nil)
+					s.releaseEntries()
+				}
+			}
+		}
+		f.entries.Delete(k)
+		return true
 	})
 }
 
@@ -263,9 +455,10 @@ func (f *Force) dropEntry(seq uint64) { f.entries.Delete(seq) }
 // identifier, and the private construct-sequence cursor.  A *Proc must be
 // used only by the goroutine it was handed to.
 type Proc struct {
-	id  int
-	f   *Force
-	seq uint64
+	id   int
+	f    *Force
+	seq  uint64
+	site *procSite // this process's watchdog slot on the TOP-LEVEL force
 }
 
 // ID returns the process identifier, in [0, NP()).
@@ -286,9 +479,12 @@ func (p *Proc) nextSeq() uint64 {
 
 // Barrier suspends the process until the whole force arrives (§3.4).
 func (p *Proc) Barrier() {
+	p.f.pc.Check()
 	p.f.stats.Barriers.Add(1)
 	p.f.tr.Record(p.id, trace.BarrierEnter, "", 0)
+	p.enterSite(&siteBarrier)
 	p.f.bar.Sync(p.id, nil)
+	p.leaveSite()
 	p.f.tr.Record(p.id, trace.BarrierLeave, "", 0)
 }
 
@@ -296,6 +492,7 @@ func (p *Proc) Barrier() {
 // exactly one arbitrary process executes section while the others remain
 // suspended, and the force proceeds when it completes.
 func (p *Proc) BarrierSection(section func()) {
+	p.f.pc.Check()
 	p.f.stats.Barriers.Add(1)
 	p.f.tr.Record(p.id, trace.BarrierEnter, "", 0)
 	if p.f.tr != nil && section != nil {
@@ -306,7 +503,9 @@ func (p *Proc) BarrierSection(section func()) {
 			p.f.tr.Record(p.id, trace.SectionEnd, "", 0)
 		}
 	}
+	p.enterSite(&siteBarrier)
 	p.f.bar.Sync(p.id, section)
+	p.leaveSite()
 	p.f.tr.Record(p.id, trace.BarrierLeave, "", 0)
 }
 
@@ -315,8 +514,13 @@ func (p *Proc) BarrierSection(section func()) {
 // time (§3.4).  Lock variables are created on first use with the
 // machine's lock mechanism, the Force's define_lock/init_lock.
 func (p *Proc) Critical(name string, body func()) {
+	p.f.pc.Check()
 	p.f.stats.Criticals.Add(1)
+	// The site covers the lock acquisition — the phase that can stall
+	// when the holder never releases; once inside, user code runs.
+	p.enterSite(&siteCritical)
 	p.f.locks.With(name, func() {
+		p.leaveSite()
 		p.f.tr.Record(p.id, trace.CriticalEnter, name, 0)
 		body()
 		p.f.tr.Record(p.id, trace.CriticalLeave, name, 0)
@@ -328,16 +532,19 @@ func (p *Proc) Critical(name string, body func()) {
 // paper's exit synchronization (no process leaves before all have arrived;
 // the loop cannot be reentered before all have left).
 func (p *Proc) loop(kind sched.Kind, r sched.Range, body func(i int)) {
+	p.f.pc.Check()
 	p.f.stats.Loops.Add(1)
 	seq := p.nextSeq()
 	cfg := sched.Config{ChunkSize: p.f.chunk, LockFactory: p.f.profile.LockFactory()}
 	s := p.f.entry(seq, func() any { return sched.New(kind, p.f.np, r, cfg) }).(sched.Scheduler)
 	p.f.tr.Record(p.id, trace.LoopStart, kind.String(), int64(seq))
-	sched.Drive(s, p.id, r, func(_, i int) {
+	p.enterSite(&siteLoop)
+	sched.DriveWith(p.f.pc, s, p.id, r, func(_, i int) {
 		p.f.tr.Record(p.id, trace.LoopIter, kind.String(), int64(i))
 		body(i)
 	})
 	p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
+	p.leaveSite()
 	p.f.tr.Record(p.id, trace.LoopEnd, kind.String(), int64(seq))
 }
 
@@ -441,11 +648,14 @@ func CaseIf(cond func() bool, body func()) Block { return Block{Cond: cond, Body
 // execution order may be assumed.  The construct closes with the implicit
 // exit barrier.
 func (p *Proc) Pcase(blocks ...Block) {
+	p.f.pc.Check()
 	seq := p.nextSeq()
 	for b := p.id; b < len(blocks); b += p.f.np {
 		p.runBlock(blocks[b])
 	}
+	p.enterSite(&sitePcase)
 	p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
+	p.leaveSite()
 }
 
 // SelfschedPcase distributes the blocks over the force selfscheduled.
@@ -455,12 +665,14 @@ func (p *Proc) Pcase(blocks ...Block) {
 // blocks from the engine's per-process deques instead, the same
 // distribution layer Askfor and stealing DOALLs use.
 func (p *Proc) SelfschedPcase(blocks ...Block) {
+	p.f.pc.Check()
 	seq := p.nextSeq()
 	cfg := sched.Config{ChunkSize: 1, LockFactory: p.f.profile.LockFactory()}
 	s := p.f.entry(seq, func() any {
 		return sched.New(p.f.pcaseKind, p.f.np, sched.Seq(len(blocks)), cfg)
 	}).(sched.Scheduler)
 	for {
+		p.f.pc.Check()
 		lo, hi, ok := s.Next(p.id)
 		if !ok {
 			break
@@ -469,7 +681,9 @@ func (p *Proc) SelfschedPcase(blocks ...Block) {
 			p.runBlock(blocks[b])
 		}
 	}
+	p.enterSite(&sitePcase)
 	p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
+	p.leaveSite()
 }
 
 func (p *Proc) runBlock(b Block) {
@@ -502,13 +716,20 @@ func (p *Proc) runBlock(b Block) {
 // (engine.MonitorPool).  put must be called from the process executing
 // body, which is the only caller the construct exposes it to.
 func (p *Proc) Askfor(seed []any, body func(task any, put func(any))) {
+	p.f.pc.Check()
 	seq := p.nextSeq()
 	pool := p.f.entry(seq, func() any {
-		return engine.NewPool(p.f.askfor, p.f.np, seed)
+		return engine.NewPool(p.f.askfor, p.f.np, seed, p.f.pc)
 	}).(engine.Pool)
 
 	put := func(t any) { pool.Put(p.id, t) }
+	p.enterSite(&siteAskfor)
 	for {
+		// Per-task poison check: the stealing pool's hand-slot fast
+		// path hands back a put-then-take worker's own successor
+		// without ever parking, so without this a worker could drain
+		// an entire task chain after the force died.
+		p.f.pc.Check()
 		task, ok := pool.Next(p.id)
 		if !ok {
 			break
@@ -518,9 +739,11 @@ func (p *Proc) Askfor(seed []any, body func(task any, put func(any))) {
 		body(task, put)
 		pool.Done(p.id)
 	}
-	// Close the construct; the pool object is dropped by the last
-	// process through the exit barrier.
-	p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
+	// Close the construct; the pool object (and its poison
+	// subscription) is retired by the last process through the exit
+	// barrier.
+	p.f.bar.Sync(p.id, func() { pool.Close(); p.f.dropEntry(seq) })
+	p.leaveSite()
 }
 
 // Component is one parallel code section of a Resolve: a weight (relative
@@ -544,6 +767,7 @@ type Component struct {
 // barriers, loops and critical sections are private to the component.
 // The construct closes with a full-force barrier.
 func (p *Proc) Resolve(components ...Component) {
+	p.f.pc.Check()
 	seq := p.nextSeq()
 	if len(components) == 0 {
 		p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
@@ -555,20 +779,33 @@ func (p *Proc) Resolve(components ...Component) {
 
 	a := plan.assign[p.id]
 	if a.component >= 0 {
-		sub := &Proc{id: a.rank, f: plan.sub[a.component]}
+		// The sub-force Proc keeps this process's watchdog slot, so a
+		// stall inside the component is attributed to the right pid.
+		sub := &Proc{id: a.rank, f: plan.sub[a.component], site: p.site}
 		components[a.component].Body(sub)
 	}
 	// Components that received no processes run after an intermediate
 	// full barrier, executed by the whole force as one sub-force each,
 	// in order.
 	if len(plan.leftover) > 0 {
+		p.enterSite(&siteResolve)
 		p.f.bar.Sync(p.id, nil)
+		p.leaveSite()
 		for _, ci := range plan.leftover {
-			sub := &Proc{id: p.id, f: plan.sub[ci]}
+			sub := &Proc{id: p.id, f: plan.sub[ci], site: p.site}
 			components[ci].Body(sub)
 		}
 	}
-	p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
+	p.enterSite(&siteResolve)
+	p.f.bar.Sync(p.id, func() {
+		// Unbind the sub-forces' barriers from the poison cell so a
+		// subscription-based barrier does not outlive the construct.
+		for _, s := range plan.sub {
+			barrier.SetPoison(s.bar, nil)
+		}
+		p.f.dropEntry(seq)
+	})
+	p.leaveSite()
 }
 
 type resolveAssign struct {
@@ -668,8 +905,15 @@ func newSubForce(parent *Force, np int) *Force {
 		askfor:    parent.askfor,
 		pcaseKind: parent.pcaseKind,
 		reduceK:   parent.reduceK,
+		// Fault containment is force-wide: a sub-force's processes are
+		// the parent's workers, so they share the parent's poison cell
+		// and a failure in any component aborts the whole Resolve.
+		// (No sites slice: sub-force Procs carry the parent process's
+		// watchdog slot by pointer.)
+		pc: parent.pc,
 	}
 	sub.bar = barrier.New(sub.barKind, np, sub.profile.LockFactory())
+	barrier.SetPoison(sub.bar, sub.pc)
 	sub.locks = lock.NewSet(sub.profile.LockFactory())
 	return sub
 }

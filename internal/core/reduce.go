@@ -126,12 +126,14 @@ func minOf[T Number](a, b T) T {
 // construct entry (and runs the user section) before the release.
 func reduceVia[T any](p *Proc, op reduce.Op, x T, combine func(T, T) T, section func(T)) T {
 	f := p.f
+	f.pc.Check()
 	f.stats.Reductions.Add(1)
 	seq := p.nextSeq()
 	ep := f.entry(seq, func() any {
 		return reduce.New[T](f.reduceK, f.np, op, combine, reduce.Config[T]{
-			Lock:  f.profile.LockFactory(),
-			FanIn: 4,
+			Lock:   f.profile.LockFactory(),
+			FanIn:  4,
+			Poison: f.pc,
 			OnComplete: func(r T) {
 				if section != nil {
 					section(r)
@@ -141,7 +143,9 @@ func reduceVia[T any](p *Proc, op reduce.Op, x T, combine func(T, T) T, section 
 		})
 	}).(reduce.Episode[T])
 	f.tr.Record(p.id, trace.ReduceEnter, op.String(), int64(seq))
+	p.enterSite(&siteReduce)
 	out := ep.Do(p.id, x)
+	p.leaveSite()
 	f.tr.Record(p.id, trace.ReduceLeave, op.String(), int64(seq))
 	return out
 }

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/poison"
 )
 
 // Engine is a persistent force of NP worker goroutines.  Workers are
@@ -42,19 +44,42 @@ type workerShared struct {
 // job is one Run dispatched to every worker.
 type job struct {
 	body   func(pid int)
+	cell   *poison.Cell // nil on plain Run
 	wg     sync.WaitGroup
 	mu     sync.Mutex
 	panics []any
 }
 
+// run executes the job body in one worker.  Its deferred recover is the
+// engine's fault boundary: a poison.Abort means this process was merely
+// unwinding after a *peer's* failure poisoned the force, so it is
+// discarded (the original failure is in the cell); any other panic IS
+// the failure — it is recorded in the cell, which poisons the force and
+// wakes every blocked peer.  Either way the worker survives to serve
+// the next Run.
 func (j *job) run(pid int) {
 	defer j.wg.Done()
 	defer func() {
-		if r := recover(); r != nil {
-			j.mu.Lock()
-			j.panics = append(j.panics, r)
-			j.mu.Unlock()
+		r := recover()
+		if r == nil {
+			return
 		}
+		if j.cell != nil {
+			if _, ok := r.(poison.Abort); ok {
+				// A peer failed first; this process only unwound.
+				return
+			}
+			// First failure wins; later ones lose the race and are
+			// dropped, matching the old first-panic reporting.
+			j.cell.Poison(r)
+			return
+		}
+		// Plain Run has no cell: collect every panic (Abort included —
+		// swallowing it here would turn an externally poisoned body
+		// into a silent success).
+		j.mu.Lock()
+		j.panics = append(j.panics, r)
+		j.mu.Unlock()
 	}()
 	j.body(pid)
 }
@@ -120,12 +145,25 @@ func (e *Engine) NP() int { return e.np }
 // with the first recorded panic value after all workers have stopped —
 // the same whole-force failure semantics the spawn-per-run driver had.
 func (e *Engine) Run(body func(pid int)) {
+	e.dispatch(&job{body: body})
+}
+
+// RunCell is Run under the fault-containment protocol: the first
+// worker panic poisons the cell (waking peers blocked in poison-aware
+// primitives) instead of merely being collected, and poison.Abort
+// unwinds from those peers are recovered and discarded at the job
+// boundary.  RunCell itself returns normally; the caller owns the cell
+// and decides how to surface cell.Value().
+func (e *Engine) RunCell(cell *poison.Cell, body func(pid int)) {
+	e.dispatch(&job{body: body, cell: cell})
+}
+
+func (e *Engine) dispatch(j *job) {
 	select {
 	case <-e.sh.quit:
 		panic("engine: Run on a closed Engine")
 	default:
 	}
-	j := &job{body: body}
 	j.wg.Add(e.np)
 	for _, ch := range e.sh.jobs {
 		ch <- j

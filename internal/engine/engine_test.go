@@ -217,7 +217,7 @@ func TestPoolUnbalancedTreeTerminates(t *testing.T) {
 	want := int64(depth*(width+1) + 1)
 	for _, kind := range PoolKinds() {
 		for _, np := range []int{1, 2, 4, 8} {
-			p := NewPool(kind, np, []any{depth})
+			p := NewPool(kind, np, []any{depth}, nil)
 			ran := drain(np, p, func(task any, put func(pid int, t any), pid int) {
 				d := task.(int)
 				if d > 0 {
@@ -243,7 +243,7 @@ func TestPoolPutThenBlockStaysLive(t *testing.T) {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
 			const np = 2
-			p := NewPool(kind, np, []any{"parent"})
+			p := NewPool(kind, np, []any{"parent"}, nil)
 			childDone := make(chan struct{})
 			done := make(chan struct{})
 			go func() {
@@ -269,7 +269,7 @@ func TestPoolPutThenBlockStaysLive(t *testing.T) {
 
 func TestPoolEmptySeed(t *testing.T) {
 	for _, kind := range PoolKinds() {
-		p := NewPool(kind, 3, nil)
+		p := NewPool(kind, 3, nil, nil)
 		if ran := drain(3, p, func(any, func(int, any), int) {}); ran != 0 {
 			t.Errorf("%s: empty pool ran %d tasks", kind, ran)
 		}
@@ -285,7 +285,7 @@ func TestPoolSeedDistribution(t *testing.T) {
 			seed[i] = i
 			sum += i
 		}
-		p := NewPool(kind, np, seed)
+		p := NewPool(kind, np, seed, nil)
 		var got atomic.Int64
 		ran := drain(np, p, func(task any, _ func(int, any), _ int) {
 			got.Add(int64(task.(int)))

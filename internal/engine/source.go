@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/poison"
 )
 
 // WorkSource is the unified work-distribution interface: every Force
@@ -35,6 +37,10 @@ type Pool interface {
 	Put(pid int, task any)
 	// Done records that a task returned by Next finished executing.
 	Done(pid int)
+	// Close retires the pool: it cancels the pool's poison
+	// subscription, so a pool that outlives its construct does not pin
+	// the cell.  A closed pool must not be used again.
+	Close()
 }
 
 // PoolKind selects a Pool implementation.
@@ -77,8 +83,12 @@ func ParsePoolKind(s string) (PoolKind, error) {
 
 // NewPool creates a task pool for np processes, pre-loaded with the seed
 // tasks.  The constructor must complete before any process uses the pool
-// (the core runtime publishes it through a sync.Once).
-func NewPool(kind PoolKind, np int, seed []any) Pool {
+// (the core runtime publishes it through a sync.Once).  A non-nil cell
+// binds the pool to the force's fault-containment protocol: a process
+// parked waiting for tasks unwinds with poison.Abort when the force is
+// poisoned (a peer died mid-task, so the pool can never drain).  Call
+// Close when the construct retires to release the poison subscription.
+func NewPool(kind PoolKind, np int, seed []any, cell *poison.Cell) Pool {
 	if np <= 0 {
 		panic(fmt.Sprintf("engine: np = %d, need np >= 1", np))
 	}
@@ -89,6 +99,7 @@ func NewPool(kind PoolKind, np int, seed []any) Pool {
 			deques: make([]*Deque[any], np),
 			hands:  make([]handSlot, np),
 			free:   make([]freeList, np),
+			pc:     cell,
 		}
 		p.cond = sync.NewCond(&p.mu)
 		for i := range p.deques {
@@ -98,12 +109,14 @@ func NewPool(kind PoolKind, np int, seed []any) Pool {
 			p.deques[i%np].Push(t)
 		}
 		p.outstanding.Store(int64(len(seed)))
+		p.unsub = poison.SubscribeBroadcast(cell, &p.mu, p.cond)
 		return p
 	case MonitorPool:
-		p := &monitorPool{}
+		p := &monitorPool{pc: cell}
 		p.cond = sync.NewCond(&p.mu)
 		p.queue = append(p.queue, seed...)
 		p.outstanding = len(p.queue)
+		p.unsub = poison.SubscribeBroadcast(cell, &p.mu, p.cond)
 		return p
 	default:
 		panic(fmt.Sprintf("engine: unknown pool kind %d", int(kind)))
@@ -137,6 +150,17 @@ type stealingPool struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	sleepers atomic.Int32 // processes parked (or committing to park); mutated under mu
+
+	pc    *poison.Cell
+	unsub func()
+}
+
+// Close cancels the pool's poison subscription.
+func (p *stealingPool) Close() {
+	if p.unsub != nil {
+		p.unsub()
+		p.unsub = nil
+	}
 }
 
 // handSlot holds the owner's newest task as an atomic box pointer;
@@ -212,6 +236,7 @@ func (p *stealingPool) Next(pid int) (any, bool) {
 		return p.unbox(pid, b), true
 	}
 	for spin := 0; ; spin++ {
+		p.pc.Check()
 		if b, ok := own.PopRef(); ok {
 			return p.unbox(pid, b), true
 		}
@@ -237,11 +262,13 @@ func (p *stealingPool) Next(pid int) (any, bool) {
 				return p.unbox(pid, b), true
 			}
 		}
-		// Park until a Put lands, the pool drains, or a steal race we
-		// lost leaves visible work to re-contest.
+		// Park until a Put lands, the pool drains, the force is
+		// poisoned, or a steal race we lost leaves visible work to
+		// re-contest.  A poison wake falls through to the loop head,
+		// whose Check unwinds this process.
 		p.mu.Lock()
 		p.sleepers.Add(1)
-		for !p.workVisible() && p.outstanding.Load() > 0 {
+		for !p.workVisible() && p.outstanding.Load() > 0 && !p.pc.Poisoned() {
 			p.cond.Wait()
 		}
 		p.sleepers.Add(-1)
@@ -290,6 +317,17 @@ type monitorPool struct {
 	cond        *sync.Cond
 	queue       []any
 	outstanding int // queued + currently executing tasks
+
+	pc    *poison.Cell
+	unsub func()
+}
+
+// Close cancels the pool's poison subscription.
+func (p *monitorPool) Close() {
+	if p.unsub != nil {
+		p.unsub()
+		p.unsub = nil
+	}
 }
 
 func (p *monitorPool) Put(pid int, task any) {
@@ -312,8 +350,12 @@ func (p *monitorPool) Done(pid int) {
 
 func (p *monitorPool) Next(pid int) (any, bool) {
 	p.mu.Lock()
-	for len(p.queue) == 0 && p.outstanding > 0 {
+	for len(p.queue) == 0 && p.outstanding > 0 && !p.pc.Poisoned() {
 		p.cond.Wait()
+	}
+	if p.pc.Poisoned() {
+		p.mu.Unlock()
+		p.pc.Check()
 	}
 	if p.outstanding == 0 {
 		p.mu.Unlock()

@@ -124,6 +124,10 @@ func (c *compiler) stmt(st forcelang.Stmt, lay *unitLayout) stmtFn {
 		body := c.stmts(t.Body, lay)
 		return func(pr *cproc, fr *frame) {
 			for cond(pr, fr) {
+				// A poisoned force must not wait out a (possibly
+				// unbounded) sequential loop; the watchdog relies on
+				// this check.
+				pr.p.Check()
 				runBody(body, pr, fr)
 			}
 		}
@@ -131,13 +135,17 @@ func (c *compiler) stmt(st forcelang.Stmt, lay *unitLayout) stmtFn {
 		return c.parDo(t, lay)
 	case *forcelang.BarrierStmt:
 		section := c.stmts(t.Section, lay)
+		note := noteStr("Barrier", t.Pos())
 		return func(pr *cproc, fr *frame) {
+			pr.p.Note(note)
 			pr.p.BarrierSection(func() { runBody(section, pr, fr) })
 		}
 	case *forcelang.CriticalStmt:
 		body := c.stmts(t.Body, lay)
 		name := t.Name
+		note := noteStr("Critical "+name, t.Pos())
 		return func(pr *cproc, fr *frame) {
+			pr.p.Note(note)
 			pr.p.Critical(name, func() { runBody(body, pr, fr) })
 		}
 	case *forcelang.PcaseStmt:
@@ -153,7 +161,9 @@ func (c *compiler) stmt(st forcelang.Stmt, lay *unitLayout) stmtFn {
 			blocks[i].body = c.stmts(b.Body, lay)
 		}
 		selfsched := t.Selfsched
+		note := noteStr("Pcase", t.Pos())
 		return func(pr *cproc, fr *frame) {
+			pr.p.Note(note)
 			bl := make([]core.Block, len(blocks))
 			for i := range blocks {
 				b := blocks[i]
@@ -173,7 +183,9 @@ func (c *compiler) stmt(st forcelang.Stmt, lay *unitLayout) stmtFn {
 		seedF := c.cInt(t.Seed, lay)
 		storeVar := c.intVarStore(t.Var, lay, t.Pos())
 		body := c.stmts(t.Body, lay)
+		note := noteStr("Askfor", t.Pos())
 		return func(pr *cproc, fr *frame) {
+			pr.p.Note(note)
 			seed := seedF(pr, fr)
 			pr.p.Askfor([]any{seed}, func(task any, put func(any)) {
 				storeVar(pr, fr, task.(int64))
@@ -192,30 +204,56 @@ func (c *compiler) stmt(st forcelang.Stmt, lay *unitLayout) stmtFn {
 			pr.puts[len(pr.puts)-1](ev(pr, fr))
 		}
 	case *forcelang.ReduceStmt:
-		return c.greduce(t, lay)
+		inner := c.greduce(t, lay)
+		note := noteStr(t.Op.String(), t.Pos())
+		return func(pr *cproc, fr *frame) {
+			pr.p.Note(note)
+			inner(pr, fr)
+		}
 	case *forcelang.ProduceStmt:
 		cellF := c.asyncCellFn(t.Var, t.Sub, lay, t.Pos())
 		ev, _ := c.val(t.Expr, lay)
-		return func(pr *cproc, fr *frame) { cellF(pr, fr).Produce(ev(pr, fr)) }
+		note := noteStr("Produce "+t.Var, t.Pos())
+		return func(pr *cproc, fr *frame) {
+			cell := cellF(pr, fr)
+			v := ev(pr, fr)
+			pr.p.Note(note)
+			pr.p.WithSite(&core.AsyncSiteLabel, func() { cell.Produce(v) })
+		}
 	case *forcelang.ConsumeStmt:
 		cellF := c.asyncCellFn(t.Var, t.Sub, lay, t.Pos())
 		store, tt := c.refStore(&t.Target, lay)
 		line := t.Pos()
+		note := noteStr("Consume "+t.Var, line)
 		return func(pr *cproc, fr *frame) {
+			cell := cellF(pr, fr)
+			pr.p.Note(note)
+			var v value
+			pr.p.WithSite(&core.AsyncSiteLabel, func() { v = cell.Consume() })
 			// The cell holds whatever type the producer stored, so the
 			// coercion to the target's type is a runtime one.
-			store(pr, fr, coerce(cellF(pr, fr).Consume(), tt, line))
+			store(pr, fr, coerce(v, tt, line))
 		}
 	case *forcelang.CopyStmt:
 		cellF := c.asyncCellFn(t.Var, t.Sub, lay, t.Pos())
 		store, tt := c.refStore(&t.Target, lay)
 		line := t.Pos()
+		note := noteStr("Copy "+t.Var, line)
 		return func(pr *cproc, fr *frame) {
-			store(pr, fr, coerce(cellF(pr, fr).Copy(), tt, line))
+			cell := cellF(pr, fr)
+			pr.p.Note(note)
+			var v value
+			pr.p.WithSite(&core.AsyncSiteLabel, func() { v = cell.Copy() })
+			store(pr, fr, coerce(v, tt, line))
 		}
 	case *forcelang.VoidStmt:
 		cellF := c.asyncCellFn(t.Var, t.Sub, lay, t.Pos())
-		return func(pr *cproc, fr *frame) { cellF(pr, fr).Void() }
+		note := noteStr("Void "+t.Var, t.Pos())
+		return func(pr *cproc, fr *frame) {
+			cell := cellF(pr, fr)
+			pr.p.Note(note) // Void can block on a racing consumer
+			pr.p.WithSite(&core.AsyncSiteLabel, cell.Void)
+		}
 	case *forcelang.PrintStmt:
 		return c.print(t, lay)
 	case *forcelang.CallStmt:
@@ -223,6 +261,14 @@ func (c *compiler) stmt(st forcelang.Stmt, lay *unitLayout) stmtFn {
 	default:
 		panic(compileErrf("line %d: unhandled statement %T", st.Pos(), st))
 	}
+}
+
+// noteStr builds the watchdog location note for one potentially
+// blocking statement, precomputed at compile time so the per-execution
+// cost is a single atomic pointer store.
+func noteStr(kind string, line int) *string {
+	s := fmt.Sprintf("%s, line %d", kind, line)
+	return &s
 }
 
 // stepFn compiles an optional loop step (nil means 1).
@@ -258,8 +304,10 @@ func (c *compiler) parDo(t *forcelang.ParDo, lay *unitLayout) stmtFn {
 	body := c.stmts(t.Body, lay)
 	line := t.From.Pos()
 	presched := t.Sched == forcelang.Presched
+	note := noteStr("DOALL", t.Pos())
 	if t.Inner == nil {
 		return func(pr *cproc, fr *frame) {
+			pr.p.Note(note)
 			from, to := fromF(pr, fr), toF(pr, fr)
 			step := stepF(pr, fr)
 			if step == 0 {
@@ -281,6 +329,7 @@ func (c *compiler) parDo(t *forcelang.ParDo, lay *unitLayout) stmtFn {
 	storeInner := c.intVarStore(t.Inner.Var, lay, t.Pos())
 	iline := t.Inner.From.Pos()
 	return func(pr *cproc, fr *frame) {
+		pr.p.Note(note)
 		from, to := fromF(pr, fr), toF(pr, fr)
 		step := stepF(pr, fr)
 		if step == 0 {

@@ -6,10 +6,8 @@ package interp
 // compiler in compile.go produces closures over these structures.
 
 import (
-	"repro/internal/asyncvar"
 	"repro/internal/core"
 	"repro/internal/forcelang"
-	"repro/internal/machine"
 )
 
 // stmtFn is one compiled statement.
@@ -96,7 +94,7 @@ type cinstance struct {
 	out     *outsink
 }
 
-func newCInstance(prog *forcelang.Program, cfg Config, res *resolution) *cinstance {
+func newCInstance(prog *forcelang.Program, cfg Config, res *resolution, f *core.Force) *cinstance {
 	in := &cinstance{
 		prog:    prog,
 		cfg:     cfg,
@@ -124,13 +122,7 @@ func newCInstance(prog *forcelang.Program, cfg Config, res *resolution) *cinstan
 			if d.Name == "" {
 				continue
 			}
-			e := &asyncEntry{}
-			if len(d.Dims) == 1 {
-				e.arr = asyncvar.NewArray[value](cfg.Machine.Async, cfg.Machine.LockFactory(), d.Dims[0])
-			} else {
-				e.cell = machine.NewAsync[value](cfg.Machine)
-			}
-			as[i] = e
+			as[i] = newAsyncEntry(d, cfg, f)
 		}
 		in.scalars[unit] = ss
 		in.arrays[unit] = sa
@@ -153,23 +145,23 @@ func runCompiled(prog *forcelang.Program, cfg Config) (err error) {
 	if err != nil {
 		return err
 	}
-	in := newCInstance(prog, cfg, res)
-	cp, err := compileProgram(in)
-	if err != nil {
-		return err
-	}
 	f := core.New(cfg.NP, core.WithMachine(cfg.Machine), core.WithBarrier(cfg.Barrier),
 		core.WithTrace(cfg.Trace), core.WithAskfor(cfg.Askfor),
 		core.WithPcaseSched(cfg.Selfsched), core.WithReduce(cfg.Reduce))
 	defer f.Close()
+	in := newCInstance(prog, cfg, res, f)
+	cp, err := compileProgram(in)
+	if err != nil {
+		return err
+	}
+	if cfg.OnForce != nil {
+		cfg.OnForce(f)
+	}
 	defer func() {
 		flushErr := in.out.flush()
 		if r := recover(); r != nil {
-			if ie, ok := r.(runtimeErr); ok {
-				err = error(ie)
-				return
-			}
-			panic(r)
+			err = recoverRunErr(r)
+			return
 		}
 		err = flushErr
 	}()

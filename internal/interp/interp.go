@@ -27,11 +27,15 @@
 //     one per-run mutex.  It is kept as the A/B baseline (forcebench
 //     T11, forcerun -exec tree).
 //
-// Error handling matches the original system's reality: a runtime error
-// (subscript out of range, division by zero) aborts the erring process
-// and, like an aborted process on the 1989 machines, may leave the rest
-// of the force blocked at the next barrier if the error did not occur
-// SPMD-uniformly.  Run reports the error once the force stops.
+// Error handling is fault-contained, unlike the original system's: a
+// runtime error (subscript out of range, division by zero) in any
+// process — even a non-SPMD-uniform one — poisons the force, wakes
+// every peer blocked in a barrier, reduction, Askfor pool or
+// asynchronous variable, and Run returns the first error once all
+// processes have stopped.  On the 1989 machines the same failure left
+// the peers blocked forever; the runtime's poison protocol (see
+// internal/poison and core.Force.Run) removes that failure mode at
+// every NP, under both execution engines.
 package interp
 
 import (
@@ -85,6 +89,11 @@ type Config struct {
 	// Exec selects the execution engine: the slot-resolved closure
 	// compiler (zero value) or the original tree walker (ExecTree).
 	Exec ExecMode
+	// OnForce, when non-nil, is called with the freshly created force
+	// before execution starts.  forcerun's stall watchdog uses it to
+	// reach the force's Blocked report and Fault cell from outside the
+	// running program.
+	OnForce func(f *core.Force)
 }
 
 // ExecMode selects the interpreter's execution engine.
@@ -147,19 +156,19 @@ func Run(prog *forcelang.Program, cfg Config) error {
 
 // runTree executes the program on the original tree walker.
 func runTree(prog *forcelang.Program, cfg Config) (err error) {
-	in := newInstance(prog, cfg)
 	f := core.New(cfg.NP, core.WithMachine(cfg.Machine), core.WithBarrier(cfg.Barrier),
 		core.WithTrace(cfg.Trace), core.WithAskfor(cfg.Askfor),
 		core.WithPcaseSched(cfg.Selfsched), core.WithReduce(cfg.Reduce))
 	defer f.Close()
+	in := newInstance(prog, cfg, f)
+	if cfg.OnForce != nil {
+		cfg.OnForce(f)
+	}
 	defer func() {
 		flushErr := in.flush()
 		if r := recover(); r != nil {
-			if ie, ok := r.(runtimeErr); ok {
-				err = error(ie)
-				return
-			}
-			panic(r)
+			err = recoverRunErr(r)
+			return
 		}
 		err = flushErr
 	}()
@@ -168,6 +177,32 @@ func runTree(prog *forcelang.Program, cfg Config) (err error) {
 		pr.runMain()
 	})
 	return nil
+}
+
+// AbortError marks an abort injected into a running force from outside
+// the program — forcerun's stall watchdog poisons the force with one.
+// Run returns Err instead of re-panicking, so an externally aborted run
+// exits through the normal error path (flushing output and finalizing
+// profiles on the way).
+type AbortError struct{ Err error }
+
+func (e AbortError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e AbortError) Unwrap() error { return e.Err }
+
+// recoverRunErr converts a panic that unwound out of a force run into
+// the error Run reports: Force runtime errors and external aborts
+// become error returns, anything else (an interpreter bug) re-panics.
+func recoverRunErr(r any) error {
+	switch t := r.(type) {
+	case runtimeErr:
+		return error(t)
+	case AbortError:
+		return t.Err
+	default:
+		panic(r)
+	}
 }
 
 // runtimeErr is a Force runtime error carried by panic through the SPMD
@@ -322,6 +357,7 @@ type instance struct {
 	mu     sync.Mutex // serializes shared storage access
 	shared map[string]map[string]*binding
 	asyncs map[string]*asyncEntry
+	notes  sync.Map // forcelang.Stmt -> *string: cached watchdog notes
 
 	out *outsink
 }
@@ -343,6 +379,22 @@ type asyncEntry struct {
 	arr  *asyncvar.Array[value]
 }
 
+// newAsyncEntry allocates one asynchronous variable with the machine
+// profile's realization, bound to the force's fault cell so a blocked
+// Produce/Consume unwinds when the force aborts.
+func newAsyncEntry(d forcelang.Decl, cfg Config, f *core.Force) *asyncEntry {
+	e := &asyncEntry{}
+	if len(d.Dims) == 1 {
+		e.arr = asyncvar.NewArray[value](cfg.Machine.Async, cfg.Machine.LockFactory(), d.Dims[0])
+		e.arr.SetPoison(f.Fault())
+	} else {
+		cell := machine.NewAsync[value](cfg.Machine)
+		asyncvar.SetPoison(cell, f.Fault())
+		e.cell = cell
+	}
+	return e
+}
+
 // at resolves the cell for a use with optional 1-based subscript sub
 // (subPresent false for scalar uses; the checker has already matched use
 // shape to declaration shape).
@@ -359,7 +411,7 @@ func (e *asyncEntry) at(sub int64, subPresent bool, name string, line int) async
 	return e.arr.At(int(sub - 1))
 }
 
-func newInstance(prog *forcelang.Program, cfg Config) *instance {
+func newInstance(prog *forcelang.Program, cfg Config, f *core.Force) *instance {
 	in := &instance{
 		prog:   prog,
 		cfg:    cfg,
@@ -386,13 +438,7 @@ func newInstance(prog *forcelang.Program, cfg Config) *instance {
 			case shm.Shared:
 				m[d.Name] = newBinding(d, true)
 			case shm.Async:
-				e := &asyncEntry{}
-				if len(d.Dims) == 1 {
-					e.arr = asyncvar.NewArray[value](cfg.Machine.Async, cfg.Machine.LockFactory(), d.Dims[0])
-				} else {
-					e.cell = machine.NewAsync[value](cfg.Machine)
-				}
-				in.asyncs[unit+"."+d.Name] = e
+				in.asyncs[unit+"."+d.Name] = newAsyncEntry(d, cfg, f)
 			}
 		}
 		in.shared[unit] = m
@@ -529,6 +575,26 @@ func (pr *proc) stmts(list []forcelang.Stmt, f *tframe) {
 	}
 }
 
+// note records the statement's source location with the core runtime,
+// so the stall watchdog can report which line each blocked process is
+// waiting at.  Called before every potentially blocking statement; the
+// note string is built once per statement node and cached in the
+// instance, so steady-state executions pay a map lookup and an atomic
+// store, not a format and an allocation.
+func (pr *proc) note(st forcelang.Stmt, kind, name string) {
+	if v, ok := pr.in.notes.Load(st); ok {
+		pr.p.Note(v.(*string))
+		return
+	}
+	label := kind
+	if name != "" {
+		label += " " + name
+	}
+	s := fmt.Sprintf("%s, line %d", label, st.Pos())
+	v, _ := pr.in.notes.LoadOrStore(st, &s)
+	pr.p.Note(v.(*string))
+}
+
 func (pr *proc) stmt(st forcelang.Stmt, f *tframe) {
 	switch t := st.(type) {
 	case *forcelang.Assign:
@@ -549,15 +615,22 @@ func (pr *proc) stmt(st forcelang.Stmt, f *tframe) {
 		}
 	case *forcelang.WhileDo:
 		for pr.evalBool(t.Cond, f) {
+			// A poisoned force must not wait out a (possibly unbounded)
+			// sequential loop; the watchdog relies on this check.
+			pr.p.Check()
 			pr.stmts(t.Body, f)
 		}
 	case *forcelang.ParDo:
+		pr.note(t, "DOALL", "")
 		pr.parDo(t, f)
 	case *forcelang.BarrierStmt:
+		pr.note(t, "Barrier", "")
 		pr.p.BarrierSection(func() { pr.stmts(t.Section, f) })
 	case *forcelang.CriticalStmt:
+		pr.note(t, "Critical", t.Name)
 		pr.p.Critical(t.Name, func() { pr.stmts(t.Body, f) })
 	case *forcelang.PcaseStmt:
+		pr.note(t, "Pcase", "")
 		blocks := make([]core.Block, len(t.Blocks))
 		for i := range t.Blocks {
 			b := t.Blocks[i]
@@ -573,8 +646,10 @@ func (pr *proc) stmt(st forcelang.Stmt, f *tframe) {
 			pr.p.Pcase(blocks...)
 		}
 	case *forcelang.AskforStmt:
+		pr.note(t, "Askfor", "")
 		pr.askfor(t, f)
 	case *forcelang.ReduceStmt:
+		pr.note(t, t.Op.String(), "")
 		pr.greduce(t, f)
 	case *forcelang.PutStmt:
 		if len(pr.puts) == 0 {
@@ -583,15 +658,25 @@ func (pr *proc) stmt(st forcelang.Stmt, f *tframe) {
 		pr.puts[len(pr.puts)-1](pr.evalInt(t.Expr, f))
 	case *forcelang.ProduceStmt:
 		cell := pr.asyncCellFor(f, t.Var, t.Sub, t.Pos())
-		cell.Produce(pr.eval(t.Expr, f))
+		v := pr.eval(t.Expr, f)
+		pr.note(t, "Produce", t.Var)
+		pr.p.WithSite(&core.AsyncSiteLabel, func() { cell.Produce(v) })
 	case *forcelang.ConsumeStmt:
 		cell := pr.asyncCellFor(f, t.Var, t.Sub, t.Pos())
-		pr.assign(&t.Target, cell.Consume(), f)
+		pr.note(t, "Consume", t.Var)
+		var v value
+		pr.p.WithSite(&core.AsyncSiteLabel, func() { v = cell.Consume() })
+		pr.assign(&t.Target, v, f)
 	case *forcelang.CopyStmt:
 		cell := pr.asyncCellFor(f, t.Var, t.Sub, t.Pos())
-		pr.assign(&t.Target, cell.Copy(), f)
+		pr.note(t, "Copy", t.Var)
+		var v value
+		pr.p.WithSite(&core.AsyncSiteLabel, func() { v = cell.Copy() })
+		pr.assign(&t.Target, v, f)
 	case *forcelang.VoidStmt:
-		pr.asyncCellFor(f, t.Var, t.Sub, t.Pos()).Void()
+		cell := pr.asyncCellFor(f, t.Var, t.Sub, t.Pos())
+		pr.note(t, "Void", t.Var) // Void can block on a racing consumer
+		pr.p.WithSite(&core.AsyncSiteLabel, cell.Void)
 	case *forcelang.PrintStmt:
 		pr.print(t, f)
 	case *forcelang.CallStmt:

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/barrier"
 	"repro/internal/forcelang"
@@ -379,16 +380,144 @@ End DO
 Join
 `,
 	}
+	// Uniform error sites: every process errs, at any NP, under both
+	// engines.  Before the poison protocol only NP=1 was safe to test.
 	for name, src := range cases {
 		prog, err := forcelang.Parse(src)
 		if err != nil {
 			t.Fatalf("%s: parse: %v", name, err)
 		}
-		// Single process: runtime errors propagate without deadlock.
-		if err := Run(prog, Config{NP: 1}); err == nil {
-			t.Errorf("%s: no error", name)
-		} else if !strings.Contains(err.Error(), "force runtime") {
-			t.Errorf("%s: unexpected error %v", name, err)
+		for _, np := range []int{1, 2, 8} {
+			for _, exec := range ExecModes() {
+				if err := Run(prog, Config{NP: np, Exec: exec}); err == nil {
+					t.Errorf("%s np=%d %s: no error", name, np, exec)
+				} else if !strings.Contains(err.Error(), "force runtime") {
+					t.Errorf("%s np=%d %s: unexpected error %v", name, np, exec, err)
+				}
+			}
+		}
+	}
+}
+
+// TestRuntimeErrorsNonUniform is the fault-containment corpus: the
+// error strikes only some processes while their peers block in (or
+// head toward) a collective construct.  Before the poison protocol
+// every one of these hung the force ("a process which panics while its
+// peers are inside a barrier leaves them blocked"); now each must
+// return the force runtime error at NP in {2, 8} under both engines.
+func TestRuntimeErrorsNonUniform(t *testing.T) {
+	cases := map[string]string{
+		"before a barrier": `Force E of NP ident ME
+Private Integer I
+End Declarations
+IF (ME .EQ. 1) THEN
+I = 1 / 0
+END IF
+Barrier
+End Barrier
+Join
+`,
+		"inside critical": `Force E of NP ident ME
+Shared Integer S
+Private Integer I
+End Declarations
+Critical C
+IF (ME .EQ. 1) THEN
+I = 1 / 0
+END IF
+S = S + 1
+End Critical
+Barrier
+End Barrier
+Join
+`,
+		"inside doall body": `Force E of NP ident ME
+Shared Real A(100)
+Private Integer I
+End Declarations
+Selfsched DO I = 1, 100
+A(I) = 1.0 / (I - 7)
+A(I) = A(I) * REAL(I / (I - 7))
+End Selfsched DO
+Join
+`,
+		"peer waits in askfor": `Force E of NP ident ME
+Private Integer W, I
+End Declarations
+Askfor W = 1
+I = 1 / 0
+End Askfor
+Join
+`,
+		"consume never produced": `Force E of NP ident ME
+Async Integer V
+Private Integer I
+End Declarations
+IF (ME .EQ. 0) THEN
+Consume V into I
+END IF
+IF (ME .EQ. 1) THEN
+I = 1 / 0
+END IF
+Join
+`,
+		"reduction missing contributor": `Force E of NP ident ME
+Shared Integer T
+Private Integer I
+End Declarations
+IF (ME .EQ. 1) THEN
+I = 1 / 0
+END IF
+GSUM T = ME
+Join
+`,
+	}
+	for name, src := range cases {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := forcelang.Parse(src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			for _, np := range []int{2, 8} {
+				for _, exec := range ExecModes() {
+					done := make(chan error, 1)
+					go func() { done <- Run(prog, Config{NP: np, Exec: exec}) }()
+					select {
+					case err := <-done:
+						if err == nil {
+							t.Errorf("np=%d %s: no error", np, exec)
+						} else if !strings.Contains(err.Error(), "force runtime") {
+							t.Errorf("np=%d %s: unexpected error %v", np, exec, err)
+						}
+					case <-time.After(60 * time.Second):
+						t.Fatalf("np=%d %s: force hung on a non-uniform runtime error", np, exec)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForceErrorThenCleanRunSameConfig: after an errored run, a fresh
+// run of a correct program with the same configuration works — the
+// interpreter-level reuse story (each interp.Run builds its own force,
+// so this exercises clean creation after an abort, not force reuse;
+// core-level reuse is covered in internal/core).
+func TestForceErrorThenCleanRunSameConfig(t *testing.T) {
+	bad := forcelang.MustParse("Force B of NP ident ME\nPrivate Integer I\nEnd Declarations\nIF (ME .EQ. 0) THEN\nI = 1 / 0\nEND IF\nBarrier\nEnd Barrier\nJoin\n")
+	good := forcelang.MustParse("Force G of NP ident ME\nEnd Declarations\nBarrier\nEnd Barrier\nPrint NP\nJoin\n")
+	for _, exec := range ExecModes() {
+		if err := Run(bad, Config{NP: 4, Exec: exec}); err == nil {
+			t.Fatalf("%s: bad program reported no error", exec)
+		}
+		var sb strings.Builder
+		if err := Run(good, Config{NP: 4, Exec: exec, Stdout: &sb}); err != nil {
+			t.Fatalf("%s: clean run after error: %v", exec, err)
+		}
+		if !strings.Contains(sb.String(), "4") {
+			t.Fatalf("%s: clean run output %q", exec, sb.String())
 		}
 	}
 }

@@ -26,6 +26,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/poison"
 )
 
 // Lock is the generic lock mechanism underlying every Force synchronization
@@ -126,6 +128,37 @@ func Factory(k Kind) func() Lock {
 	return func() Lock { return New(k) }
 }
 
+// Acquire acquires l while observing the poison cell: when the force is
+// poisoned before the acquire succeeds, Acquire unwinds with
+// poison.Abort instead of blocking forever.  It is the acquire used
+// wherever a lock *encodes a condition* — the two-lock barrier's
+// BARWIN/BARWOT relay and the two-lock asynchronous variable's E/F pair
+// block precisely until another process makes progress, so a dead peer
+// turns the plain Lock() into a permanent hang.  With a nil cell (or a
+// lock without TryLock) Acquire degenerates to Lock().
+//
+// Plain mutual-exclusion locks (critical sections, accumulator locks)
+// do not need Acquire: their holders release on unwind, so waiters
+// drain naturally and observe poison at the next construct.
+func Acquire(l Lock, c *poison.Cell) {
+	if c == nil {
+		l.Lock()
+		return
+	}
+	tl, ok := l.(TryLocker)
+	if !ok {
+		l.Lock()
+		return
+	}
+	if tl.TryLock() {
+		return
+	}
+	// Relay-tuned parking: lock-encoded conditions release by
+	// sequential handoff, so a waiter's park interval is pure wake
+	// latency on every hop of the chain.
+	poison.WaitRelay(c, tl.TryLock)
+}
+
 // spinYield is called inside spin loops.  Gosched keeps spinning goroutines
 // from starving the holder when GOMAXPROCS is smaller than the number of
 // spinners — the same reason 1989 spin locks backed off on bus traffic.
@@ -204,7 +237,7 @@ type TicketLock struct {
 	serving atomic.Uint64
 }
 
-var _ Lock = (*TicketLock)(nil)
+var _ TryLocker = (*TicketLock)(nil)
 
 // Lock takes the next ticket and waits for it to be served.
 func (l *TicketLock) Lock() {
@@ -212,6 +245,14 @@ func (l *TicketLock) Lock() {
 	for i := 0; l.serving.Load() != t; i++ {
 		spinYield(i)
 	}
+}
+
+// TryLock acquires only when the lock is free: it takes the currently
+// served ticket iff no other ticket is outstanding.  A failed CAS means
+// some ticket holder is ahead, i.e. the lock is held or contended.
+func (l *TicketLock) TryLock() bool {
+	s := l.serving.Load()
+	return l.next.CompareAndSwap(s, s+1)
 }
 
 // Unlock advances the serving counter, admitting the next ticket holder.

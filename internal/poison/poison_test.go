@@ -1,0 +1,201 @@
+package poison
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFirstPoisonWins(t *testing.T) {
+	c := NewCell()
+	if c.Poisoned() || c.Err() != nil || c.Value() != nil {
+		t.Fatal("fresh cell reports poisoned")
+	}
+	e1, e2 := errors.New("first"), errors.New("second")
+	if !c.Poison(e1) {
+		t.Fatal("first Poison lost")
+	}
+	if c.Poison(e2) {
+		t.Fatal("second Poison won")
+	}
+	if !c.Poisoned() || c.Err() != e1 || c.Value() != any(e1) {
+		t.Fatalf("cell holds %v, want %v", c.Value(), e1)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("Done not closed after Poison")
+	}
+}
+
+func TestNonErrorValue(t *testing.T) {
+	c := NewCell()
+	c.Poison("boom")
+	if c.Value() != any("boom") {
+		t.Fatalf("Value = %v", c.Value())
+	}
+	if c.Err() == nil || c.Err().Error() != "panic: boom" {
+		t.Fatalf("Err = %v", c.Err())
+	}
+}
+
+func TestNilCellSafe(t *testing.T) {
+	var c *Cell
+	if c.Poisoned() || c.Poison("x") || c.Err() != nil || c.Value() != nil {
+		t.Fatal("nil cell not inert")
+	}
+	if c.Done() != nil {
+		t.Fatal("nil cell Done not nil")
+	}
+	c.Check()
+	c.Reset()
+	c.Subscribe(func() { t.Fatal("subscriber ran on nil cell") })()
+	ok := false
+	Wait(c, func() bool { ok = !ok; return ok })
+}
+
+func TestCheckPanicsWithAbort(t *testing.T) {
+	c := NewCell()
+	c.Poison(errors.New("dead"))
+	defer func() {
+		r := recover()
+		ab, ok := r.(Abort)
+		if !ok {
+			t.Fatalf("recovered %T, want Abort", r)
+		}
+		if ab.Err == nil || ab.Err.Error() != "dead" {
+			t.Fatalf("Abort.Err = %v", ab.Err)
+		}
+	}()
+	c.Check()
+}
+
+func TestWaitReturnsOnPred(t *testing.T) {
+	c := NewCell()
+	var flag atomic.Bool
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		flag.Store(true)
+	}()
+	Wait(c, flag.Load)
+}
+
+func TestWaitAbortsOnPoison(t *testing.T) {
+	c := NewCell()
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		Wait(c, func() bool { return false })
+	}()
+	time.Sleep(2 * time.Millisecond)
+	c.Poison(errors.New("stop"))
+	select {
+	case r := <-done:
+		if _, ok := r.(Abort); !ok {
+			t.Fatalf("waiter unwound with %T, want Abort", r)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("poisoned waiter did not wake")
+	}
+}
+
+// awaitCount polls until the counter reaches want (hooks run on their
+// own goroutines).
+func awaitCount(t *testing.T, what string, n *atomic.Int32, want int32) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for n.Load() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want %d", what, n.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSubscribeAndCancel(t *testing.T) {
+	c := NewCell()
+	var ran, cancelled atomic.Int32
+	c.Subscribe(func() { ran.Add(1) })
+	cancel := c.Subscribe(func() { cancelled.Add(1) })
+	cancel()
+	c.Poison("x")
+	awaitCount(t, "subscriber runs", &ran, 1)
+	time.Sleep(20 * time.Millisecond)
+	if cancelled.Load() != 0 {
+		t.Fatal("cancelled subscriber still ran")
+	}
+	// Subscribing to an already-poisoned cell fires right away (on its
+	// own goroutine).
+	var late atomic.Int32
+	c.Subscribe(func() { late.Add(1) })
+	awaitCount(t, "late subscriber runs", &late, 1)
+}
+
+// TestPoisonHooksCannotDeadlockEachOther: a hook blocked on a lock
+// held by a waiter that a *different* hook must wake — concurrent
+// dispatch means Poison itself never wedges on hook ordering.
+func TestPoisonHooksCannotDeadlockEachOther(t *testing.T) {
+	c := NewCell()
+	var mu sync.Mutex
+	release := make(chan struct{})
+	mu.Lock() // held until the second hook releases it
+	c.Subscribe(func() { mu.Lock(); mu.Unlock() }) //nolint:staticcheck // models a barrier's broadcast hook
+	c.Subscribe(func() { <-release })
+	done := make(chan struct{})
+	go func() {
+		c.Poison("x")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Poison blocked on a subscriber hook")
+	}
+	close(release)
+	mu.Unlock()
+}
+
+func TestResetRearms(t *testing.T) {
+	c := NewCell()
+	var wakes atomic.Int32
+	c.Subscribe(func() { wakes.Add(1) })
+	c.Poison(errors.New("run 1"))
+	c.Reset()
+	if c.Poisoned() || c.Err() != nil || c.Value() != nil {
+		t.Fatal("Reset did not clear the cell")
+	}
+	select {
+	case <-c.Done():
+		t.Fatal("Done still closed after Reset")
+	default:
+	}
+	// Subscribers survive Reset: the next run's poison wakes them again.
+	if !c.Poison(errors.New("run 2")) {
+		t.Fatal("re-poison after Reset lost")
+	}
+	awaitCount(t, "subscriber wakes", &wakes, 2)
+	if c.Err().Error() != "run 2" {
+		t.Fatalf("Err = %v after re-poison", c.Err())
+	}
+}
+
+func TestPoisonRace(t *testing.T) {
+	c := NewCell()
+	var wins atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if c.Poison(i) {
+				wins.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if wins.Load() != 1 {
+		t.Fatalf("%d winners, want exactly 1", wins.Load())
+	}
+}

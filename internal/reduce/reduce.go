@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/barrier"
 	"repro/internal/lock"
+	"repro/internal/poison"
 )
 
 // Kind names a reduction strategy.  The zero value is PrivateSlots, the
@@ -168,6 +169,10 @@ type Config[T any] struct {
 	// The runtime uses it to retire the construct entry and to execute
 	// single-process reduction sections.
 	OnComplete func(result T)
+	// Poison, when non-nil, is the force's cancellation cell: a process
+	// waiting out a combination that can never complete (a contributor
+	// died) unwinds with poison.Abort instead of waiting forever.
+	Poison *poison.Cell
 }
 
 // New builds the shared state of one reduction episode for np processes.
@@ -186,17 +191,19 @@ func New[T any](k Kind, np int, op Op, combine func(T, T) T, cfg Config[T]) Epis
 		if factory == nil {
 			factory = lock.Factory(lock.System)
 		}
-		return &criticalEpisode[T]{
+		e := &criticalEpisode[T]{
 			np: np, combine: combine, lk: factory(),
-			bar: barrier.NewTwoLock(np, factory), onComplete: cfg.OnComplete,
+			bar: barrier.NewTwoLock(np, factory), onComplete: cfg.OnComplete, pc: cfg.Poison,
 		}
+		e.bar.SetPoison(cfg.Poison)
+		return e
 	case Tree:
 		fanIn := cfg.FanIn
 		if fanIn < 2 {
 			fanIn = 4
 		}
 		parent, expect := barrier.TreeTopology(np, fanIn)
-		e := &treeEpisode[T]{fanIn: fanIn, combine: combine, nodes: make([]reduceNode[T], len(parent)), rel: newRelease[T](), onComplete: cfg.OnComplete}
+		e := &treeEpisode[T]{fanIn: fanIn, combine: combine, nodes: make([]reduceNode[T], len(parent)), rel: newRelease[T](cfg.Poison), onComplete: cfg.OnComplete}
 		for i := range e.nodes {
 			e.nodes[i].parent = parent[i]
 			e.nodes[i].pending = expect[i]
@@ -204,14 +211,14 @@ func New[T any](k Kind, np int, op Op, combine func(T, T) T, cfg Config[T]) Epis
 		return e
 	case Atomic:
 		if enc, dec, ident, ok := atomicCodec[T](op); ok {
-			e := &atomicEpisode[T]{np: np, combine: combine, enc: enc, dec: dec, rel: newRelease[T](), onComplete: cfg.OnComplete}
+			e := &atomicEpisode[T]{np: np, combine: combine, enc: enc, dec: dec, rel: newRelease[T](cfg.Poison), onComplete: cfg.OnComplete}
 			e.acc.Store(enc(ident))
 			return e
 		}
 		// No lock-free integer representation: fall through to slots.
 		fallthrough
 	default:
-		return newSlots[T](np, combine, cfg.OnComplete)
+		return newSlots[T](np, combine, cfg.OnComplete, cfg.Poison)
 	}
 }
 
@@ -223,15 +230,19 @@ func New[T any](k Kind, np int, op Op, combine func(T, T) T, cfg Config[T]) Epis
 // the waiter parks on the release channel — on an oversubscribed
 // machine (more processes than CPUs, the 1989 normality and the CI
 // box's too) parked waiters leave the scheduler to the processes that
-// still owe contributions instead of cycling through the run queue.
+// still owe contributions instead of cycling through the run queue.  A
+// parked waiter additionally selects on the poison cell's wake channel,
+// so a reduction whose missing contributor died unwinds with
+// poison.Abort instead of parking forever.
 type release[T any] struct {
 	done   atomic.Uint32
 	ch     chan struct{}
+	pc     *poison.Cell
 	result T
 }
 
-func newRelease[T any]() release[T] {
-	return release[T]{ch: make(chan struct{})}
+func newRelease[T any](pc *poison.Cell) release[T] {
+	return release[T]{ch: make(chan struct{}), pc: pc}
 }
 
 func (r *release[T]) publish(v T, onComplete func(T)) T {
@@ -249,11 +260,18 @@ func (r *release[T]) await() T {
 		if r.done.Load() == 1 {
 			return r.result
 		}
+		r.pc.Check()
 		if i%16 == 15 {
 			runtime.Gosched()
 		}
 	}
-	<-r.ch
+	select {
+	case <-r.ch:
+	case <-r.pc.Done(): // nil channel (never ready) when no poison is wired
+		if r.done.Load() != 1 {
+			r.pc.Check()
+		}
+	}
 	return r.result
 }
 
@@ -272,16 +290,22 @@ type criticalEpisode[T any] struct {
 	acc        T
 	seeded     bool
 	onComplete func(T)
+	pc         *poison.Cell
 }
 
 func (e *criticalEpisode[T]) Do(pid int, x T) T {
-	e.lk.Lock()
-	if e.seeded {
-		e.acc = e.combine(e.acc, x)
-	} else {
-		e.acc, e.seeded = x, true
-	}
-	e.lk.Unlock()
+	lock.Acquire(e.lk, e.pc)
+	func() {
+		// The combine is user code under the Custom operator: release
+		// the accumulator lock even when it panics, so peers queued on
+		// it drain instead of wedging on a lock no one will open.
+		defer e.lk.Unlock()
+		if e.seeded {
+			e.acc = e.combine(e.acc, x)
+		} else {
+			e.acc, e.seeded = x, true
+		}
+	}()
 	var section func()
 	if e.onComplete != nil {
 		section = func() { e.onComplete(e.acc) }
@@ -315,8 +339,8 @@ type slotsEpisode[T any] struct {
 	onComplete func(T)
 }
 
-func newSlots[T any](np int, combine func(T, T) T, onComplete func(T)) *slotsEpisode[T] {
-	e := &slotsEpisode[T]{np: np, combine: combine, rel: newRelease[T](), onComplete: onComplete}
+func newSlots[T any](np int, combine func(T, T) T, onComplete func(T), pc *poison.Cell) *slotsEpisode[T] {
+	e := &slotsEpisode[T]{np: np, combine: combine, rel: newRelease[T](pc), onComplete: onComplete}
 	if runtime.GOMAXPROCS(0) > 1 {
 		e.slots = make([]paddedSlot[T], np)
 	} else {
@@ -379,18 +403,23 @@ func (e *treeEpisode[T]) Do(pid int, x T) T {
 	v := x
 	for {
 		n := &e.nodes[node]
-		n.mu.Lock()
-		if n.seeded {
-			n.acc = e.combine(n.acc, v)
-		} else {
-			n.acc, n.seeded = v, true
-		}
-		n.pending--
-		last := n.pending == 0
-		if last {
-			v = n.acc
-		}
-		n.mu.Unlock()
+		var last bool
+		func() {
+			n.mu.Lock()
+			// combine is user code under the Custom operator: release
+			// the node lock on panic so queued peers drain.
+			defer n.mu.Unlock()
+			if n.seeded {
+				n.acc = e.combine(n.acc, v)
+			} else {
+				n.acc, n.seeded = v, true
+			}
+			n.pending--
+			last = n.pending == 0
+			if last {
+				v = n.acc
+			}
+		}()
 		if !last {
 			return e.rel.await()
 		}

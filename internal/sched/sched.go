@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/lock"
+	"repro/internal/poison"
 )
 
 // Range describes a Fortran-style loop header: DO I = Start, Last, Incr.
@@ -445,7 +446,17 @@ func ForEach(k Kind, np int, r Range, cfg Config, body func(pid, index int)) {
 // Drive exhausts scheduler s for one process, translating ordinals to
 // index values of r.
 func Drive(s Scheduler, pid int, r Range, body func(pid, index int)) {
+	DriveWith(nil, s, pid, r, body)
+}
+
+// DriveWith is Drive under the fault-containment protocol: between work
+// assignments the process checks the poison cell and unwinds with
+// poison.Abort when the force has been poisoned, so a loop does not
+// keep executing iterations for a run that is already dead.  A nil cell
+// degrades to Drive.
+func DriveWith(c *poison.Cell, s Scheduler, pid int, r Range, body func(pid, index int)) {
 	for {
+		c.Check()
 		lo, hi, ok := s.Next(pid)
 		if !ok {
 			return
