@@ -792,9 +792,12 @@ type interpReport struct {
 
 // expT11 is the interpreter experiment: the same Force kernels executed
 // by the original tree walker (names resolved through string maps on
-// every access, all shared storage serialized by one mutex) and by the
+// every access, all shared storage serialized by one mutex), by the
 // slot-resolved closure compiler (index-addressed frames, per-variable
-// atomic cells and lock-striped arrays), across NP.
+// atomic cells and lock-striped arrays), and by the chunk tier on top
+// of it (uniform subexpressions hoisted out of the loop, whole spans
+// run as tight loops, disjoint shared-array traffic through the striped
+// store's bulk walker), across NP.
 //
 // The shared-heavy kernel is scalar shared traffic — every iteration
 // reads and writes shared scalars, the access pattern the global mutex
@@ -867,6 +870,7 @@ Join
 			Notes: []string{
 				"tree = map-addressed walker, one mutex around all shared storage",
 				"compiled = slot-resolved typed closures, per-variable atomic cells + striped arrays",
+				"chunked = compiled plus chunk tier: uniform hoisting, bulk striped-store walker, per-span tight loops",
 			},
 		}
 		for _, mode := range interp.ExecModes() {
@@ -874,7 +878,7 @@ Join
 			perSec[key] = map[int]float64{}
 			row := []any{mode.String()}
 			for _, np := range c.npSweep() {
-				cfg := interp.Config{NP: np, Stdout: io.Discard, Exec: mode}
+				cfg := interp.Config{NP: np, Stdout: io.Discard, Exec: mode, Chunk: c.chunk}
 				if c.barSet {
 					cfg.Barrier = c.barKind
 				}
@@ -903,10 +907,18 @@ Join
 		}
 	}
 	// Acceptance summary: single-process compiled-vs-tree on the scalar
-	// kernel, and the compiled engine's self-relative scaling on the
-	// disjoint kernel (meaningful only when GOMAXPROCS allows overlap).
+	// kernel, chunked-vs-compiled on both kernels (the chunk tier's
+	// speedup over its per-iteration A/B baseline), and the compiled
+	// engine's self-relative scaling on the disjoint kernel (meaningful
+	// only when GOMAXPROCS allows overlap).
 	if tree, comp := perSec["tree/shared-heavy"][1], perSec["compiled/shared-heavy"][1]; tree > 0 {
 		fmt.Printf("compiled vs tree, shared-heavy, np=1: %.2fx\n", comp/tree)
+	}
+	if comp, ch := perSec["compiled/shared-heavy"][1], perSec["chunked/shared-heavy"][1]; comp > 0 {
+		fmt.Printf("chunked vs compiled, shared-heavy, np=1: %.2fx\n", ch/comp)
+	}
+	if comp, ch := perSec["compiled/disjoint-writes"][1], perSec["chunked/disjoint-writes"][1]; comp > 0 {
+		fmt.Printf("chunked vs compiled, disjoint-writes, np=1: %.2fx\n", ch/comp)
 	}
 	nps := c.npSweep()
 	last := nps[len(nps)-1]

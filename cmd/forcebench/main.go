@@ -12,13 +12,13 @@
 //	T8  application speedups (matmul, gauss, jacobi, scan, quadrature)
 //	T9  Askfor distribution: [LO83] monitor pool vs work-stealing deques
 //	T10 global reductions: critical vs slots vs tree vs atomic
-//	T11 interpreter throughput: tree walker vs slot-resolved closure compiler
+//	T11 interpreter throughput: tree walker vs closure compiler vs chunk tier
 //	A1  ablation: the paper's barrier over every lock kind
 //	A2  ablation: selfscheduling chunk size
 //
 // Usage:
 //
-//	forcebench [-exp all|F1|T1|...] [-quick] [-maxnp N] [-runs R] [-json FILE] [-barrier ALG]
+//	forcebench [-exp all|F1|T1|...] [-quick] [-maxnp N] [-runs R] [-json FILE] [-barrier ALG] [-chunk N]
 //
 // -json writes the running experiment's measurements as machine-readable
 // JSON (T9: BENCH_askfor.json-style, T10: BENCH_reduce.json-style, T11:
@@ -29,6 +29,10 @@
 // timed experiments build.  Experiments whose subject is the barrier or
 // the creation path ignore it: T2 and A1 sweep barrier algorithms
 // themselves, and T6 times force creation models.
+// -chunk overrides the selfscheduling span size of every force the
+// timed experiments build (sched.Config.ChunkSize for the
+// chunk/stealing disciplines); A2, whose subject is the chunk size,
+// ignores it.
 //
 // Absolute numbers are machine-dependent; the tables exist to show the
 // paper's qualitative shapes (who wins, by what factor, where crossovers
@@ -62,12 +66,18 @@ type config struct {
 	jsonPath string // JSON output file (T9, T10); empty disables
 	barKind  barrier.Kind
 	barSet   bool // -barrier was given: override experiment defaults
+	chunk    int  // -chunk: selfsched span size (0 = discipline default)
 }
 
 // force builds a core force for a timed experiment, honoring the global
-// -barrier override.  Experiment-specific defaults go in opts; the
-// override is appended last, so it wins.
+// -barrier and -chunk overrides.  Experiment-specific defaults go in
+// opts; the barrier override is appended last, so it wins, while the
+// chunk override is prepended, so an experiment sweeping the chunk size
+// itself (A2) keeps its own setting.
 func (c config) force(np int, opts ...core.Option) *core.Force {
+	if c.chunk > 0 {
+		opts = append([]core.Option{core.WithChunk(c.chunk)}, opts...)
+	}
 	if c.barSet {
 		opts = append(opts, core.WithBarrier(c.barKind))
 	}
@@ -91,15 +101,16 @@ func (c config) npSweep() []int {
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (F1, T1..T11, A1, A2) or all")
-		quick = flag.Bool("quick", false, "smaller problem sizes and fewer repetitions")
-		maxNP = flag.Int("maxnp", 2*runtime.GOMAXPROCS(0), "largest force size in sweeps")
-		runs  = flag.Int("runs", 3, "timing repetitions per cell")
-		jsonP = flag.String("json", "", "write T9/T10/T11 results as JSON to this file")
-		barF  = flag.String("barrier", "", "override the barrier algorithm of timed forces (ignored by T2, A1, T6)")
+		exp    = flag.String("exp", "all", "experiment id (F1, T1..T11, A1, A2) or all")
+		quick  = flag.Bool("quick", false, "smaller problem sizes and fewer repetitions")
+		maxNP  = flag.Int("maxnp", 2*runtime.GOMAXPROCS(0), "largest force size in sweeps")
+		runs   = flag.Int("runs", 3, "timing repetitions per cell")
+		jsonP  = flag.String("json", "", "write T9/T10/T11 results as JSON to this file")
+		barF   = flag.String("barrier", "", "override the barrier algorithm of timed forces (ignored by T2, A1, T6)")
+		chunkN = flag.Int("chunk", 0, "override the selfsched span size of timed forces (0 = discipline default; ignored by A2)")
 	)
 	flag.Parse()
-	c := config{quick: *quick, maxNP: *maxNP, runs: *runs, jsonPath: *jsonP}
+	c := config{quick: *quick, maxNP: *maxNP, runs: *runs, jsonPath: *jsonP, chunk: *chunkN}
 	if *barF != "" {
 		bk, err := barrier.ParseKind(*barF)
 		if err != nil {
@@ -150,7 +161,7 @@ func experiments() map[string]experiment {
 		{"T8", "application speedups", expT8},
 		{"T9", "Askfor distribution: monitor pool vs stealing deques", expT9},
 		{"T10", "global reductions: critical vs slots vs tree vs atomic", expT10},
-		{"T11", "interpreter throughput: tree walker vs closure compiler", expT11},
+		{"T11", "interpreter throughput: tree walker vs closure compiler vs chunk tier", expT11},
 		{"A1", "ablation: two-lock barrier over lock kinds", expA1},
 		{"A2", "ablation: selfscheduling chunk size", expA2},
 	}

@@ -9,13 +9,16 @@
 //	    default "generic" machine the low-level macros stay symbolic,
 //	    matching the paper's expansion listing.
 //
-//	forcec -go [-pkg main] [-np N] [-selfsched KIND] [-reduce STRAT] file.force
+//	forcec -go [-pkg main] [-np N] [-selfsched KIND] [-reduce STRAT] [-chunk N] file.force
 //	    Parse and type-check the program and emit Go source targeting
 //	    the runtime library.  -selfsched picks the discipline generated
 //	    for Selfsched DO loops (selfsched-lock by default; "stealing"
 //	    emits code drawing from the engine's work-stealing deques);
 //	    -reduce picks the strategy the generated force executes global
-//	    reductions with (slots by default; critical, tree, atomic).
+//	    reductions with (slots by default; critical, tree, atomic);
+//	    -chunk N bakes a span size into the generated force for the
+//	    chunk/stealing selfsched disciplines (0 keeps the discipline
+//	    default).
 //
 //	forcec -check file.force
 //	    Parse and type-check only.
@@ -46,6 +49,7 @@ func main() {
 		np      = flag.Int("np", 4, "default force size baked into -go output")
 		selfK   = flag.String("selfsched", "selfsched-lock", "discipline for Selfsched DO in -go output")
 		reduceF = flag.String("reduce", "slots", "global-reduction strategy in -go output")
+		chunkF  = flag.Int("chunk", 0, "selfsched span size baked into -go output (0 = discipline default)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -76,7 +80,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		out, err := codegen.Generate(prog, codegen.Options{Package: *pkg, DefaultNP: *np, Selfsched: kind, Reduce: rk})
+		out, err := codegen.Generate(prog, codegen.Options{Package: *pkg, DefaultNP: *np, Selfsched: kind, Reduce: rk, Chunk: *chunkF})
 		if err != nil {
 			fail(err)
 		}

@@ -1,7 +1,7 @@
 // Command forcerun parses a Force program and executes it SPMD on the
 // runtime library:
 //
-//	forcerun [-np N] [-machine NAME] [-barrier ALG] [-selfsched KIND] [-askfor POOL] [-reduce STRAT] [-exec ENGINE] file.force
+//	forcerun [-np N] [-machine NAME] [-barrier ALG] [-selfsched KIND] [-askfor POOL] [-reduce STRAT] [-exec ENGINE] [-chunk N] file.force
 //
 // -machine selects a historical machine profile (hep, flex32, encore,
 // sequent, alliant, cray2) or "native" (default); -barrier selects the
@@ -14,10 +14,19 @@
 // "critical" (the paper's baseline), "tree" or "atomic".  A file name of
 // "-" reads standard input.
 //
-// -exec selects the execution engine: "compiled" (the default: the
-// slot-resolved closure compiler with per-variable shared cells) or
-// "tree" (the original map-addressed tree walker behind one shared
-// mutex), the A/B escape hatch forcebench T11 measures.
+// -exec selects the execution engine: "chunked" (the default: the
+// closure compiler plus the chunk tier, running provably safe DOALL
+// bodies as per-span tight loops over the striped store's bulk
+// walker), "compiled" (the per-iteration closure compiler, the chunk
+// tier's A/B baseline) or "tree" (the original map-addressed tree
+// walker behind one shared mutex); forcebench T11 measures all three.
+//
+// -chunk N sets the span size for the "chunk"/"stealing" selfsched
+// disciplines (sched.Config.ChunkSize; 0 keeps each discipline's
+// default, 16 for chunked selfscheduling).  It does not change the
+// prescheduled or selfsched-lock/selfsched-atomic span shapes, which
+// are fixed by the discipline; pick -selfsched chunk or -selfsched
+// stealing for -chunk to have an effect.
 //
 // -cpuprofile and -memprofile write pprof profiles (CPU over the whole
 // run, heap at exit — both also on runtime errors) so interpreter hot
@@ -83,7 +92,8 @@ func run() error {
 		selfK   = flag.String("selfsched", "selfsched-lock", "discipline for Selfsched DO and selfscheduled Pcase")
 		askforF = flag.String("askfor", "stealing", "Askfor pool discipline: stealing or monitor")
 		reduceF = flag.String("reduce", "slots", "global-reduction strategy: critical, slots, tree or atomic")
-		execF   = flag.String("exec", "compiled", "execution engine: compiled (slot-resolved closures) or tree (map-addressed walker)")
+		execF   = flag.String("exec", "chunked", "execution engine: chunked (chunk-compiled DOALLs), compiled (per-iteration closures) or tree (map-addressed walker)")
+		chunkN  = flag.Int("chunk", 0, "span size for the chunk/stealing selfsched disciplines (0 = discipline default)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		hangTO  = flag.Duration("hang-timeout", 0, "abort a run that has not finished after this long, reporting where each process is blocked (0 disables)")
@@ -167,6 +177,7 @@ func run() error {
 		Askfor:    pool,
 		Reduce:    rk,
 		Exec:      em,
+		Chunk:     *chunkN,
 	}
 	if *hangTO > 0 {
 		done := make(chan struct{})

@@ -13,9 +13,13 @@
 //		   │                 reference to a (storage class, slot) pair and a
 //		   │                 compile pass emits typed closures over
 //		   │                 index-addressed frames — shared scalars are
-//		   │                 atomic cells, shared arrays lock-striped — with
-//		   │                 the original tree walker kept as the A/B
-//		   │                 baseline (forcerun -exec tree, forcebench T11)
+//		   │                 atomic cells, shared arrays lock-striped — and
+//		   │                 a classify pass (uniform vs varying) lets safe
+//		   │                 DOALL bodies run as chunk-compiled tight loops
+//		   │                 over the striped store's bulk walker, with the
+//		   │                 per-iteration compiler and the original tree
+//		   │                 walker kept as A/B baselines (forcerun -exec
+//		   │                 chunked|compiled|tree, forcebench T11)
 //		   └── codegen       compiler back end emitting Go against core
 //		        │
 //		        ▼
@@ -78,6 +82,7 @@
 // The benchmarks in bench_test.go and the cmd/forcebench harness
 // regenerate every experiment table; forcebench -exp T9 -json FILE emits
 // the monitor-vs-stealing Askfor comparison, T10 the reduction-strategy
-// comparison, and T11 the interpreter tree-walker-vs-closure-compiler
-// comparison machine-readably (the committed BENCH_*.json baselines).
+// comparison, and T11 the tree-walker vs closure-compiler vs chunk-tier
+// interpreter comparison machine-readably (the committed BENCH_*.json
+// baselines).
 package repro

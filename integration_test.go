@@ -143,9 +143,10 @@ func TestReduceSemantics(t *testing.T) {
 }
 
 // TestExecModesIdenticalOnExamples is the tentpole acceptance check for
-// the slot-resolved interpreter: every shipped .force program runs under
-// both execution engines (-exec tree and -exec compiled) and the outputs
-// are byte-identical wherever the program is deterministic.
+// the compiled-family interpreters: every shipped .force program runs
+// under all three execution engines (-exec tree, compiled and chunked)
+// and the outputs are byte-identical wherever the program is
+// deterministic.
 //
 //   - wave.force prints one line, a pure function of NP;
 //   - heat.force is a barrier-synchronized Jacobi relaxation, so its
@@ -177,12 +178,13 @@ func TestExecModesIdenticalOnExamples(t *testing.T) {
 		t.Run(tc.path, func(t *testing.T) {
 			for _, np := range tc.nps {
 				tree := runMode(t, srcs[tc.path], np, interp.ExecTree)
-				compiled := runMode(t, srcs[tc.path], np, interp.ExecCompiled)
-				if tree != compiled {
-					t.Errorf("np=%d: engines disagree\ntree:\n%s\ncompiled:\n%s", np, tree, compiled)
-				}
 				if tree == "" {
 					t.Errorf("np=%d: program printed nothing", np)
+				}
+				for _, mode := range []interp.ExecMode{interp.ExecCompiled, interp.ExecChunked} {
+					if got := runMode(t, srcs[tc.path], np, mode); got != tree {
+						t.Errorf("np=%d: engines disagree\ntree:\n%s\n%s:\n%s", np, tree, mode, got)
+					}
 				}
 			}
 		})

@@ -196,6 +196,27 @@ Join
 	}
 }
 
+func TestChunkOption(t *testing.T) {
+	prog := forcelang.MustParse(`Force S of NP ident ME
+End Declarations
+Join
+`)
+	out, err := Generate(prog, Options{Chunk: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "core.WithChunk(32)") {
+		t.Errorf("Chunk option not emitted:\n%s", out)
+	}
+	out, err = Generate(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(out), "WithChunk") {
+		t.Errorf("zero Chunk must not emit WithChunk:\n%s", out)
+	}
+}
+
 func TestMixedArithmeticCoercion(t *testing.T) {
 	src := generate(t, `Force M of NP ident ME
 Shared Real X

@@ -539,10 +539,20 @@ func (p *Proc) loop(kind sched.Kind, r sched.Range, body func(i int)) {
 	s := p.f.entry(seq, func() any { return sched.New(kind, p.f.np, r, cfg) }).(sched.Scheduler)
 	p.f.tr.Record(p.id, trace.LoopStart, kind.String(), int64(seq))
 	p.enterSite(&siteLoop)
-	sched.DriveWith(p.f.pc, s, p.id, r, func(_, i int) {
-		p.f.tr.Record(p.id, trace.LoopIter, kind.String(), int64(i))
-		body(i)
-	})
+	// DriveWith already checks poison once per scheduler span; keep the
+	// per-index path equally lean by hoisting the trace plumbing out of
+	// the hot loop — without a recorder the body is dispatched bare, and
+	// with one the kind name (a map lookup) is computed once, not per
+	// iteration.
+	drive := func(_, i int) { body(i) }
+	if p.f.tr != nil {
+		ks := kind.String()
+		drive = func(_, i int) {
+			p.f.tr.Record(p.id, trace.LoopIter, ks, int64(i))
+			body(i)
+		}
+	}
+	sched.DriveWith(p.f.pc, s, p.id, r, drive)
 	p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
 	p.leaveSite()
 	p.f.tr.Record(p.id, trace.LoopEnd, kind.String(), int64(seq))
@@ -601,6 +611,75 @@ func (p *Proc) DoAll(kind sched.Kind, r sched.Range, body func(i int)) {
 // distributing index pairs.
 func (p *Proc) DoAll2(kind sched.Kind, r1, r2 sched.Range, body func(i, j int)) {
 	p.loop2(kind, r1, r2, body)
+}
+
+// ChunkBody executes a whole scheduler span in one call: the ordinals
+// lo, lo+stride, lo+2*stride, ... below hi.  Selfscheduled disciplines
+// always hand out dense spans (stride 1); the cyclic prescheduled deal
+// is expressed as one strided span per process.
+type ChunkBody func(lo, hi, stride int)
+
+// DoAllChunked is the chunk-granular DOALL: scheduler spans are forwarded
+// to the body WHOLE instead of being shredded into one-index dispatches.
+// Poison is checked once per span before the chunk runs (long chunks
+// should call Check periodically themselves to keep abort latency
+// bounded), the watchdog site covers the construct, and the paper's exit
+// synchronization closes it exactly as DoAll does.  No per-iteration
+// LoopIter trace events are emitted — callers needing an iteration-level
+// trace should use DoAll.
+func (p *Proc) DoAllChunked(kind sched.Kind, r sched.Range, chunk ChunkBody) {
+	p.f.pc.Check()
+	p.f.stats.Loops.Add(1)
+	seq := p.nextSeq()
+	n := r.Count()
+	p.f.tr.Record(p.id, trace.LoopStart, kind.String(), int64(seq))
+	p.enterSite(&siteLoop)
+	switch kind {
+	case sched.PreschedCyclic:
+		// Cyclic dealing is a pure function of the process id: ordinals
+		// id, id+np, id+2np, ... — a single strided span, no shared
+		// scheduler state needed.
+		if p.id < n {
+			chunk(p.id, n, p.f.np)
+		}
+		p.f.bar.Sync(p.id, nil)
+	case sched.PreschedBlock:
+		// One contiguous block per process, remainder spread one-per-
+		// process over the first n%np processes (same partition as the
+		// block scheduler).
+		base, rem := n/p.f.np, n%p.f.np
+		lo := p.id*base + min(p.id, rem)
+		size := base
+		if p.id < rem {
+			size++
+		}
+		if size > 0 {
+			chunk(lo, lo+size, 1)
+		}
+		p.f.bar.Sync(p.id, nil)
+	default:
+		cfg := sched.Config{ChunkSize: p.f.chunk, LockFactory: p.f.profile.LockFactory()}
+		s := p.f.entry(seq, func() any { return sched.New(kind, p.f.np, r, cfg) }).(sched.Scheduler)
+		for {
+			p.f.pc.Check()
+			lo, hi, ok := s.Next(p.id)
+			if !ok {
+				break
+			}
+			chunk(lo, hi, 1)
+		}
+		p.f.bar.Sync(p.id, func() { p.f.dropEntry(seq) })
+	}
+	p.leaveSite()
+	p.f.tr.Record(p.id, trace.LoopEnd, kind.String(), int64(seq))
+}
+
+// DoAll2Chunked is the chunk-granular doubly nested DOALL: the two index
+// spaces are flattened exactly as DoAll2 flattens them, and the body
+// receives whole spans of flat ordinals (k maps to the index pair
+// (r1.Index(k/r2.Count()), r2.Index(k%r2.Count()))).
+func (p *Proc) DoAll2Chunked(kind sched.Kind, r1, r2 sched.Range, chunk ChunkBody) {
+	p.DoAllChunked(kind, sched.Seq(r1.Count()*r2.Count()), chunk)
 }
 
 // loop2 flattens a doubly nested loop into one ordinal space so that index

@@ -1,0 +1,467 @@
+package interp
+
+// chunk_test.go — coverage for the chunk-compiled DOALL tier: the
+// equivalence matrix (every corpus program byte-identical, modulo
+// print interleaving, across tree/compiled/chunked at np ∈ {1, 2, 8}),
+// classification unit tests pinning down which bodies chunk and which
+// fall back, and a mid-chunk abort test bounding poison latency.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/forcelang"
+)
+
+// chunkCorpus holds programs chosen to hit the chunk tier's edges:
+// strides, empty ranges, two-index DOALLs, disjointness proofs and
+// their failures, uniform hoisting, accumulator folding, and final
+// loop-variable values.
+var chunkCorpus = []struct {
+	name string
+	src  string
+}{
+	{"step-gt-1", `Force S3 of NP ident ME
+Shared Real A(100)
+Private Integer I
+Private Real T
+End Declarations
+Presched DO I = 1, 100
+  A(I) = 0.0
+End Presched DO
+Barrier
+End Barrier
+Presched DO I = 1, 97, 3
+  A(I) = REAL(I) * 2.0
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 100
+    T = T + A(I)
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+	{"negative-step-accum", `Force NEGC of NP ident ME
+Shared Real A(64)
+Shared Integer S
+Private Integer I
+Private Real T
+End Declarations
+Barrier
+  S = 0
+End Barrier
+Presched DO I = 1, 64
+  A(I) = 1.0
+End Presched DO
+Barrier
+End Barrier
+Presched DO I = 60, 4, -4
+  A(I) = REAL(I) + 0.5
+  S = S + I
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 64
+    T = T + A(I)
+  End DO
+  Print S, NINT(T * 2.0)
+End Barrier
+Join
+`},
+	{"empty-range", `Force EMPTY of NP ident ME
+Shared Real A(10)
+Shared Integer S
+Private Integer I
+Private Real T
+End Declarations
+Barrier
+  S = 0
+End Barrier
+Presched DO I = 1, 10
+  A(I) = 1.0
+End Presched DO
+Barrier
+End Barrier
+Presched DO I = 5, 1
+  A(I) = REAL(I) * 100.0
+  S = S + 1
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 10
+    T = T + A(I)
+  End DO
+  Print S, NINT(T)
+End Barrier
+Join
+`},
+	{"doall2-nested", `Force D2 of NP ident ME
+Shared Real M(8, 12)
+Private Integer I, J
+Private Real T
+End Declarations
+Presched DO I = 1, 8 also J = 1, 12
+  M(I, J) = REAL(I * 100 + J)
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 8
+    DO J = 1, 12
+      T = T + M(I, J)
+    End DO
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+	{"same-element-fallback", `Force SAMEF of NP ident ME
+Shared Real A(4)
+Shared Real B(40)
+Private Integer I
+Private Real T
+End Declarations
+Presched DO I = 1, 40
+  A(MOD(I, 4) + 1) = 7.0
+  B(I) = REAL(I)
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 4
+    T = T + A(I)
+  End DO
+  DO I = 1, 40
+    T = T + B(I)
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+	{"uniform-hoist", `Force UHOIST of NP ident ME
+Shared Real A(50)
+Shared Real C1, C2
+Private Integer I
+Private Real X, T
+End Declarations
+Barrier
+  C1 = 1.5
+  C2 = 0.25
+End Barrier
+Presched DO I = 1, 50
+  X = (C1 * 2.0 + C2) * REAL(I)
+  A(I) = X + C1
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 50
+    T = T + A(I)
+  End DO
+  Print NINT(T * 4.0)
+End Barrier
+Join
+`},
+	{"selfsched-accum", `Force SSACC of NP ident ME
+Shared Real A(300)
+Shared Integer S
+Private Integer I
+Private Real T
+End Declarations
+Barrier
+  S = 100
+End Barrier
+Selfsched DO I = 1, 300
+  A(I) = REAL(I)
+  S = S + I
+  S = S - 1
+End Selfsched DO
+Barrier
+  T = 0.0
+  DO I = 1, 300
+    T = T + A(I)
+  End DO
+  Print S, NINT(T)
+End Barrier
+Join
+`},
+	{"if-and-seqdo", `Force IFSD of NP ident ME
+Shared Real A(40)
+Private Integer I, J
+Private Real T
+End Declarations
+Presched DO I = 1, 40
+  T = 0.0
+  DO J = 1, 5
+    T = T + REAL(I * J)
+  End DO
+  IF (MOD(I, 2) .EQ. 0) THEN
+    A(I) = T
+  ELSE
+    A(I) = 0.0 - T
+  End IF
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 40
+    T = T + A(I)
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+	{"written-subscript-fallback", `Force WSUB of NP ident ME
+Shared Real A(30)
+Private Integer I, K
+Private Real T
+End Declarations
+Presched DO I = 1, 30
+  K = I + 1
+  A(K - 1) = REAL(I) * 3.0
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 30
+    T = T + A(I)
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+	{"loop-var-final", `Force LVF of NP ident ME
+Private Integer I
+End Declarations
+I = 0 - 9
+Presched DO I = 1, 37
+End Presched DO
+Print 'me', ME, I
+Join
+`},
+}
+
+// TestChunkEquivalence runs the chunk corpus under every engine at
+// np ∈ {1, 2, 8} and requires each engine's sorted output to match the
+// tree walker's at the same np.
+func TestChunkEquivalence(t *testing.T) {
+	for _, tc := range chunkCorpus {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			prog, err := forcelang.Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			for _, np := range []int{1, 2, 8} {
+				outs := map[ExecMode]string{}
+				for _, mode := range ExecModes() {
+					var sb strings.Builder
+					if err := Run(prog, Config{NP: np, Stdout: &sb, Exec: mode}); err != nil {
+						t.Fatalf("np=%d %s: %v", np, mode, err)
+					}
+					outs[mode] = sb.String()
+				}
+				tree := sortedLines(outs[ExecTree])
+				for _, mode := range []ExecMode{ExecCompiled, ExecChunked} {
+					got := sortedLines(outs[mode])
+					if len(got) != len(tree) {
+						t.Fatalf("np=%d: line counts differ: tree %d, %s %d\ntree:\n%s\n%s:\n%s",
+							np, len(tree), mode, len(got), outs[ExecTree], mode, outs[mode])
+						continue
+					}
+					for i := range tree {
+						if got[i] != tree[i] {
+							t.Errorf("np=%d line %d: tree %q, %s %q", np, i, tree[i], mode, got[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// classify parses src, resolves it and classifies its first top-level
+// ParDo, returning the plan (nil if the body fell back) and the reason.
+func classify(t *testing.T, src string) (*chunkPlan, string) {
+	t.Helper()
+	prog, err := forcelang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := resolveProgram(prog)
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	for _, st := range prog.Body {
+		if pd, ok := st.(*forcelang.ParDo); ok {
+			return classifyParDo(prog, pd, res.units[""])
+		}
+	}
+	t.Fatal("no ParDo in program body")
+	return nil, ""
+}
+
+// TestClassifyDisjoint pins the disjointness proof: an identity
+// subscript on the written array chunks with walker access, a
+// non-affine subscript keeps the array on striped access, and a
+// constant subscript (every iteration the same element) does too.
+func TestClassifyDisjoint(t *testing.T) {
+	plan, reason := classify(t, `Force C of NP ident ME
+Shared Real A(64)
+Private Integer I
+End Declarations
+Presched DO I = 1, 64
+  A(I) = REAL(I)
+End Presched DO
+Join
+`)
+	if plan == nil {
+		t.Fatalf("identity subscript fell back: %s", reason)
+	}
+	if !plan.disjoint["A"] {
+		t.Error("identity subscript not proven disjoint")
+	}
+
+	plan, reason = classify(t, `Force C of NP ident ME
+Shared Real A(8)
+Private Integer I
+End Declarations
+Presched DO I = 1, 64
+  A(MOD(I, 8) + 1) = 1.0
+End Presched DO
+Join
+`)
+	if plan == nil {
+		t.Fatalf("non-affine subscript fell back entirely: %s", reason)
+	}
+	if plan.disjoint["A"] {
+		t.Error("MOD subscript wrongly proven disjoint")
+	}
+
+	plan, reason = classify(t, `Force C of NP ident ME
+Shared Real A(8)
+Private Integer I
+End Declarations
+Presched DO I = 1, 64
+  A(3) = 1.0
+End Presched DO
+Join
+`)
+	if plan == nil {
+		t.Fatalf("constant subscript fell back entirely: %s", reason)
+	}
+	if plan.disjoint["A"] {
+		t.Error("constant subscript wrongly proven disjoint")
+	}
+}
+
+// TestClassifyAccumulator pins accumulator folding: a shared integer
+// whose only appearances are S = S ± delta folds to a private sum; a
+// read of the scalar elsewhere in the body, or a real-typed delta,
+// disqualifies it.
+func TestClassifyAccumulator(t *testing.T) {
+	plan, reason := classify(t, `Force C of NP ident ME
+Shared Integer S
+Private Integer I
+End Declarations
+Presched DO I = 1, 64
+  S = S + I
+End Presched DO
+Join
+`)
+	if plan == nil {
+		t.Fatalf("accumulator body fell back: %s", reason)
+	}
+	if _, ok := plan.sums["S"]; !ok {
+		t.Error("S = S + I not folded to a private sum")
+	}
+
+	plan, reason = classify(t, `Force C of NP ident ME
+Shared Integer S
+Shared Real A(64)
+Private Integer I
+End Declarations
+Presched DO I = 1, 64
+  S = S + I
+  A(I) = REAL(S)
+End Presched DO
+Join
+`)
+	if plan == nil {
+		t.Fatalf("read-elsewhere body fell back: %s", reason)
+	}
+	if _, ok := plan.sums["S"]; ok {
+		t.Error("S read outside its own update must not fold")
+	}
+}
+
+// TestClassifyFallbacks pins full-fallback conditions: collectives and
+// other non-whitelisted statements, loop-index writes, and parameter
+// assignment targets all send the DOALL to the per-iteration path.
+func TestClassifyFallbacks(t *testing.T) {
+	cases := map[string]string{
+		"critical in body": `Force C of NP ident ME
+Shared Integer S
+Private Integer I
+End Declarations
+Presched DO I = 1, 8
+  Critical L
+    S = S + 1
+  End Critical
+End Presched DO
+Join
+`,
+		"loop index written": `Force C of NP ident ME
+Private Integer I
+End Declarations
+Presched DO I = 1, 8
+  I = I + 1
+End Presched DO
+Join
+`,
+		"print in body": `Force C of NP ident ME
+Private Integer I
+End Declarations
+Presched DO I = 1, 8
+  Print I
+End Presched DO
+Join
+`,
+	}
+	for name, src := range cases {
+		if plan, _ := classify(t, src); plan != nil {
+			t.Errorf("%s: expected fallback, got a chunk plan", name)
+		}
+	}
+}
+
+// TestChunkedAbortLatency errors one iteration deep inside a large
+// chunked DOALL: the failing process poisons the force mid-chunk and
+// its peers, spinning through their own chunks, must notice via the
+// in-chunk poison checks and unwind promptly — well under the
+// watchdog-scale timeout, at chunk sizes where waiting for the chunk
+// to finish would be the bug.
+func TestChunkedAbortLatency(t *testing.T) {
+	prog := forcelang.MustParse(`Force ABT of NP ident ME
+Shared Real A(400000)
+Private Integer I
+End Declarations
+Presched DO I = 1, 400000
+  A(I) = REAL(I / (I - 3))
+End Presched DO
+Join
+`)
+	for _, np := range []int{2, 8} {
+		start := time.Now()
+		err := Run(prog, Config{NP: np, Exec: ExecChunked})
+		elapsed := time.Since(start)
+		if err == nil {
+			t.Fatalf("np=%d: no error", np)
+		}
+		if !strings.Contains(err.Error(), "force runtime") {
+			t.Fatalf("np=%d: unexpected error %v", np, err)
+		}
+		if elapsed > 10*time.Second {
+			t.Errorf("np=%d: abort took %v — in-chunk poison checks not bounding latency", np, elapsed)
+		}
+	}
+}

@@ -1,0 +1,525 @@
+package interp
+
+// Uniform/varying classification for DOALL bodies — the analysis behind
+// the chunk tier (chunk.go).  One walk over a ParDo body decides:
+//
+//   - whether the body is chunk-compilable at all.  Only Assign, IF and
+//     sequential DO statements qualify; anything that can block, perform
+//     I/O, call a subroutine or touch asynchronous variables falls back
+//     to the per-iteration path, as does a body that writes its own loop
+//     index or runs it through a non-private variable.
+//   - which names are WRITTEN in the body.  A reference is *uniform*
+//     (loop-invariant for the executing process) exactly when it depends
+//     on no loop index and no written name; uniform subexpressions are
+//     hoisted out of the iteration loop by the chunk compiler.
+//   - which written shared arrays are PROVABLY DISJOINT: every access
+//     uses one identical subscript form, affine in the loop indices with
+//     literal coefficients and an index-free remainder, and that form is
+//     injective on the index space (nonzero coefficient for one index,
+//     a nonsingular 2x2 minor for two).  Disjoint arrays are accessed
+//     through the striped store's bulk walker; everything else keeps the
+//     per-element stripe discipline (same-element writes stay correct,
+//     they just do not amortize).
+//   - which shared INTEGER scalars are pure accumulators: every
+//     appearance in the body is `S = S + e` or `S = S - e` with an
+//     INTEGER right-hand side not reading S.  Their deltas accumulate
+//     privately per chunk and fold into the cell with one atomic add.
+//
+// A body that reads or writes subroutine parameters disables the bulk
+// walker and the accumulator folding (a parameter may alias any shared
+// cell or element, so holding a stripe across a parameter access could
+// self-deadlock, and folding could reorder aliased writes); the body
+// still chunk-compiles with per-element access.
+
+import (
+	"fmt"
+
+	"repro/internal/forcelang"
+)
+
+// chunkPlan is the classifier's verdict for one chunk-compilable ParDo,
+// consumed (and extended with hoisted-uniform slots) by the chunk
+// compiler.
+type chunkPlan struct {
+	outer, inner string // loop index names ("" when no inner index)
+
+	// written holds every scalar and array name the body assigns
+	// (including sequential DO indices).  References to written names
+	// are varying; everything else index-free is uniform.
+	written map[string]bool
+	// noBulk disables the stripe walker and accumulator folding
+	// (parameter references present).
+	noBulk bool
+	// disjoint holds the written shared arrays proven element-disjoint
+	// across iterations; their accesses compile to walker accesses.
+	disjoint map[string]bool
+	// sums maps accumulator scalars to their private-slot index.
+	sums map[string]int
+	// sumSyms holds the accumulator symbols in slot order.
+	sumSyms []symbol
+
+	// Hoisted uniform subexpressions, evaluated once per construct
+	// execution by the ordinary (per-iteration) closure compiler and
+	// read from typed slots inside the chunk loop.  Filled in by the
+	// chunk compiler.
+	uniInt  []intFn
+	uniReal []realFn
+	uniBool []boolFn
+}
+
+// arrayUse records one subscripted access during classification.
+type arrayUse struct {
+	ref   *forcelang.Ref
+	write bool
+}
+
+// classifier carries the single-walk state.
+type classifier struct {
+	prog *forcelang.Program
+	lay  *unitLayout
+	plan *chunkPlan
+
+	// reads counts scalar (unsubscripted) reads per name; selfRefs and
+	// writes count, per shared INTEGER scalar, the reads and writes
+	// accounted for by well-formed accumulator statements.  tainted
+	// marks scalars with a non-accumulator write.
+	reads    map[string]int
+	selfRefs map[string]int
+	accWrite map[string]int
+	writes   map[string]int
+	tainted  map[string]bool
+
+	arrays map[string][]arrayUse
+}
+
+// classifyParDo analyses t's body.  It returns the plan, or a fallback
+// reason when the body must stay on the per-iteration path.
+func classifyParDo(prog *forcelang.Program, t *forcelang.ParDo, lay *unitLayout) (*chunkPlan, string) {
+	plan := &chunkPlan{
+		outer:    t.Var,
+		written:  map[string]bool{},
+		disjoint: map[string]bool{},
+		sums:     map[string]int{},
+	}
+	if t.Inner != nil {
+		plan.inner = t.Inner.Var
+		if plan.inner == plan.outer {
+			return nil, "inner index shadows outer index"
+		}
+	}
+	for _, v := range []string{plan.outer, plan.inner} {
+		if v == "" {
+			continue
+		}
+		sym, ok := lay.syms[v]
+		if !ok || sym.class != scPrivate {
+			return nil, fmt.Sprintf("loop index %s is not a private scalar", v)
+		}
+	}
+	cl := &classifier{
+		prog:     prog,
+		lay:      lay,
+		plan:     plan,
+		reads:    map[string]int{},
+		selfRefs: map[string]int{},
+		accWrite: map[string]int{},
+		writes:   map[string]int{},
+		tainted:  map[string]bool{},
+		arrays:   map[string][]arrayUse{},
+	}
+	if reason := cl.stmts(t.Body); reason != "" {
+		return nil, reason
+	}
+	if plan.written[plan.outer] || (plan.inner != "" && plan.written[plan.inner]) {
+		return nil, "body writes its loop index"
+	}
+	cl.planArrays()
+	cl.planSums()
+	return plan, ""
+}
+
+func (cl *classifier) stmts(body []forcelang.Stmt) string {
+	for _, st := range body {
+		if reason := cl.stmt(st); reason != "" {
+			return reason
+		}
+	}
+	return ""
+}
+
+func (cl *classifier) stmt(st forcelang.Stmt) string {
+	switch t := st.(type) {
+	case *forcelang.Assign:
+		return cl.assign(t)
+	case *forcelang.If:
+		cl.expr(t.Cond)
+		if reason := cl.stmts(t.Then); reason != "" {
+			return reason
+		}
+		return cl.stmts(t.Else)
+	case *forcelang.SeqDo:
+		sym, ok := cl.lay.syms[t.Var]
+		if !ok || sym.class != scPrivate {
+			return fmt.Sprintf("sequential DO index %s is not a private scalar", t.Var)
+		}
+		cl.plan.written[t.Var] = true
+		cl.tainted[t.Var] = true
+		cl.expr(t.From)
+		cl.expr(t.To)
+		if t.Step != nil {
+			cl.expr(t.Step)
+		}
+		return cl.stmts(t.Body)
+	default:
+		// Everything else can block, synchronize, perform I/O or call
+		// out — per-iteration semantics must be preserved exactly.
+		return fmt.Sprintf("%T in body", st)
+	}
+}
+
+func (cl *classifier) assign(t *forcelang.Assign) string {
+	sym, ok := cl.lay.syms[t.Target.Name]
+	if !ok {
+		return fmt.Sprintf("undefined assignment target %s", t.Target.Name)
+	}
+	if sym.class == scParam {
+		// A parameter aliases unknown caller storage; writing through it
+		// defeats every disjointness and ordering argument.
+		return fmt.Sprintf("assignment through parameter %s", t.Target.Name)
+	}
+	cl.plan.written[t.Target.Name] = true
+	if len(t.Target.Subs) > 0 {
+		cl.arrays[t.Target.Name] = append(cl.arrays[t.Target.Name], arrayUse{ref: &t.Target, write: true})
+		for _, s := range t.Target.Subs {
+			cl.expr(s)
+		}
+		cl.expr(t.Expr)
+		return ""
+	}
+	cl.writes[t.Target.Name]++
+	// Accumulator shape: S = S + e | S = e + S | S = S - e, with an
+	// INTEGER shared scalar S and an RHS that is statically INTEGER and
+	// never reads S outside the self-reference.
+	if sym.class == scShared && sym.decl.Type == forcelang.TInt {
+		delta, _, ok := accumDelta(t.Target.Name, t.Expr)
+		// The whole RHS must be statically INTEGER: a REAL-promoted sum
+		// is computed in float64 and truncated on store, which private
+		// integer deltas cannot reproduce.
+		if ok {
+			if et, err := forcelang.TypeOf(cl.prog, cl.lay.scope, t.Expr); err != nil || et != forcelang.TInt {
+				ok = false
+			}
+		}
+		if ok && !refersTo(delta, t.Target.Name) {
+			cl.selfRefs[t.Target.Name]++
+			cl.accWrite[t.Target.Name]++
+		} else {
+			cl.tainted[t.Target.Name] = true
+		}
+	} else {
+		cl.tainted[t.Target.Name] = true
+	}
+	cl.expr(t.Expr)
+	return ""
+}
+
+// accumDelta matches e against the accumulator shapes for scalar name,
+// returning the delta expression and its sign.
+func accumDelta(name string, e forcelang.Expr) (delta forcelang.Expr, negate bool, ok bool) {
+	b, isBin := e.(*forcelang.Bin)
+	if !isBin {
+		return nil, false, false
+	}
+	isSelf := func(x forcelang.Expr) bool {
+		r, okRef := x.(*forcelang.Ref)
+		return okRef && r.Name == name && len(r.Subs) == 0
+	}
+	switch b.Op {
+	case forcelang.OpAdd:
+		if isSelf(b.L) {
+			return b.R, false, true
+		}
+		if isSelf(b.R) {
+			return b.L, false, true
+		}
+	case forcelang.OpSub:
+		if isSelf(b.L) {
+			return b.R, true, true
+		}
+	}
+	return nil, false, false
+}
+
+// refersTo reports whether e reads the scalar name anywhere.
+func refersTo(e forcelang.Expr, name string) bool {
+	found := false
+	walkExpr(e, func(r *forcelang.Ref) {
+		if r.Name == name && len(r.Subs) == 0 {
+			found = true
+		}
+	})
+	return found
+}
+
+// walkExpr visits every Ref in e, subscripts included.
+func walkExpr(e forcelang.Expr, visit func(*forcelang.Ref)) {
+	switch t := e.(type) {
+	case *forcelang.Ref:
+		visit(t)
+		for _, s := range t.Subs {
+			walkExpr(s, visit)
+		}
+	case *forcelang.Un:
+		walkExpr(t.X, visit)
+	case *forcelang.Bin:
+		walkExpr(t.L, visit)
+		walkExpr(t.R, visit)
+	case *forcelang.Intrinsic:
+		for _, a := range t.Args {
+			walkExpr(a, visit)
+		}
+	}
+}
+
+// expr records every reference inside e: scalar reads, parameter uses
+// (which disable the bulk tier) and shared-array element reads.
+func (cl *classifier) expr(e forcelang.Expr) {
+	walkExpr(e, func(r *forcelang.Ref) {
+		sym, ok := cl.lay.syms[r.Name]
+		if !ok {
+			return // compile will report it
+		}
+		if sym.class == scParam {
+			cl.plan.noBulk = true
+			return
+		}
+		if len(r.Subs) == 0 {
+			cl.reads[r.Name]++
+			return
+		}
+		if sym.class == scSharedArray {
+			cl.arrays[r.Name] = append(cl.arrays[r.Name], arrayUse{ref: r})
+		}
+	})
+}
+
+// planArrays promotes written shared arrays to walker access when every
+// access provably lands on a per-iteration-private element.
+func (cl *classifier) planArrays() {
+	if cl.plan.noBulk {
+		return
+	}
+	for name, uses := range cl.arrays {
+		sym := cl.lay.syms[name]
+		if sym.class != scSharedArray {
+			continue
+		}
+		written := false
+		for _, u := range uses {
+			if u.write {
+				written = true
+			}
+		}
+		if !written {
+			// Read-only arrays keep per-element striped loads: the
+			// walker's mutex would serialize concurrent readers.
+			continue
+		}
+		if cl.disjointUses(uses) {
+			cl.plan.disjoint[name] = true
+		}
+	}
+}
+
+// disjointUses checks the one-form + affine + injective conditions over
+// all recorded accesses of one array.
+func (cl *classifier) disjointUses(uses []arrayUse) bool {
+	form := ""
+	var coefs [][2]int64
+	for ui, u := range uses {
+		key := ""
+		for _, s := range u.ref.Subs {
+			key += canonExpr(s) + ";"
+		}
+		if ui == 0 {
+			form = key
+			for _, s := range u.ref.Subs {
+				ci, cj, ok := cl.affine(s)
+				if !ok {
+					return false
+				}
+				coefs = append(coefs, [2]int64{ci, cj})
+			}
+			continue
+		}
+		if key != form {
+			// Two distinct subscript forms (e.g. A(I) and A(I+1)) can
+			// collide across iterations; stay per-element.
+			return false
+		}
+	}
+	if cl.plan.inner == "" {
+		for _, c := range coefs {
+			if c[0] != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	// Two loop indices: some pair of subscript rows must be linearly
+	// independent for the index pair to map injectively to elements.
+	for a := 0; a < len(coefs); a++ {
+		for b := a + 1; b < len(coefs); b++ {
+			if coefs[a][0]*coefs[b][1]-coefs[a][1]*coefs[b][0] != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// affine decomposes e as ci*outer + cj*inner + rest, requiring literal
+// coefficients and a rest that reads only unwritten, non-parameter
+// scalars (so it is identical for every iteration a process executes).
+func (cl *classifier) affine(e forcelang.Expr) (ci, cj int64, ok bool) {
+	switch t := e.(type) {
+	case *forcelang.IntLit:
+		return 0, 0, true
+	case *forcelang.Ref:
+		if len(t.Subs) > 0 {
+			return 0, 0, false
+		}
+		if t.Name == cl.plan.outer {
+			return 1, 0, true
+		}
+		if cl.plan.inner != "" && t.Name == cl.plan.inner {
+			return 0, 1, true
+		}
+		sym, found := cl.lay.syms[t.Name]
+		if !found || cl.plan.written[t.Name] {
+			return 0, 0, false
+		}
+		if (sym.class == scPrivate || sym.class == scShared) && sym.decl.Type == forcelang.TInt {
+			return 0, 0, true
+		}
+		return 0, 0, false
+	case *forcelang.Un:
+		if !t.Neg {
+			return 0, 0, false
+		}
+		ci, cj, ok = cl.affine(t.X)
+		return -ci, -cj, ok
+	case *forcelang.Bin:
+		switch t.Op {
+		case forcelang.OpAdd, forcelang.OpSub:
+			li, lj, lok := cl.affine(t.L)
+			ri, rj, rok := cl.affine(t.R)
+			if !lok || !rok {
+				return 0, 0, false
+			}
+			if t.Op == forcelang.OpSub {
+				return li - ri, lj - rj, true
+			}
+			return li + ri, lj + rj, true
+		case forcelang.OpMul:
+			if k, kok := constInt(t.L); kok {
+				ri, rj, rok := cl.affine(t.R)
+				return k * ri, k * rj, rok
+			}
+			if k, kok := constInt(t.R); kok {
+				li, lj, lok := cl.affine(t.L)
+				return k * li, k * lj, lok
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// constInt evaluates a literal-only INTEGER expression.
+func constInt(e forcelang.Expr) (int64, bool) {
+	switch t := e.(type) {
+	case *forcelang.IntLit:
+		return t.Value, true
+	case *forcelang.Un:
+		if !t.Neg {
+			return 0, false
+		}
+		v, ok := constInt(t.X)
+		return -v, ok
+	case *forcelang.Bin:
+		l, lok := constInt(t.L)
+		r, rok := constInt(t.R)
+		if !lok || !rok {
+			return 0, false
+		}
+		switch t.Op {
+		case forcelang.OpAdd:
+			return l + r, true
+		case forcelang.OpSub:
+			return l - r, true
+		case forcelang.OpMul:
+			return l * r, true
+		}
+	}
+	return 0, false
+}
+
+// planSums promotes shared INTEGER scalars to private accumulation when
+// every appearance in the body is accounted for by accumulator
+// statements.
+func (cl *classifier) planSums() {
+	if cl.plan.noBulk {
+		return
+	}
+	for name, n := range cl.accWrite {
+		if cl.tainted[name] {
+			continue
+		}
+		if cl.writes[name] != n || cl.reads[name] != cl.selfRefs[name] {
+			// The scalar is read (or written) outside its accumulator
+			// statements: mid-loop values are observable, so the deltas
+			// cannot be deferred.
+			continue
+		}
+		cl.plan.sums[name] = len(cl.plan.sumSyms)
+		cl.plan.sumSyms = append(cl.plan.sumSyms, cl.lay.syms[name])
+	}
+}
+
+// canonExpr renders e to a position-independent structural key, used to
+// compare subscript forms for identity.
+func canonExpr(e forcelang.Expr) string {
+	switch t := e.(type) {
+	case *forcelang.IntLit:
+		return fmt.Sprintf("i%d", t.Value)
+	case *forcelang.RealLit:
+		return fmt.Sprintf("r%v", t.Value)
+	case *forcelang.BoolLit:
+		return fmt.Sprintf("l%v", t.Value)
+	case *forcelang.Ref:
+		s := "v" + t.Name
+		if len(t.Subs) > 0 {
+			s += "("
+			for _, sub := range t.Subs {
+				s += canonExpr(sub) + ","
+			}
+			s += ")"
+		}
+		return s
+	case *forcelang.Un:
+		if t.Neg {
+			return "neg(" + canonExpr(t.X) + ")"
+		}
+		return "not(" + canonExpr(t.X) + ")"
+	case *forcelang.Bin:
+		return fmt.Sprintf("b%d(%s,%s)", int(t.Op), canonExpr(t.L), canonExpr(t.R))
+	case *forcelang.Intrinsic:
+		s := "f" + t.Name + "("
+		for _, a := range t.Args {
+			s += canonExpr(a) + ","
+		}
+		return s + ")"
+	default:
+		return fmt.Sprintf("?%T", e)
+	}
+}

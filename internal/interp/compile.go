@@ -299,6 +299,13 @@ func (c *compiler) intVarStore(name string, lay *unitLayout, line int) func(pr *
 }
 
 func (c *compiler) parDo(t *forcelang.ParDo, lay *unitLayout) stmtFn {
+	// Chunk tier first (ExecChunked only): bodies the classifier proves
+	// safe run as per-span tight loops; everything else — and every
+	// body under ExecCompiled or an iteration-level trace — takes the
+	// per-iteration path below.
+	if fn := c.tryChunkParDo(t, lay); fn != nil {
+		return fn
+	}
 	fromF, toF, stepF := c.cInt(t.From, lay), c.cInt(t.To, lay), c.stepFn(t.Step, lay)
 	storeVar := c.intVarStore(t.Var, lay, t.Pos())
 	body := c.stmts(t.Body, lay)

@@ -337,9 +337,10 @@ Join
 `},
 }
 
-// TestExecEnginesAgree runs the corpus under the tree walker and the
-// closure compiler and requires identical output — the package-level
-// acceptance check of the slot-resolved executor.
+// TestExecEnginesAgree runs the corpus under every engine — the tree
+// walker, the closure compiler, and the chunk tier — and requires
+// identical output against the tree baseline: the package-level
+// acceptance check of the compiled-family executors.
 func TestExecEnginesAgree(t *testing.T) {
 	for _, tc := range equivCorpus {
 		tc := tc
@@ -358,14 +359,16 @@ func TestExecEnginesAgree(t *testing.T) {
 				outs[mode] = sb.String()
 			}
 			tree := sortedLines(outs[ExecTree])
-			compiled := sortedLines(outs[ExecCompiled])
-			if len(tree) != len(compiled) {
-				t.Fatalf("line counts differ: tree %d, compiled %d\ntree:\n%s\ncompiled:\n%s",
-					len(tree), len(compiled), outs[ExecTree], outs[ExecCompiled])
-			}
-			for i := range tree {
-				if tree[i] != compiled[i] {
-					t.Errorf("line %d: tree %q, compiled %q", i, tree[i], compiled[i])
+			for _, mode := range []ExecMode{ExecCompiled, ExecChunked} {
+				got := sortedLines(outs[mode])
+				if len(tree) != len(got) {
+					t.Fatalf("line counts differ: tree %d, %s %d\ntree:\n%s\n%s:\n%s",
+						len(tree), mode, len(got), outs[ExecTree], mode, outs[mode])
+				}
+				for i := range tree {
+					if tree[i] != got[i] {
+						t.Errorf("line %d: tree %q, %s %q", i, tree[i], mode, got[i])
+					}
 				}
 			}
 		})
@@ -373,7 +376,7 @@ func TestExecEnginesAgree(t *testing.T) {
 }
 
 // TestRuntimeErrorsBothEngines checks that the runtime-error corpus
-// aborts identically under both engines.
+// aborts with identical messages under every engine.
 func TestRuntimeErrorsBothEngines(t *testing.T) {
 	cases := map[string]string{
 		"subscript": `Force E of NP ident ME
@@ -439,8 +442,11 @@ Join
 			}
 			msgs = append(msgs, err.Error())
 		}
-		if len(msgs) == 2 && msgs[0] != msgs[1] {
-			t.Errorf("%s: engines disagree on the message:\n  tree:     %s\n  compiled: %s", name, msgs[0], msgs[1])
+		for i := 1; i < len(msgs); i++ {
+			if msgs[i] != msgs[0] {
+				t.Errorf("%s: engines disagree on the message:\n  %s: %s\n  %s: %s",
+					name, ExecModes()[0], msgs[0], ExecModes()[i], msgs[i])
+			}
 		}
 	}
 }

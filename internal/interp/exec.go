@@ -139,7 +139,9 @@ func (in *cinstance) array(unit string, slot int) *sharedArray   { return in.arr
 func (in *cinstance) async(unit string, slot int) *asyncEntry    { return in.asyncs[unit][slot] }
 
 // runCompiled resolves, compiles and executes the program on the core
-// runtime — the default execution engine (Config.Exec == ExecCompiled).
+// runtime — both compiled-family engines (Config.Exec == ExecChunked,
+// the default, or ExecCompiled); the compiler consults cfg.Exec to
+// decide whether DOALL bodies get the chunk tier.
 func runCompiled(prog *forcelang.Program, cfg Config) (err error) {
 	res, err := resolveProgram(prog)
 	if err != nil {
@@ -147,7 +149,8 @@ func runCompiled(prog *forcelang.Program, cfg Config) (err error) {
 	}
 	f := core.New(cfg.NP, core.WithMachine(cfg.Machine), core.WithBarrier(cfg.Barrier),
 		core.WithTrace(cfg.Trace), core.WithAskfor(cfg.Askfor),
-		core.WithPcaseSched(cfg.Selfsched), core.WithReduce(cfg.Reduce))
+		core.WithPcaseSched(cfg.Selfsched), core.WithReduce(cfg.Reduce),
+		core.WithChunk(cfg.Chunk))
 	defer f.Close()
 	in := newCInstance(prog, cfg, res, f)
 	cp, err := compileProgram(in)

@@ -12,20 +12,34 @@
 // Either way an improperly synchronized Force program remains a
 // well-defined (if nondeterministic) Go program.
 //
-// Two execution engines implement those semantics (Config.Exec):
+// Three execution engines implement those semantics (Config.Exec):
 //
-//   - ExecCompiled (the default) stages execution: a resolution pass
-//     (resolve.go) assigns every variable reference a (storage class,
-//     slot) pair, and a compile pass (compile.go) turns the checked AST
-//     into a tree of typed closures over index-addressed frames.
-//     Private variables are direct slot accesses; shared scalars are
+//   - ExecChunked (the default) is the compiled engine plus a chunk
+//     tier for DOALL bodies: a classification pass (classify.go) marks
+//     every reference uniform (loop-invariant) or varying (a function
+//     of the loop index), and bodies the classifier can prove safe are
+//     compiled (chunk.go) into tight per-span loops — the index lives
+//     in a register-like local, uniform subexpressions are hoisted and
+//     evaluated once per construct, provably disjoint shared-array
+//     accesses go through the striped store's bulk walker (one stripe
+//     lock held across a block of elements instead of one lock pair
+//     per element), and integer read-modify-write accumulations fold
+//     into the shared cell once per process.  Unsafe bodies (calls,
+//     critical sections, same-element writes, I/O ordering hazards)
+//     fall back to the per-iteration compiled path, statement for
+//     statement.
+//   - ExecCompiled stages execution: a resolution pass (resolve.go)
+//     assigns every variable reference a (storage class, slot) pair,
+//     and a compile pass (compile.go) turns the checked AST into a
+//     tree of typed closures over index-addressed frames.  Private
+//     variables are direct slot accesses; shared scalars are
 //     individual atomic cells and shared arrays lock-striped element
 //     stores (store.go), so an interpreted DOALL over disjoint elements
-//     runs in parallel.
+//     runs in parallel.  Kept as the chunk tier's A/B baseline.
 //   - ExecTree is the original tree walker: names resolved through
 //     string maps on every access and all shared storage serialized by
-//     one per-run mutex.  It is kept as the A/B baseline (forcebench
-//     T11, forcerun -exec tree).
+//     one per-run mutex.  It is kept as the semantic baseline
+//     (forcebench T11, forcerun -exec tree).
 //
 // Error handling is fault-contained, unlike the original system's: a
 // runtime error (subscript out of range, division by zero) in any
@@ -86,9 +100,15 @@ type Config struct {
 	// padded slots (zero value), the paper's critical-section baseline
 	// (reduce.Critical), the combining tree, or lock-free CAS.
 	Reduce reduce.Kind
-	// Exec selects the execution engine: the slot-resolved closure
-	// compiler (zero value) or the original tree walker (ExecTree).
+	// Exec selects the execution engine: the chunk-compiling closure
+	// compiler (zero value), the per-iteration closure compiler
+	// (ExecCompiled), or the original tree walker (ExecTree).
 	Exec ExecMode
+	// Chunk sets sched.Config.ChunkSize for the Chunk and Stealing
+	// selfscheduling disciplines (0 keeps each discipline's default).
+	// It does not affect the prescheduled or lock/atomic selfscheduled
+	// kinds, whose span shapes are fixed by the discipline.
+	Chunk int
 	// OnForce, when non-nil, is called with the freshly created force
 	// before execution starts.  forcerun's stall watchdog uses it to
 	// reach the force's Blocked report and Fault cell from outside the
@@ -100,37 +120,49 @@ type Config struct {
 type ExecMode int
 
 const (
+	// ExecChunked is the compiled engine with the chunk tier enabled:
+	// provably safe DOALL bodies run as per-span tight loops over the
+	// striped store's bulk entry points; everything else runs exactly as
+	// ExecCompiled.  The default.
+	ExecChunked ExecMode = iota
 	// ExecCompiled resolves every variable reference to a (storage
 	// class, slot) pair at compile time and executes typed closures over
 	// index-addressed frames with per-variable shared-memory
-	// synchronization.  The default.
-	ExecCompiled ExecMode = iota
+	// synchronization, dispatching DOALL bodies one index at a time.
+	// Kept as the chunk tier's A/B baseline.
+	ExecCompiled
 	// ExecTree is the original tree walker: map-addressed frames and one
-	// global mutex serializing all shared access.  Kept as the A/B
+	// global mutex serializing all shared access.  Kept as the semantic
 	// baseline.
 	ExecTree
 )
 
 // String returns the CLI spelling of the mode.
 func (m ExecMode) String() string {
-	if m == ExecTree {
+	switch m {
+	case ExecTree:
 		return "tree"
+	case ExecCompiled:
+		return "compiled"
+	default:
+		return "chunked"
 	}
-	return "compiled"
 }
 
 // ExecModes lists the engines, baseline first.
-func ExecModes() []ExecMode { return []ExecMode{ExecTree, ExecCompiled} }
+func ExecModes() []ExecMode { return []ExecMode{ExecTree, ExecCompiled, ExecChunked} }
 
 // ParseExecMode parses a CLI spelling of an execution mode.
 func ParseExecMode(s string) (ExecMode, error) {
 	switch s {
+	case "chunked":
+		return ExecChunked, nil
 	case "compiled":
 		return ExecCompiled, nil
 	case "tree":
 		return ExecTree, nil
 	default:
-		return 0, fmt.Errorf("interp: unknown exec mode %q (want compiled or tree)", s)
+		return 0, fmt.Errorf("interp: unknown exec mode %q (want chunked, compiled or tree)", s)
 	}
 }
 
@@ -158,7 +190,8 @@ func Run(prog *forcelang.Program, cfg Config) error {
 func runTree(prog *forcelang.Program, cfg Config) (err error) {
 	f := core.New(cfg.NP, core.WithMachine(cfg.Machine), core.WithBarrier(cfg.Barrier),
 		core.WithTrace(cfg.Trace), core.WithAskfor(cfg.Askfor),
-		core.WithPcaseSched(cfg.Selfsched), core.WithReduce(cfg.Reduce))
+		core.WithPcaseSched(cfg.Selfsched), core.WithReduce(cfg.Reduce),
+		core.WithChunk(cfg.Chunk))
 	defer f.Close()
 	in := newInstance(prog, cfg, f)
 	if cfg.OnForce != nil {

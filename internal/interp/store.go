@@ -59,6 +59,28 @@ func (c *sharedScalar) store(v value) {
 	c.bits.Store(b)
 }
 
+// Typed accessors for the chunk compiler: the declared type is known at
+// compile time, so loads and stores can skip the value boxing and the
+// type switch.  Each is still a single atomic operation on the cell.
+
+func (c *sharedScalar) loadInt() int64      { return int64(c.bits.Load()) }
+func (c *sharedScalar) loadReal() float64   { return math.Float64frombits(c.bits.Load()) }
+func (c *sharedScalar) loadBool() bool      { return c.bits.Load() != 0 }
+func (c *sharedScalar) storeInt(i int64)    { c.bits.Store(uint64(i)) }
+func (c *sharedScalar) storeReal(r float64) { c.bits.Store(math.Float64bits(r)) }
+func (c *sharedScalar) storeBool(b bool) {
+	var u uint64
+	if b {
+		u = 1
+	}
+	c.bits.Store(u)
+}
+
+// addInt atomically adds delta to an INTEGER cell.  Two's-complement
+// wraparound makes the uint64 add exact for int64 deltas, so a chunk's
+// privately accumulated sum folds into the cell with one atomic RMW.
+func (c *sharedScalar) addInt(delta int64) { c.bits.Add(uint64(delta)) }
+
 // stripeCount bounds the number of locks striped over one shared array.
 const stripeCount = 64
 
@@ -68,29 +90,39 @@ type paddedMutex struct {
 	_ [56]byte
 }
 
-// sharedArray is one shared array: a flat element slice with a
-// power-of-two set of padded locks striped over the element space.
-// Accesses to different elements usually take different stripes and run
-// in parallel; accesses to the same element always meet on the same
-// stripe.
+// sharedArray is one shared array: a flat element slice with a set of
+// padded locks block-striped over the element space.  The mapping is
+// contiguous-block (stripe = off >> shift), not modulo: a chunk of
+// consecutive elements then falls inside at most a few stripes, so the
+// chunk compiler's bulk accessor can hold one stripe across many
+// elements instead of locking per element.  Accesses to different
+// elements usually take different stripes and run in parallel; accesses
+// to the same element always meet on the same stripe.
 type sharedArray struct {
 	dims  []int
 	data  []value
 	locks []paddedMutex
-	mask  int
+	// shift maps a flat offset to its stripe: stripe = off >> shift.
+	// Block size is the power of two 1<<shift, chosen as the smallest
+	// that covers the element space with at most stripeCount stripes.
+	shift uint
 }
 
 func newSharedArray(d forcelang.Decl) *sharedArray {
 	n := d.Size()
-	stripes := 1
-	for stripes < n && stripes < stripeCount {
-		stripes <<= 1
+	var shift uint
+	for (n+(1<<shift)-1)>>shift > stripeCount {
+		shift++
+	}
+	stripes := (n + (1 << shift) - 1) >> shift
+	if stripes < 1 {
+		stripes = 1
 	}
 	a := &sharedArray{
 		dims:  d.Dims,
 		data:  make([]value, n),
 		locks: make([]paddedMutex, stripes),
-		mask:  stripes - 1,
+		shift: shift,
 	}
 	zero := value{t: d.Type}
 	for i := range a.data {
@@ -102,7 +134,7 @@ func newSharedArray(d forcelang.Decl) *sharedArray {
 func (a *sharedArray) shape() []int { return a.dims }
 
 func (a *sharedArray) load(off int) value {
-	mu := &a.locks[off&a.mask].Mutex
+	mu := &a.locks[off>>a.shift].Mutex
 	mu.Lock()
 	v := a.data[off]
 	mu.Unlock()
@@ -110,10 +142,63 @@ func (a *sharedArray) load(off int) value {
 }
 
 func (a *sharedArray) store(off int, v value) {
-	mu := &a.locks[off&a.mask].Mutex
+	mu := &a.locks[off>>a.shift].Mutex
 	mu.Lock()
 	a.data[off] = v
 	mu.Unlock()
+}
+
+// stripeWalker is the bulk entry point into the striped store for the
+// chunk compiler: it keeps at most ONE stripe lock held — across all
+// shared arrays a chunk touches — and re-acquires only when an access
+// lands on a different (array, stripe) pair.  A chunk walking an array
+// in index order therefore pays one lock/unlock per stripe-sized block
+// instead of one per element, while same-element accesses from the
+// per-element paths of other processes still meet on the element's
+// stripe lock, keeping racy programs well-defined.
+//
+// Holding a single stripe at a time makes deadlock impossible by
+// construction: the walker never blocks while holding a second lock,
+// and the per-element paths never block while holding any.  release is
+// idempotent and MUST run before the owning process can block elsewhere
+// (scheduler Next, barriers) or unwind on poison — the chunk driver
+// defers it.
+type stripeWalker struct {
+	arr    *sharedArray
+	stripe int
+}
+
+// ensure makes a's stripe for off the held one, releasing any other.
+func (w *stripeWalker) ensure(a *sharedArray, off int) {
+	s := off >> a.shift
+	if w.arr == a && w.stripe == s {
+		return
+	}
+	if w.arr != nil {
+		w.arr.locks[w.stripe].Unlock()
+	}
+	a.locks[s].Lock()
+	w.arr, w.stripe = a, s
+}
+
+// loadAt reads a.data[off] under the element's stripe lock.
+func (w *stripeWalker) loadAt(a *sharedArray, off int) value {
+	w.ensure(a, off)
+	return a.data[off]
+}
+
+// storeAt writes a.data[off] under the element's stripe lock.
+func (w *stripeWalker) storeAt(a *sharedArray, off int, v value) {
+	w.ensure(a, off)
+	a.data[off] = v
+}
+
+// release drops the held stripe, if any.  Idempotent.
+func (w *stripeWalker) release() {
+	if w.arr != nil {
+		w.arr.locks[w.stripe].Unlock()
+		w.arr = nil
+	}
 }
 
 // privArray is a private array: per-process (or per-call) storage, no

@@ -18,9 +18,13 @@ import (
 // TestStripedDisjointElementWrites drives an 8-process force through a
 // DOALL whose iterations write disjoint shared-array elements — the
 // pattern the stripe locks exist to parallelize — then folds the array
-// to check no write was lost.
+// to check no write was lost.  Under ExecChunked the first loop runs
+// through the bulk stripe walker, so the race job covers walker-held
+// stripes racing ordinary striped access from the fold.
 func TestStripedDisjointElementWrites(t *testing.T) {
-	out := run(t, `Force DISJ of NP ident ME
+	for _, mode := range []ExecMode{ExecCompiled, ExecChunked} {
+		t.Run(mode.String(), func(t *testing.T) {
+			out := run(t, `Force DISJ of NP ident ME
 Shared Real A(512)
 Shared Real S
 Private Integer I
@@ -40,10 +44,12 @@ Barrier
   Print NINT(S)
 End Barrier
 Join
-`, Config{NP: 8, Exec: ExecCompiled})
-	// 2 * (1 + ... + 512) = 512 * 513.
-	if got := strings.TrimSpace(out); got != "262656" {
-		t.Errorf("out = %q", got)
+`, Config{NP: 8, Exec: mode})
+			// 2 * (1 + ... + 512) = 512 * 513.
+			if got := strings.TrimSpace(out); got != "262656" {
+				t.Errorf("out = %q", got)
+			}
+		})
 	}
 }
 
@@ -161,6 +167,111 @@ func TestSharedArrayDirect(t *testing.T) {
 	wg.Wait()
 	if v := a.load(7); v.i != 7+8*200 {
 		t.Errorf("a[7] = %d, want %d", v.i, 7+8*200)
+	}
+}
+
+// TestStripeWalkerDirect hammers the bulk entry points the chunk tier
+// uses: eight goroutines, each with its own stripeWalker, sweep
+// disjoint strides of one array (ensure/storeAt re-acquiring stripes as
+// the offset crosses block boundaries) while another eight read the
+// same array through plain striped loads.  Every write must land and
+// the race detector must stay quiet.
+func TestStripeWalkerDirect(t *testing.T) {
+	d := forcelang.Decl{Class: shm.Shared, Type: forcelang.TInt, Name: "A", Dims: []int{4096}}
+	a := newSharedArray(d)
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var w stripeWalker
+			defer w.release()
+			for i := p; i < 4096; i += 8 {
+				w.storeAt(a, i, intVal(int64(3*i)))
+			}
+		}(p)
+	}
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < 4096; i += 8 {
+				_ = a.load(i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	for i := 0; i < 4096; i++ {
+		if v := a.load(i); v.i != int64(3*i) {
+			t.Fatalf("a[%d] = %d, want %d", i, v.i, 3*i)
+		}
+	}
+}
+
+// TestStripeWalkerTwoArrays alternates one walker between two arrays on
+// every access — the worst case for the single-stripe-held invariant
+// (release A, acquire B, release B, acquire A, ...) — concurrently from
+// eight goroutines.  Deadlock-freedom is the property under test: the
+// walker never holds a stripe of one array while asking for another.
+func TestStripeWalkerTwoArrays(t *testing.T) {
+	mk := func(name string) *sharedArray {
+		return newSharedArray(forcelang.Decl{Class: shm.Shared, Type: forcelang.TInt, Name: name, Dims: []int{512}})
+	}
+	a, b := mk("A"), mk("B")
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var w stripeWalker
+			defer w.release()
+			for i := p; i < 512; i += 8 {
+				w.storeAt(a, i, intVal(int64(i)))
+				w.storeAt(b, 511-i, intVal(int64(i)))
+				if v := w.loadAt(a, i); v.i != int64(i) {
+					t.Errorf("a[%d] = %d mid-walk", i, v.i)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for i := 0; i < 512; i++ {
+		if a.load(i).i != int64(i) || b.load(511-i).i != int64(i) {
+			t.Fatalf("element %d lost", i)
+		}
+	}
+}
+
+// TestSharedScalarAddInt checks the accumulator entry point the chunk
+// tier flushes private sums through: concurrent addInt deltas (positive
+// and negative) against concurrent typed loads, with an exact total.
+func TestSharedScalarAddInt(t *testing.T) {
+	c := newSharedScalar(forcelang.TInt)
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if p%2 == 0 {
+					c.addInt(3)
+				} else {
+					c.addInt(-1)
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			c.loadInt()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.loadInt(); got != 4*1000*3-4*1000 {
+		t.Errorf("total = %d, want %d", got, 4*1000*3-4*1000)
 	}
 }
 
