@@ -73,9 +73,19 @@ func writeProgram(t *testing.T, src string) string {
 // (combined output, exit code).
 func runForcerun(t *testing.T, deadline time.Duration, bin string, args ...string) (string, int) {
 	t.Helper()
+	return runForcerunEnv(t, deadline, nil, bin, args...)
+}
+
+// runForcerunEnv is runForcerun with extra environment entries — the
+// aot tier's tests point FORCE_CACHE at a per-test store.
+func runForcerunEnv(t *testing.T, deadline time.Duration, env []string, bin string, args ...string) (string, int) {
+	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), deadline)
 	defer cancel()
 	cmd := exec.CommandContext(ctx, bin, args...)
+	if env != nil {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	var buf bytes.Buffer
 	cmd.Stdout, cmd.Stderr = &buf, &buf
 	err := cmd.Run()
@@ -94,19 +104,28 @@ func runForcerun(t *testing.T, deadline time.Duration, bin string, args ...strin
 
 // TestReproAbortsEverywhere is the acceptance criterion: the repro
 // exits promptly with code 1 and a force runtime message at np=4 under
-// both -exec engines and every -barrier kind — no goroutine dump, no
-// hang.
+// every -exec tier — interpreted and native — and every -barrier kind:
+// no goroutine dump, no hang.  The aot tier gets a per-test FORCE_CACHE
+// and a longer deadline for its one-time builds (one per barrier kind;
+// the barrier algorithm is part of the cache key).
 func TestReproAbortsEverywhere(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs forcerun with the go toolchain")
 	}
 	bin := buildForcerun(t)
 	prog := writeProgram(t, reproSrc)
-	for _, execMode := range []string{"tree", "compiled"} {
+	cacheDir := t.TempDir()
+	for _, execMode := range []string{"tree", "compiled", "chunked", "aot"} {
 		for _, bk := range barrier.Kinds() {
 			t.Run(execMode+"/"+bk.String(), func(t *testing.T) {
+				deadline := 30 * time.Second
+				var env []string
+				if execMode == "aot" {
+					deadline = 3 * time.Minute
+					env = []string{"FORCE_CACHE=" + cacheDir}
+				}
 				start := time.Now()
-				out, code := runForcerun(t, 30*time.Second, bin,
+				out, code := runForcerunEnv(t, deadline, env, bin,
 					"-np", "4", "-exec", execMode, "-barrier", bk.String(), prog)
 				elapsed := time.Since(start)
 				if code != 1 {
@@ -120,7 +139,13 @@ func TestReproAbortsEverywhere(t *testing.T) {
 				}
 				// The criterion is 2s; allow headroom for a loaded CI
 				// box while still catching a reintroduced park-forever.
-				if elapsed > 10*time.Second {
+				// A cold aot run spends its time in go build, not in the
+				// abort path, so it gets build-scale headroom.
+				limit := 10 * time.Second
+				if execMode == "aot" {
+					limit = time.Minute
+				}
+				if elapsed > limit {
 					t.Errorf("took %v, want prompt abort", elapsed)
 				}
 			})
@@ -181,6 +206,72 @@ func TestHangTimeoutWatchdog(t *testing.T) {
 	}
 }
 
+// TestHangTimeoutAOT: the native tier cannot introspect the child's
+// blocked processes, but -hang-timeout still bounds a stalled run: the
+// child is killed at the deadline and forcerun exits through the error
+// path with a stall message.
+func TestHangTimeoutAOT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs forcerun with the go toolchain")
+	}
+	bin := buildForcerun(t)
+	prog := writeProgram(t, stallSrc)
+	env := []string{"FORCE_CACHE=" + t.TempDir()}
+	out, code := runForcerunEnv(t, 3*time.Minute, env, bin,
+		"-np", "4", "-exec", "aot", "-hang-timeout", "2s", prog)
+	if code != 1 {
+		t.Errorf("exit code %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "force stalled") {
+		t.Errorf("output missing stall message:\n%s", out)
+	}
+}
+
+// TestForcerunTierPromotion drives -exec auto end to end: the first
+// -promote runs interpret (and say so under -v), the next run builds
+// and executes natively, and the run after that is a pure cache hit —
+// with identical program output throughout.
+func TestForcerunTierPromotion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs forcerun with the go toolchain")
+	}
+	bin := buildForcerun(t)
+	prog := writeProgram(t, `Force PROMO of NP ident ME
+Shared Integer S
+End Declarations
+Critical L
+  S = S + ME
+End Critical
+Barrier
+  Print 'S =', S
+End Barrier
+Join
+`)
+	env := []string{"FORCE_CACHE=" + t.TempDir()}
+	wantLine := "S = 6"
+	// Promotion fires on the run whose counter reaches -promote: run 1
+	// interprets, run 2 is already hot (counter 2 of 2) and builds, run
+	// 3 executes the cached binary.
+	wants := []string{
+		"tier auto: interpreted run 1 of 2",
+		"tier auto: hot after 2 interpreted runs",
+		"tier auto: cache hit",
+	}
+	for i, want := range wants {
+		out, code := runForcerunEnv(t, 3*time.Minute, env, bin,
+			"-np", "4", "-exec", "auto", "-promote", "2", "-v", prog)
+		if code != 0 {
+			t.Fatalf("run %d: exit %d\n%s", i+1, code, out)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("run %d: output missing %q:\n%s", i+1, want, out)
+		}
+		if !strings.Contains(out, wantLine) {
+			t.Errorf("run %d: program output missing %q:\n%s", i+1, wantLine, out)
+		}
+	}
+}
+
 // TestGeneratedDriverRecoversAbort: the codegen driver must report a
 // non-uniform runtime failure as a force runtime error and exit 1, not
 // die with a goroutine dump.
@@ -229,8 +320,11 @@ Join
 	if !errors.As(runErr, &ee) || ee.ExitCode() != 1 {
 		t.Fatalf("generated program err=%v, want exit 1\n%s", runErr, buf.String())
 	}
-	if !strings.Contains(buf.String(), "force runtime error:") {
-		t.Fatalf("generated driver did not report the failure:\n%s", buf.String())
+	// The generated driver reports Force runtime failures with the
+	// interpreter's exact protocol: the bare "force runtime: line N:"
+	// message (A(ME + 1) is line 4), not the generic recover banner.
+	if !strings.Contains(buf.String(), "force runtime: line 4: subscript 1 of A out of range:") {
+		t.Fatalf("generated driver did not report the interpreter-protocol failure:\n%s", buf.String())
 	}
 	if strings.Contains(buf.String(), "all goroutines are asleep") {
 		t.Fatalf("generated driver leaked a goroutine dump:\n%s", buf.String())

@@ -1,0 +1,240 @@
+// AOT-tier acceptance: every program of the shared corpus
+// (internal/corpus) must behave byte-identically — output and runtime
+// errors — when executed as a cached native binary (internal/aot) and
+// when interpreted, across all three interpreter engines.  This is the
+// tier's contract: promotion to native code is a pure performance
+// decision, never a semantics change.
+package repro_test
+
+import (
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/aot"
+	"repro/internal/corpus"
+	"repro/internal/forcelang"
+	"repro/internal/interp"
+)
+
+// aotCache is one cache shared by the whole parity sweep, so each
+// corpus program builds exactly once even though several tests (and
+// several np values) execute it.  $FORCE_CACHE, when set, selects the
+// store (CI uses this to assert warm-rerun behaviour across separate
+// `go test` invocations); otherwise the sweep gets a throwaway dir.
+var aotCache = sync.OnceValues(func() (*aot.Cache, error) {
+	dir := os.Getenv(aot.EnvCacheDir)
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "force-aot-test-")
+		if err != nil {
+			return nil, err
+		}
+	}
+	return aot.Open(dir)
+})
+
+func aotTestCache(t *testing.T) *aot.Cache {
+	t.Helper()
+	c, err := aotCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func aotSortedLines(s string) []string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	sort.Strings(lines)
+	return lines
+}
+
+// aotRun builds (or reuses) the entry for src and runs it at np,
+// returning output and error.
+func aotRun(t *testing.T, prog *forcelang.Program, np int) (string, error) {
+	t.Helper()
+	entry, err := aotTestCache(t).Ensure(prog, aot.Options{})
+	if err != nil {
+		t.Fatalf("aot build: %v", err)
+	}
+	var sb strings.Builder
+	err = entry.Run(np, &sb, 2*time.Minute)
+	return sb.String(), err
+}
+
+// interpRun executes prog under one interpreter engine.
+func interpRun(t *testing.T, prog *forcelang.Program, np int, mode interp.ExecMode) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := interp.Run(prog, interp.Config{NP: np, Stdout: &sb, Exec: mode})
+	return sb.String(), err
+}
+
+// TestAOTParityEquivalence: the 15-program equivalence corpus produces
+// identical (sorted-line) output from the native binary and from every
+// interpreter engine, at each program's nominal np and at np=1.
+func TestAOTParityEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds native binaries with the go toolchain")
+	}
+	for _, tc := range corpus.Equiv {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := forcelang.MustParse(tc.Src)
+			nps := []int{tc.NP}
+			if tc.NP != 1 {
+				nps = append(nps, 1)
+			}
+			for _, np := range nps {
+				native, err := aotRun(t, prog, np)
+				if err != nil {
+					t.Fatalf("np=%d aot: %v", np, err)
+				}
+				for _, mode := range interp.ExecModes() {
+					ref, err := interpRun(t, prog, np, mode)
+					if err != nil {
+						t.Fatalf("np=%d %s: %v", np, mode, err)
+					}
+					got, want := aotSortedLines(native), aotSortedLines(ref)
+					if len(got) != len(want) {
+						t.Fatalf("np=%d: aot %d lines, %s %d lines\naot:\n%s\n%s:\n%s",
+							np, len(got), mode, len(want), native, mode, ref)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Errorf("np=%d line %d: aot %q, %s %q", np, i, got[i], mode, want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAOTParityChunkMatrix: the chunk-tier corpus (strides, empty
+// ranges, nested DOALLs, accumulators, fallbacks) through the native
+// tier at np ∈ {1, 2, 8}.
+func TestAOTParityChunkMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds native binaries with the go toolchain")
+	}
+	for _, tc := range corpus.Chunk {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := forcelang.MustParse(tc.Src)
+			for _, np := range []int{1, 2, 8} {
+				native, err := aotRun(t, prog, np)
+				if err != nil {
+					t.Fatalf("np=%d aot: %v", np, err)
+				}
+				ref, err := interpRun(t, prog, np, interp.ExecTree)
+				if err != nil {
+					t.Fatalf("np=%d tree: %v", np, err)
+				}
+				got, want := aotSortedLines(native), aotSortedLines(ref)
+				if len(got) != len(want) {
+					t.Fatalf("np=%d: aot %d lines, tree %d lines\naot:\n%s\ntree:\n%s",
+						np, len(got), len(want), native, ref)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("np=%d line %d: aot %q, tree %q", np, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAOTParityRuntimeErrors: uniform runtime failures (subscripts,
+// division by zero, SQRT of a negative, zero steps, async bounds)
+// produce byte-identical "force runtime: line N: ..." messages from
+// the native binary and the interpreter.
+func TestAOTParityRuntimeErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds native binaries with the go toolchain")
+	}
+	for _, tc := range corpus.RuntimeErrors {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := forcelang.MustParse(tc.Src)
+			_, aotErr := aotRun(t, prog, tc.NP)
+			_, interpErr := interpRun(t, prog, tc.NP, interp.ExecTree)
+			if aotErr == nil || interpErr == nil {
+				t.Fatalf("missing error: aot=%v interp=%v", aotErr, interpErr)
+			}
+			if aotErr.Error() != interpErr.Error() {
+				t.Errorf("messages diverge:\naot:    %q\ninterp: %q", aotErr.Error(), interpErr.Error())
+			}
+		})
+	}
+}
+
+// TestAOTParityNonUniformAbort: a failure striking only some processes
+// aborts the whole native force with the interpreter's exact message —
+// the fault-containment protocol survives compilation.
+func TestAOTParityNonUniformAbort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds native binaries with the go toolchain")
+	}
+	for _, tc := range corpus.NonUniform {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := forcelang.MustParse(tc.Src)
+			start := time.Now()
+			_, aotErr := aotRun(t, prog, tc.NP)
+			elapsed := time.Since(start)
+			_, interpErr := interpRun(t, prog, tc.NP, interp.ExecTree)
+			if aotErr == nil || interpErr == nil {
+				t.Fatalf("missing error: aot=%v interp=%v", aotErr, interpErr)
+			}
+			if aotErr.Error() != interpErr.Error() {
+				t.Errorf("messages diverge:\naot:    %q\ninterp: %q", aotErr.Error(), interpErr.Error())
+			}
+			if elapsed > time.Minute {
+				t.Errorf("native abort took %v — containment latency regression", elapsed)
+			}
+		})
+	}
+}
+
+// TestAOTWarmCacheNoRebuilds re-resolves every corpus program against
+// the cache the sweep populated: each must be a pure hit, with zero
+// builds through a fresh Cache handle.  (Run order is guaranteed by Go:
+// this test shares the process with the sweeps above and executes under
+// the same cache handle.)
+func TestAOTWarmCacheNoRebuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds native binaries with the go toolchain")
+	}
+	// Ensure at least one program is definitely present even if the
+	// sweeps were filtered out.
+	seed := forcelang.MustParse(corpus.Equiv[0].Src)
+	if _, err := aotTestCache(t).Ensure(seed, aot.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := aot.Open(aotTestCache(t).Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := warm.Cached(seed, aot.Options{}); !ok {
+		t.Error("warm cache missed a program the sweep built")
+	}
+	if _, err := warm.Ensure(seed, aot.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	s := warm.Stats()
+	if s.Builds != 0 {
+		t.Errorf("warm cache rebuilt: %v", s)
+	}
+	if s.Hits == 0 {
+		t.Errorf("warm cache recorded no hits: %v", s)
+	}
+}

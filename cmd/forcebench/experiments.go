@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/aot"
 	"repro/internal/apps"
 	"repro/internal/asyncvar"
 	"repro/internal/barrier"
@@ -925,6 +927,207 @@ Join
 	if base, top := perSec["compiled/disjoint-writes"][1], perSec["compiled/disjoint-writes"][last]; base > 0 && last > 1 {
 		fmt.Printf("compiled self-relative scaling, disjoint-writes, np=1→%d: %.2fx (GOMAXPROCS=%d)\n",
 			last, top/base, runtime.GOMAXPROCS(0))
+	}
+	if c.jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d cells)\n", c.jsonPath, len(report.Results))
+	}
+	return nil
+}
+
+// aotCell is one T12 measurement.  Tier is "chunked-interp" (the best
+// interpreter engine, T12's baseline), "aot-warm" (the cached native
+// binary, launch included) or "aot-build" (the one-time cold `go
+// build`, recorded once per kernel with NP 0).
+type aotCell struct {
+	Tier        string  `json:"tier"`
+	Kernel      string  `json:"kernel"`
+	NP          int     `json:"np"`
+	Iters       int     `json:"iters"`
+	SecondsMed  float64 `json:"seconds_median"`
+	MicrosPer   float64 `json:"micros_per_iter"`
+	ItersPerSec float64 `json:"iters_per_sec"`
+}
+
+// aotReport is the top-level T12 JSON document (BENCH_aot.json).
+// LaunchMillis is the median wall time of a warm repeat launch of a
+// trivial program — the tier's fixed cost: fork/exec plus runtime
+// start-up, no build, no interpretation.
+type aotReport struct {
+	Experiment   string    `json:"experiment"`
+	GoMaxProcs   int       `json:"gomaxprocs"`
+	Runs         int       `json:"runs"`
+	LaunchMillis float64   `json:"warm_launch_millis"`
+	Results      []aotCell `json:"results"`
+}
+
+// expT12 is the execution-tier experiment: the T11 kernels run by the
+// chunked interpreter (the fastest interpreted tier, T11's winner) and
+// by the ahead-of-time native tier — cold (generate + `go build`, the
+// one-time price of a cache miss) and warm (the cached binary, process
+// launch included).  The warm rows answer the tier's acceptance
+// question: once a program is hot enough that the auto tier promoted
+// it, how much does native execution return per iteration, and how
+// many milliseconds does a repeat launch cost?
+func expT12(c config) error {
+	sharedN := 200000
+	arrayN, sweeps := 4096, 50
+	if c.quick {
+		sharedN = 20000
+		arrayN, sweeps = 1024, 10
+	}
+	type kernel struct {
+		name  string
+		src   string
+		iters int
+	}
+	kernels := []kernel{
+		{
+			name: "shared-heavy",
+			src: fmt.Sprintf(`Force SHEAVY of NP ident ME
+Shared Real ACC
+Shared Integer TICKS
+Private Integer I
+Private Real X
+End Declarations
+Presched DO I = 1, %d
+  X = REAL(I) * 0.5
+  ACC = ACC + X
+  TICKS = TICKS + 1
+End Presched DO
+Barrier
+End Barrier
+Join
+`, sharedN),
+			iters: sharedN,
+		},
+		{
+			name: "disjoint-writes",
+			src: fmt.Sprintf(`Force DISJ of NP ident ME
+Shared Real A(%d)
+Private Integer I, S
+End Declarations
+Presched DO I = 1, %d
+  A(I) = REAL(I)
+End Presched DO
+DO S = 1, %d
+  Presched DO I = 1, %d
+    A(I) = A(I) * 0.999 + REAL(I) * 0.001
+  End Presched DO
+End DO
+Join
+`, arrayN, arrayN, sweeps, arrayN),
+			iters: arrayN * sweeps,
+		},
+	}
+	cacheDir, err := os.MkdirTemp("", "force-aot-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+	cache, err := aot.Open(cacheDir)
+	if err != nil {
+		return err
+	}
+	report := aotReport{Experiment: "aot-tier", GoMaxProcs: runtime.GOMAXPROCS(0), Runs: c.runs}
+	perSec := map[string]map[int]float64{} // tier/kernel → np → iters/s
+	for _, k := range kernels {
+		prog, err := forcelang.Parse(k.src)
+		if err != nil {
+			return err
+		}
+		buildStart := time.Now()
+		entry, err := cache.Ensure(prog, aot.Options{})
+		if errors.Is(err, aot.ErrNoToolchain) {
+			fmt.Println("go toolchain unavailable; skipping T12 (the aot tier would fall back to the interpreter)")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		buildSec := time.Since(buildStart).Seconds()
+		report.Results = append(report.Results, aotCell{
+			Tier: "aot-build", Kernel: k.name, NP: 0, Iters: k.iters, SecondsMed: buildSec,
+		})
+		tbl := &stats.Table{
+			Title:  fmt.Sprintf("aot tier, %s kernel (%d iterations): µs per iteration", k.name, k.iters),
+			Header: append([]string{"tier"}, npHeaders(c.npSweep())...),
+			Notes: []string{
+				"chunked-interp = the chunk-compiled interpreter (T11's fastest engine), in-process",
+				"aot-warm = the cached native binary, per-run process launch included",
+				fmt.Sprintf("one-time cold build for this kernel: %.0f ms (amortized across every later run at every np)", buildSec*1e3),
+			},
+		}
+		for _, tier := range []string{"chunked-interp", "aot-warm"} {
+			key := tier + "/" + k.name
+			perSec[key] = map[int]float64{}
+			row := []any{tier}
+			for _, np := range c.npSweep() {
+				var runErr error
+				var s *stats.Sample
+				if tier == "chunked-interp" {
+					cfg := interp.Config{NP: np, Stdout: io.Discard, Exec: interp.ExecChunked, Chunk: c.chunk}
+					if c.barSet {
+						cfg.Barrier = c.barKind
+					}
+					s = stats.Time(c.runs, func() {
+						if err := interp.Run(prog, cfg); err != nil && runErr == nil {
+							runErr = err
+						}
+					})
+				} else {
+					s = stats.Time(c.runs, func() {
+						if err := entry.Run(np, io.Discard, 0); err != nil && runErr == nil {
+							runErr = err
+						}
+					})
+				}
+				if runErr != nil {
+					return runErr
+				}
+				med := s.Median()
+				row = append(row, med/float64(k.iters)*1e6)
+				perSec[key][np] = float64(k.iters) / med
+				report.Results = append(report.Results, aotCell{
+					Tier: tier, Kernel: k.name, NP: np, Iters: k.iters,
+					SecondsMed: med, MicrosPer: med / float64(k.iters) * 1e6,
+					ItersPerSec: float64(k.iters) / med,
+				})
+			}
+			tbl.AddRow(row...)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	// Warm launch cost: a trivial program through the cached binary.
+	launchProg, err := forcelang.Parse("Force NOP of NP ident ME\nEnd Declarations\nJoin\n")
+	if err != nil {
+		return err
+	}
+	launchEntry, err := cache.Ensure(launchProg, aot.Options{})
+	if err != nil {
+		return err
+	}
+	launch := stats.Time(c.runs, func() {
+		if err := launchEntry.Run(1, io.Discard, 0); err != nil {
+			panic(err)
+		}
+	})
+	report.LaunchMillis = launch.Median() * 1e3
+	fmt.Printf("warm repeat launch (trivial program, np=1): %.1f ms median\n", report.LaunchMillis)
+	// Acceptance summary: the tier must return ≥1.5x per-iteration over
+	// the chunked interpreter at np=1 on both kernels.
+	for _, k := range kernels {
+		if ch, warm := perSec["chunked-interp/"+k.name][1], perSec["aot-warm/"+k.name][1]; ch > 0 {
+			fmt.Printf("aot-warm vs chunked-interp, %s, np=1: %.2fx\n", k.name, warm/ch)
+		}
 	}
 	if c.jsonPath != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")

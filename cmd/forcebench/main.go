@@ -13,6 +13,7 @@
 //	T9  Askfor distribution: [LO83] monitor pool vs work-stealing deques
 //	T10 global reductions: critical vs slots vs tree vs atomic
 //	T11 interpreter throughput: tree walker vs closure compiler vs chunk tier
+//	T12 execution tiers: chunked interpreter vs cold/warm aot native binary
 //	A1  ablation: the paper's barrier over every lock kind
 //	A2  ablation: selfscheduling chunk size
 //
@@ -22,7 +23,7 @@
 //
 // -json writes the running experiment's measurements as machine-readable
 // JSON (T9: BENCH_askfor.json-style, T10: BENCH_reduce.json-style, T11:
-// BENCH_interp.json-style) so successive revisions can track the
+// BENCH_interp.json-style, T12: BENCH_aot.json-style) so successive revisions can track the
 // performance trajectory; use it with a single -exp, as every
 // JSON-emitting experiment writes the same file.
 // -barrier overrides the global barrier algorithm of every force the
@@ -101,11 +102,11 @@ func (c config) npSweep() []int {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (F1, T1..T11, A1, A2) or all")
+		exp    = flag.String("exp", "all", "experiment id (F1, T1..T12, A1, A2) or all")
 		quick  = flag.Bool("quick", false, "smaller problem sizes and fewer repetitions")
 		maxNP  = flag.Int("maxnp", 2*runtime.GOMAXPROCS(0), "largest force size in sweeps")
 		runs   = flag.Int("runs", 3, "timing repetitions per cell")
-		jsonP  = flag.String("json", "", "write T9/T10/T11 results as JSON to this file")
+		jsonP  = flag.String("json", "", "write T9/T10/T11/T12 results as JSON to this file")
 		barF   = flag.String("barrier", "", "override the barrier algorithm of timed forces (ignored by T2, A1, T6)")
 		chunkN = flag.Int("chunk", 0, "override the selfsched span size of timed forces (0 = discipline default; ignored by A2)")
 	)
@@ -162,6 +163,7 @@ func experiments() map[string]experiment {
 		{"T9", "Askfor distribution: monitor pool vs stealing deques", expT9},
 		{"T10", "global reductions: critical vs slots vs tree vs atomic", expT10},
 		{"T11", "interpreter throughput: tree walker vs closure compiler vs chunk tier", expT11},
+		{"T12", "execution tiers: chunked interpreter vs aot native binary", expT12},
 		{"A1", "ablation: two-lock barrier over lock kinds", expA1},
 		{"A2", "ablation: selfscheduling chunk size", expA2},
 	}

@@ -23,6 +23,14 @@
 //	forcec -check file.force
 //	    Parse and type-check only.
 //
+//	forcec -cache [-selfsched KIND] [-reduce STRAT] [-barrier ALG] [-askfor POOL] [-chunk N] file.force
+//	    Compile the program into the ahead-of-time binary cache — the
+//	    same content-addressed store forcerun's -exec aot/auto tiers
+//	    execute from ($FORCE_CACHE or ~/.cache/force) — and print the
+//	    cache key, status (hit or built) and binary path.  Use it to
+//	    pre-warm the cache so a program's first -exec aot run is
+//	    already native.
+//
 // A file name of "-" reads standard input.
 package main
 
@@ -32,7 +40,10 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/aot"
+	"repro/internal/barrier"
 	"repro/internal/codegen"
+	"repro/internal/engine"
 	"repro/internal/forcelang"
 	"repro/internal/maclib"
 	"repro/internal/reduce"
@@ -41,15 +52,18 @@ import (
 
 func main() {
 	var (
-		expand  = flag.Bool("expand", false, "run the sed+m4 macro pipeline and print the expansion")
-		goOut   = flag.Bool("go", false, "compile to Go source on stdout")
-		check   = flag.Bool("check", false, "parse and type-check only")
-		machine = flag.String("machine", "generic", "machine layer for -expand")
-		pkg     = flag.String("pkg", "main", "package name for -go")
-		np      = flag.Int("np", 4, "default force size baked into -go output")
-		selfK   = flag.String("selfsched", "selfsched-lock", "discipline for Selfsched DO in -go output")
-		reduceF = flag.String("reduce", "slots", "global-reduction strategy in -go output")
-		chunkF  = flag.Int("chunk", 0, "selfsched span size baked into -go output (0 = discipline default)")
+		expand   = flag.Bool("expand", false, "run the sed+m4 macro pipeline and print the expansion")
+		goOut    = flag.Bool("go", false, "compile to Go source on stdout")
+		check    = flag.Bool("check", false, "parse and type-check only")
+		cacheCmd = flag.Bool("cache", false, "compile into the ahead-of-time binary cache and print key, status and path")
+		machine  = flag.String("machine", "generic", "machine layer for -expand")
+		pkg      = flag.String("pkg", "main", "package name for -go")
+		np       = flag.Int("np", 4, "default force size baked into -go output")
+		selfK    = flag.String("selfsched", "selfsched-lock", "discipline for Selfsched DO in -go and -cache output")
+		reduceF  = flag.String("reduce", "slots", "global-reduction strategy in -go and -cache output")
+		barF     = flag.String("barrier", "twolock", "barrier algorithm in -go and -cache output")
+		askforF  = flag.String("askfor", "stealing", "Askfor pool discipline in -go and -cache output")
+		chunkF   = flag.Int("chunk", 0, "selfsched span size baked into -go and -cache output (0 = discipline default)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -67,7 +81,7 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(out)
-	case *goOut:
+	case *goOut, *cacheCmd:
 		prog, err := forcelang.Parse(src)
 		if err != nil {
 			fail(err)
@@ -80,7 +94,32 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		out, err := codegen.Generate(prog, codegen.Options{Package: *pkg, DefaultNP: *np, Selfsched: kind, Reduce: rk, Chunk: *chunkF})
+		bk, err := barrier.ParseKind(*barF)
+		if err != nil {
+			fail(err)
+		}
+		pool, err := engine.ParsePoolKind(*askforF)
+		if err != nil {
+			fail(err)
+		}
+		if *cacheCmd {
+			cache, err := aot.Open("")
+			if err != nil {
+				fail(err)
+			}
+			opts := aot.Options{Selfsched: kind, Reduce: rk, Barrier: bk, Askfor: pool, Chunk: *chunkF}
+			entry, err := cache.Ensure(prog, opts)
+			if err != nil {
+				fail(err)
+			}
+			status := "built"
+			if cache.Stats().Builds == 0 {
+				status = "hit"
+			}
+			fmt.Printf("key: %s\nstatus: %s\nbinary: %s\n", entry.Key, status, entry.Bin)
+			return
+		}
+		out, err := codegen.Generate(prog, codegen.Options{Package: *pkg, DefaultNP: *np, Selfsched: kind, Reduce: rk, Chunk: *chunkF, Barrier: bk, Askfor: pool})
 		if err != nil {
 			fail(err)
 		}

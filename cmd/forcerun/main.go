@@ -21,6 +21,17 @@
 // tier's A/B baseline) or "tree" (the original map-addressed tree
 // walker behind one shared mutex); forcebench T11 measures all three.
 //
+// Two further spellings select the ahead-of-time native tier
+// (internal/aot): "aot" translates the program to Go, builds it once
+// into a content-addressed cache ($FORCE_CACHE or ~/.cache/force,
+// keyed by the AST and the semantics-affecting flags, np excluded) and
+// executes the cached binary; "auto" interprets the first -promote
+// runs of a program (default 3) and switches to the native binary once
+// it is hot.  Both fall back to the chunked interpreter when the Go
+// toolchain is unavailable, the build fails, or a non-native -machine
+// profile is requested.  -v reports the tier decision, cache
+// hit/miss and build time on standard error.
+//
 // -chunk N sets the span size for the "chunk"/"stealing" selfsched
 // disciplines (sched.Config.ChunkSize; 0 keeps each discipline's
 // default, 16 for chunked selfscheduling).  It does not change the
@@ -65,6 +76,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/aot"
 	"repro/internal/barrier"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -98,6 +110,8 @@ func run() error {
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		hangTO  = flag.Duration("hang-timeout", 0, "abort a run that has not finished after this long, reporting where each process is blocked (0 disables)")
 		showAST = flag.Bool("ast", false, "print a program summary before running")
+		promote = flag.Int("promote", 3, "with -exec auto, interpreted runs before promotion to the native tier")
+		verbose = flag.Bool("v", false, "report tier decisions and cache activity on standard error")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -132,9 +146,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	em, err := interp.ParseExecMode(*execF)
-	if err != nil {
-		return err
+	// "aot" and "auto" are native tiers handled below; everything else
+	// is an interpreter engine.  The native tiers keep the chunked
+	// interpreter as their fallback engine.
+	em := interp.ExecChunked
+	nativeTier := *execF == "aot" || *execF == "auto"
+	if !nativeTier {
+		em, err = interp.ParseExecMode(*execF)
+		if err != nil {
+			return err
+		}
 	}
 	// Profile finalization is once-wrapped and shared with the
 	// watchdog: its give-up os.Exit(3) paths bypass these defers, and
@@ -168,6 +189,14 @@ func run() error {
 		fmt.Printf("program %s: %d declarations, %d subroutines, %d top-level statements\n",
 			prog.Name, len(prog.Decls), len(prog.Subs), len(prog.Body))
 	}
+	if nativeTier {
+		opts := aot.Options{Selfsched: sk, Reduce: rk, Barrier: bk, Askfor: pool, Chunk: *chunkN}
+		ran, err := tryNative(prog, *execF, opts, *np, *machF, *promote, *verbose, *hangTO)
+		if ran {
+			return err
+		}
+		// Fall through to the chunked interpreter.
+	}
 	cfg := interp.Config{
 		NP:        *np,
 		Machine:   prof,
@@ -196,6 +225,65 @@ func run() error {
 		})
 	}
 	return interp.Run(prog, cfg)
+}
+
+// tryNative runs prog through the ahead-of-time native tier.  It
+// returns ran=false when the run should fall back to (or, for a cold
+// "auto" program, stay on) the chunked interpreter: a non-native
+// machine profile, an unopenable cache, a missing toolchain or failed
+// build, or an "auto" program that is not hot yet.  When ran is true
+// the returned error is the program's outcome — nil or the exact
+// "force runtime: line N: ..." the interpreter tiers would report.
+func tryNative(prog *forcelang.Program, execMode string, opts aot.Options, np int, machName string, promote int, verbose bool, hangTO time.Duration) (bool, error) {
+	vlog := func(format string, args ...any) {
+		if verbose {
+			fmt.Fprintf(os.Stderr, "forcerun: "+format+"\n", args...)
+		}
+	}
+	if machName != "native" {
+		vlog("tier %s: -machine %s is interpreter-only; falling back to the chunked interpreter", execMode, machName)
+		return false, nil
+	}
+	cache, err := aot.Open("")
+	if err != nil {
+		vlog("tier %s: %v; falling back to the chunked interpreter", execMode, err)
+		return false, nil
+	}
+	var entry *aot.Entry
+	if execMode == "auto" {
+		if e, ok := cache.Cached(prog, opts); ok {
+			entry = e
+			vlog("tier auto: cache hit (key %.12s); running native", e.Key)
+		} else {
+			n, err := cache.RecordInterpreted(prog, opts)
+			if err != nil {
+				vlog("tier auto: run counter: %v; interpreting", err)
+				return false, nil
+			}
+			if n < promote {
+				vlog("tier auto: interpreted run %d of %d before promotion", n, promote)
+				return false, nil
+			}
+			vlog("tier auto: hot after %d interpreted runs; promoting to native", n)
+		}
+	}
+	if entry == nil {
+		start := time.Now()
+		e, err := cache.Ensure(prog, opts)
+		if err != nil {
+			vlog("tier %s: %v; falling back to the chunked interpreter", execMode, err)
+			return false, nil
+		}
+		entry = e
+		if st := cache.Stats(); st.Builds > 0 {
+			vlog("tier %s: cache %s (key %.12s); built in %v", execMode,
+				map[bool]string{true: "stale entry rebuilt", false: "miss"}[st.Stale > 0],
+				e.Key, time.Since(start).Round(time.Millisecond))
+		} else {
+			vlog("tier %s: cache hit (key %.12s)", execMode, e.Key)
+		}
+	}
+	return true, entry.Run(np, os.Stdout, hangTO)
 }
 
 // watchdog aborts a stalled run: after the timeout it reports where

@@ -22,6 +22,13 @@
 //		   │                 chunked|compiled|tree, forcebench T11)
 //		   └── codegen       compiler back end emitting Go against core
 //		        │
+//		        ├── aot      cached native tier: a structural hash of the
+//		        │            checked AST (plus the semantics-affecting
+//		        │            options) keys a content-addressed cache of
+//		        │            go-built binaries — build once, exec forever;
+//		        │            forcerun -exec aot|auto promotes hot programs
+//		        │            from the chunked interpreter to the cached
+//		        │            binary (forcebench T12)
 //		        ▼
 //		      core           the runtime: Force/Proc with every construct —
 //		        │            DOALLs, Pcase, Askfor, Resolve, barriers,
@@ -82,7 +89,8 @@
 // The benchmarks in bench_test.go and the cmd/forcebench harness
 // regenerate every experiment table; forcebench -exp T9 -json FILE emits
 // the monitor-vs-stealing Askfor comparison, T10 the reduction-strategy
-// comparison, and T11 the tree-walker vs closure-compiler vs chunk-tier
-// interpreter comparison machine-readably (the committed BENCH_*.json
-// baselines).
+// comparison, T11 the tree-walker vs closure-compiler vs chunk-tier
+// interpreter comparison, and T12 the chunked-interpreter vs cached
+// native (aot) tier comparison machine-readably (the committed
+// BENCH_*.json baselines).
 package repro

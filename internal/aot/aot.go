@@ -1,0 +1,307 @@
+// Package aot is the ahead-of-time native tier: it hashes a checked
+// Force AST together with the semantics-affecting configuration, emits
+// Go through internal/codegen into a content-addressed cache directory,
+// builds it once with the ordinary Go toolchain, and hands repeat
+// traffic a cached native binary.  This is the tier-promotion shape of
+// JIT/AOT hybrid runtimes applied to the paper's portability thesis:
+// one Force source, interpreted while cold, native once hot.
+//
+// Cache layout ($FORCE_CACHE or ~/.cache/force):
+//
+//	<key>/main.go    the generated Go source (for inspection/debugging)
+//	<key>/force.bin  the built binary (runs with -np N)
+//	<key>/meta.json  program name, options, binary size (staleness check)
+//	<key>/runs       one byte per interpreted run (the auto-tier counter)
+//	<key>/lock       cross-process build lock (flock)
+//
+// The key is np-independent — np is a runtime flag of the generated
+// binary — so one cache entry serves every force size.  Builds are
+// single-flight within a process (per-key mutex) and across processes
+// (flock), and a truncated or missing binary is classified stale and
+// rebuilt rather than executed.
+package aot
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/barrier"
+	"repro/internal/engine"
+	"repro/internal/forcelang"
+	"repro/internal/reduce"
+	"repro/internal/sched"
+)
+
+// EnvCacheDir names the environment variable overriding the cache
+// directory.
+const EnvCacheDir = "FORCE_CACHE"
+
+// ErrNoToolchain reports that the Go toolchain is unavailable; callers
+// fall back to the interpreter.
+var ErrNoToolchain = errors.New("aot: go toolchain not found")
+
+// Options is the semantics-affecting configuration baked into a cache
+// key and into the generated binary.  NP is deliberately absent: the
+// binary takes -np at run time.
+type Options struct {
+	Selfsched sched.Kind
+	Reduce    reduce.Kind
+	Barrier   barrier.Kind
+	Askfor    engine.PoolKind
+	Chunk     int
+}
+
+// Stats is a snapshot of the cache's accounting.
+type Stats struct {
+	Hits      int64         // lookups that found a fresh entry
+	Misses    int64         // lookups with no entry at all
+	Stale     int64         // lookups that found a corrupt/truncated entry
+	Builds    int64         // go build invocations actually run
+	BuildTime time.Duration // total wall time spent in go build
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d stale=%d builds=%d build_time=%s",
+		s.Hits, s.Misses, s.Stale, s.Builds, s.BuildTime.Round(time.Millisecond))
+}
+
+// Cache is a content-addressed store of compiled Force programs.
+type Cache struct {
+	dir string
+
+	mu     sync.Mutex
+	flight map[string]*sync.Mutex
+
+	hits, misses, stale, builds atomic.Int64
+	buildNanos                  atomic.Int64
+}
+
+// Open opens (creating if needed) the cache at dir; an empty dir means
+// $FORCE_CACHE, then ~/.cache/force.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		dir = os.Getenv(EnvCacheDir)
+	}
+	if dir == "" {
+		home, err := os.UserHomeDir()
+		if err != nil {
+			return nil, fmt.Errorf("aot: no cache dir: %w (set %s)", err, EnvCacheDir)
+		}
+		dir = filepath.Join(home, ".cache", "force")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("aot: %w", err)
+	}
+	return &Cache{dir: dir, flight: map[string]*sync.Mutex{}}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the cache's accounting.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stale:     c.stale.Load(),
+		Builds:    c.builds.Load(),
+		BuildTime: time.Duration(c.buildNanos.Load()),
+	}
+}
+
+// Meta is the per-entry metadata persisted as meta.json.
+type Meta struct {
+	Program     string            `json:"program"`
+	Key         string            `json:"key"`
+	Options     map[string]string `json:"options"`
+	BinSize     int64             `json:"bin_size"`
+	BuiltAt     string            `json:"built_at"`
+	BuildMillis int64             `json:"build_millis"`
+}
+
+// Entry is one cached compiled program.
+type Entry struct {
+	Key  string
+	Dir  string
+	Bin  string
+	Meta Meta
+}
+
+func (c *Cache) entryDir(key string) string { return filepath.Join(c.dir, key) }
+
+type lookupState int
+
+const (
+	lookupMiss lookupState = iota
+	lookupHit
+	lookupStale
+)
+
+// lookup classifies the entry for key without touching the counters:
+// hit (meta and binary present and consistent), miss (neither present),
+// or stale (present but corrupt — unparsable meta, missing binary, or a
+// binary whose size disagrees with meta, i.e. truncated mid-write).
+func (c *Cache) lookup(key string) (*Entry, lookupState) {
+	dir := c.entryDir(key)
+	bin := filepath.Join(dir, "force.bin")
+	metaBytes, metaErr := os.ReadFile(filepath.Join(dir, "meta.json"))
+	st, binErr := os.Stat(bin)
+	if metaErr != nil && binErr != nil {
+		return nil, lookupMiss
+	}
+	if metaErr != nil || binErr != nil {
+		return nil, lookupStale
+	}
+	var m Meta
+	if err := json.Unmarshal(metaBytes, &m); err != nil || m.BinSize != st.Size() {
+		return nil, lookupStale
+	}
+	return &Entry{Key: key, Dir: dir, Bin: bin, Meta: m}, lookupHit
+}
+
+// lookupCounted is lookup plus hit/miss/stale accounting.
+func (c *Cache) lookupCounted(key string) (*Entry, lookupState) {
+	e, st := c.lookup(key)
+	switch st {
+	case lookupHit:
+		c.hits.Add(1)
+	case lookupMiss:
+		c.misses.Add(1)
+	default:
+		c.stale.Add(1)
+	}
+	return e, st
+}
+
+// Cached reports whether a fresh entry exists for prog+opts, counting
+// the lookup, without building anything.
+func (c *Cache) Cached(prog *forcelang.Program, opts Options) (*Entry, bool) {
+	e, st := c.lookupCounted(Key(prog, opts))
+	return e, st == lookupHit
+}
+
+// Ensure returns a fresh entry for prog+opts, building it if absent or
+// stale.  Builds are single-flight: concurrent Ensure calls for the
+// same key (in this process or another) wait for one build.
+func (c *Cache) Ensure(prog *forcelang.Program, opts Options) (*Entry, error) {
+	key := Key(prog, opts)
+	if e, st := c.lookupCounted(key); st == lookupHit {
+		return e, nil
+	}
+	unlock, err := c.lockKey(key)
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	// A peer may have published the entry while we waited on the lock.
+	if e, st := c.lookup(key); st == lookupHit {
+		return e, nil
+	}
+	start := time.Now()
+	e, err := c.build(key, prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	d := time.Since(start)
+	c.builds.Add(1)
+	c.buildNanos.Add(int64(d))
+	return e, nil
+}
+
+// lockKey serializes builders of key: a per-key mutex within the
+// process, an flock on <entry>/lock across processes.
+func (c *Cache) lockKey(key string) (func(), error) {
+	c.mu.Lock()
+	m, ok := c.flight[key]
+	if !ok {
+		m = &sync.Mutex{}
+		c.flight[key] = m
+	}
+	c.mu.Unlock()
+	m.Lock()
+	dir := c.entryDir(key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		m.Unlock()
+		return nil, fmt.Errorf("aot: %w", err)
+	}
+	funlock, err := lockFile(filepath.Join(dir, "lock"))
+	if err != nil {
+		m.Unlock()
+		return nil, fmt.Errorf("aot: build lock: %w", err)
+	}
+	return func() {
+		funlock()
+		m.Unlock()
+	}, nil
+}
+
+// RecordInterpreted bumps the interpreted-run counter for prog+opts and
+// returns the new count — the auto tier's promotion heat.  The counter
+// is one byte per run in <entry>/runs, so concurrent appenders (O_APPEND)
+// never lose a count.
+func (c *Cache) RecordInterpreted(prog *forcelang.Program, opts Options) (int, error) {
+	dir := c.entryDir(Key(prog, opts))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("aot: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "runs"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("aot: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte{'.'}); err != nil {
+		return 0, fmt.Errorf("aot: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("aot: %w", err)
+	}
+	return int(st.Size()), nil
+}
+
+// Run executes the cached binary at np, streaming program output to
+// stdout.  A generated-driver runtime failure (exit 1 with the
+// interpreter's "force runtime: line N: ..." protocol on stderr) comes
+// back as that exact error, so forcerun's aot tier reports
+// byte-identical messages to the interpreter tiers.  A zero timeout
+// means no deadline.
+func (e *Entry) Run(np int, stdout io.Writer, timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	cmd := exec.CommandContext(ctx, e.Bin, "-np", strconv.Itoa(np))
+	cmd.Stdout = stdout
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() == context.DeadlineExceeded {
+		return fmt.Errorf("force stalled: aot binary produced no result after %v", timeout)
+	}
+	msg := strings.TrimSpace(errb.String())
+	var ee *exec.ExitError
+	if errors.As(err, &ee) && ee.ExitCode() == 1 && strings.HasPrefix(msg, "force runtime") {
+		return errors.New(msg)
+	}
+	if msg != "" {
+		return fmt.Errorf("aot: %s: %w: %s", filepath.Base(e.Bin), err, msg)
+	}
+	return fmt.Errorf("aot: %s: %w", filepath.Base(e.Bin), err)
+}

@@ -1,0 +1,219 @@
+package aot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/forcelang"
+)
+
+const runSrc = `Force RUN of NP ident ME
+Shared Integer S
+End Declarations
+Barrier
+  S = 0
+End Barrier
+Critical L
+  S = S + ME
+End Critical
+Barrier
+  Print 'S =', S
+End Barrier
+Join
+`
+
+func openTestCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestEnsureRunAndWarmHit is the cache's whole life in one test: a cold
+// Ensure builds once, the binary runs with interpreter-identical output
+// at two force sizes (one entry serves both — the key is
+// np-independent), and a warm Ensure is a pure hit with zero rebuilds.
+func TestEnsureRunAndWarmHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	c := openTestCache(t)
+	prog := forcelang.MustParse(runSrc)
+
+	e, err := c.Ensure(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Builds != 1 || s.Misses != 1 {
+		t.Fatalf("cold stats: %v", s)
+	}
+	// np=1: S = 0; np=4: S = 0+1+2+3 = 6.
+	for np, want := range map[int]string{1: "S = 0\n", 4: "S = 6\n"} {
+		var sb strings.Builder
+		if err := e.Run(np, &sb, time.Minute); err != nil {
+			t.Fatalf("np=%d: %v", np, err)
+		}
+		if sb.String() != want {
+			t.Errorf("np=%d: got %q, want %q", np, sb.String(), want)
+		}
+	}
+
+	if _, err := c.Ensure(prog, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Builds != 1 {
+		t.Errorf("warm Ensure rebuilt: %v", s)
+	}
+	if s.Hits != 1 {
+		t.Errorf("warm Ensure not a hit: %v", s)
+	}
+}
+
+// TestCorruptionRecovery truncates the cached binary: the next lookup
+// must classify the entry stale (size disagrees with meta.json) and
+// rebuild rather than execute the stump.
+func TestCorruptionRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	c := openTestCache(t)
+	prog := forcelang.MustParse(runSrc)
+	e, err := c.Ensure(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(e.Bin, 16); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := c.Ensure(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Stale != 1 || s.Builds != 2 {
+		t.Fatalf("truncated entry not rebuilt: %v", s)
+	}
+	var sb strings.Builder
+	if err := e2.Run(1, &sb, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "S = 0\n" {
+		t.Errorf("rebuilt binary output %q", sb.String())
+	}
+
+	// A deleted binary with surviving metadata is stale too, not a miss.
+	if err := os.Remove(e2.Bin); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Cached(prog, Options{}); ok {
+		t.Error("missing binary classified as a hit")
+	}
+	if s := c.Stats(); s.Stale != 2 {
+		t.Errorf("missing binary not counted stale: %v", s)
+	}
+}
+
+// TestRuntimeErrorRelay: a runtime failure inside the cached binary
+// comes back as the interpreter's exact "force runtime: line N: ..."
+// message.
+func TestRuntimeErrorRelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	c := openTestCache(t)
+	prog := forcelang.MustParse(`Force ERR of NP ident ME
+Shared Real A(4)
+End Declarations
+Barrier
+  A(5) = 1.0
+End Barrier
+Join
+`)
+	e, err := c.Ensure(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.Run(1, &strings.Builder{}, time.Minute)
+	if err == nil {
+		t.Fatal("no error from out-of-range subscript")
+	}
+	want := "force runtime: line 5: subscript 1 of A out of range: 5 not in [1,4]"
+	if err.Error() != want {
+		t.Errorf("error %q, want %q", err.Error(), want)
+	}
+}
+
+// TestRecordInterpreted: the auto tier's heat counter accumulates
+// per-entry and survives reopening the cache.
+func TestRecordInterpreted(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := forcelang.MustParse(runSrc)
+	for want := 1; want <= 3; want++ {
+		n, err := c.RecordInterpreted(prog, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != want {
+			t.Errorf("run %d counted as %d", want, n)
+		}
+	}
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c2.RecordInterpreted(prog, Options{}); err != nil || n != 4 {
+		t.Errorf("reopened counter: n=%d err=%v", n, err)
+	}
+}
+
+// TestOpenEnvDefault: Open("") honours FORCE_CACHE.
+func TestOpenEnvDefault(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cachehome")
+	t.Setenv(EnvCacheDir, dir)
+	c, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dir() != dir {
+		t.Errorf("Dir() = %q, want %q", c.Dir(), dir)
+	}
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		t.Errorf("cache dir not created: %v", err)
+	}
+}
+
+// TestSingleFlight: concurrent cold Ensures of one program produce one
+// build.
+func TestSingleFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	c := openTestCache(t)
+	prog := forcelang.MustParse(runSrc)
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := c.Ensure(prog, Options{})
+			errs <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := c.Stats(); s.Builds != 1 {
+		t.Errorf("concurrent Ensure built %d times: %v", s.Builds, s)
+	}
+}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package aot
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive flock on path (creating it if needed) and
+// returns the release function.  This is the cross-process half of the
+// single-flight build: every builder of a key locks <entry>/lock, so
+// concurrent forcerun invocations of one cold program produce one
+// `go build`, not a pile-up.
+func lockFile(path string) (func(), error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,695 @@
+// Package corpus holds the cross-tier acceptance programs shared by the
+// interpreter engines and the AOT (generated-Go) tier.  The interpreter
+// equivalence tests (internal/interp), the aot parity integration tests
+// (repo root), and CI's tier sweeps all iterate these same slices, so a
+// new execution backend is held to exactly the same bar as the existing
+// ones: byte-identical output (modulo print interleaving) and
+// byte-identical runtime-error messages.
+//
+// Three families:
+//
+//   - Equiv: the PR-3 15-program equivalence corpus — one deterministic
+//     program per language construct family (coercions, shared traffic,
+//     2-D arrays, call chains, recursion, Pcase, Askfor, reductions,
+//     asyncvars, DO WHILE, negative strides);
+//   - RuntimeErrors / NonUniform: the PR-4 fault corpora — uniform error
+//     sites (every process errs) and non-uniform ones (one process errs
+//     while peers block in a collective), each with a pinned
+//     "force runtime: line N: ..." message;
+//   - Chunk: the PR-6 chunk matrix — programs chosen to hit the chunk
+//     tier's edges (strides, empty ranges, two-index DOALLs,
+//     disjointness proofs and their failures, accumulator folding,
+//     final loop-variable values).
+package corpus
+
+// Program is one acceptance program.  NP is the force size the program
+// was written for (0 means the test picks its own matrix).
+type Program struct {
+	Name string
+	NP   int
+	Src  string
+}
+
+// Equiv is the deterministic equivalence corpus: every execution tier
+// must produce the same sorted output lines at the given NP.
+var Equiv = []Program{
+	{"hello", 4, `Force HELLO of NP ident ME
+End Declarations
+Print 'hello from', ME, 'of', NP
+Join
+`},
+	{"coercions", 2, `Force CO of NP ident ME
+Private Real X
+Private Integer K
+Private Logical B
+End Declarations
+IF (ME .EQ. 0) THEN
+  X = 7
+  K = 3.9
+  B = 1 .LT. 2 .AND. .NOT. (2.0 .GE. 3.0)
+  Print X, K, B
+  Print INT(2.9), NINT(2.9), INT(7), MOD(9, 4), MOD(9.5, 4.0)
+  Print MIN(3, 1, 2), MAX(1.5, 2), ABS(-3), ABS(-2.5), SQRT(16.0)
+  Print -X, -K, 5 / 2, 5.0 / 2.0, 1 / 2
+End IF
+Join
+`},
+	{"shared-scalar-traffic", 4, `Force SST of NP ident ME
+Shared Integer TOTAL
+Shared Real ACC
+Shared Logical FLAG
+Private Integer I
+End Declarations
+Barrier
+  TOTAL = 0
+  ACC = 0.0
+  FLAG = .FALSE.
+End Barrier
+Presched DO I = 1, 200
+  Critical L
+    TOTAL = TOTAL + I
+    ACC = ACC + REAL(I) / 2.0
+  End Critical
+End Presched DO
+Barrier
+  FLAG = TOTAL .EQ. 20100
+  Print TOTAL, ACC, FLAG
+End Barrier
+Join
+`},
+	{"arrays-2d", 3, `Force A2 of NP ident ME
+Shared Real M(6,7)
+Shared Real S
+Private Integer I, J
+End Declarations
+Presched DO I = 1, 6 also J = 1, 7
+  M(I, J) = REAL(I) + REAL(J) / 10.0
+End Presched DO
+Barrier
+S = 0.0
+End Barrier
+Selfsched DO I = 1, 6
+  DO J = 1, 7
+    Critical L
+      S = S + M(I, J)
+    End Critical
+  End DO
+End Selfsched DO
+Barrier
+Print NINT(S * 10.0)
+End Barrier
+Join
+`},
+	{"call-chain-param-forwarding", 4, `Force CHAIN of NP ident ME
+Shared Real A(6)
+Shared Real S
+Private Integer I
+End Declarations
+Presched DO I = 1, 6
+  A(I) = REAL(I)
+End Presched DO
+Barrier
+End Barrier
+Call OUTER(A, S)
+Barrier
+  Print 'sum', NINT(S)
+End Barrier
+IF (ME .EQ. 0) THEN
+  Call BUMP(A(2))
+  Print 'bumped', A(2)
+End IF
+Join
+Forcesub OUTER(X, T)
+Shared Real X(6)
+Shared Real T
+End Declarations
+Call INNER(X, T)
+Endsub
+Forcesub INNER(Y, U)
+Shared Real Y(6)
+Shared Real U
+Private Integer K
+End Declarations
+Barrier
+  U = 0.0
+End Barrier
+Presched DO K = 1, 6
+  Critical LC
+    U = U + Y(K)
+  End Critical
+End Presched DO
+Barrier
+End Barrier
+IF (U .GT. 100.0) THEN
+  Call BUMP(Y(1))
+End IF
+Endsub
+Forcesub BUMP(Z)
+Shared Real Z
+End Declarations
+Z = Z + 10.0
+Endsub
+`},
+	{"recursive-sub", 2, `Force REC of NP ident ME
+Private Integer N, R
+End Declarations
+IF (ME .EQ. 0) THEN
+  N = 5
+  R = 1
+  Call FACT(N, R)
+  Print 'fact', R
+End IF
+Join
+Forcesub FACT(N, R)
+Private Integer N, R
+Private Integer M
+End Declarations
+IF (N .GT. 1) THEN
+  R = R * N
+  M = N - 1
+  Call FACT(M, R)
+End IF
+Endsub
+`},
+	{"private-arrays-fresh-per-call", 2, `Force PA of NP ident ME
+End Declarations
+IF (ME .EQ. 0) THEN
+  Call WORK
+  Call WORK
+End IF
+Join
+Forcesub WORK()
+Private Real B(4)
+Private Integer K, Z
+End Declarations
+Z = 0
+DO K = 1, 4
+  IF (B(K) .EQ. 0.0) THEN
+    Z = Z + 1
+  End IF
+  B(K) = REAL(K)
+End DO
+Print 'zeros', Z
+Endsub
+`},
+	{"unit-local-shared", 3, `Force PERSIST of NP ident ME
+End Declarations
+Call TICK
+Call TICK
+Barrier
+End Barrier
+Call REPORT
+Join
+Forcesub TICK()
+Shared Integer COUNT
+End Declarations
+Barrier
+COUNT = COUNT + 1
+End Barrier
+Endsub
+Forcesub REPORT()
+Shared Integer COUNT
+End Declarations
+Barrier
+Print 'count', COUNT
+End Barrier
+Endsub
+`},
+	{"pcase", 2, `Force PC of NP ident ME
+Shared Integer A, B, C
+Shared Integer N
+End Declarations
+Barrier
+N = 3
+End Barrier
+Pcase
+Usect
+  A = A + 1
+Csect (N .GT. 2)
+  B = B + 1
+Csect (N .GT. 5)
+  C = C + 100
+End Pcase
+Barrier
+Print A, B, C
+End Barrier
+Join
+`},
+	{"askfor-put", 4, `Force AF of NP ident ME
+Shared Integer SEEN
+Private Integer T
+End Declarations
+Barrier
+  SEEN = 0
+End Barrier
+Askfor T = 4
+  Critical CL
+    SEEN = SEEN + 1
+  End Critical
+  IF (T .GT. 1) THEN
+    Put T - 1
+    Put T - 1
+  End IF
+End Askfor
+Barrier
+  Print 'tasks', SEEN
+End Barrier
+Join
+`},
+	{"reductions", 4, `Force RD of NP ident ME
+Shared Integer TOTAL
+Shared Real BIG
+Shared Logical ALLIN, ANYODD
+Private Integer I, MINE
+End Declarations
+MINE = 0
+Presched DO I = 1, 40
+  MINE = MINE + I
+End Presched DO
+GSUM TOTAL = MINE
+GMAX BIG = REAL(ME) + 0.5
+GAND ALLIN = TOTAL .EQ. 820
+GOR ANYODD = MOD(ME, 2) .EQ. 1
+Barrier
+  Print TOTAL, BIG, ALLIN, ANYODD
+End Barrier
+Join
+`},
+	{"async-wave", 5, `Force WAVE of NP ident ME
+Async Integer CELLS(8)
+Private Integer X
+End Declarations
+IF (ME .EQ. 0) THEN
+  Produce CELLS(1) = 100
+End IF
+IF (ME .GT. 0) THEN
+  Consume CELLS(ME) into X
+  Produce CELLS(ME) = X
+  Produce CELLS(ME + 1) = X + 1
+End IF
+Barrier
+End Barrier
+IF (ME .EQ. 0) THEN
+  Consume CELLS(NP) into X
+  Print 'end of wave:', X
+End IF
+Join
+`},
+	{"async-copy-void", 1, `Force CV of NP ident ME
+Async Real V
+Private Real A
+Private Integer K
+End Declarations
+Produce V = 4.5
+Copy V into A
+Print A
+Consume V into K
+Print K
+Produce V = 1.0
+Void V
+Produce V = 2.25
+Consume V into A
+Print A
+Join
+`},
+	{"while-convergence", 5, `Force WH of NP ident ME
+Shared Integer ROUNDS
+Shared Logical DONE
+End Declarations
+Barrier
+  DONE = .FALSE.
+  ROUNDS = 0
+End Barrier
+DO WHILE (.NOT. DONE)
+  Barrier
+    ROUNDS = ROUNDS + 1
+    IF (ROUNDS .GE. 7) THEN
+      DONE = .TRUE.
+    End IF
+  End Barrier
+End DO
+Barrier
+Print 'rounds', ROUNDS
+End Barrier
+Join
+`},
+	{"negative-step", 2, `Force NEG of NP ident ME
+Private Integer I
+Shared Integer S
+End Declarations
+Barrier
+S = 0
+End Barrier
+Selfsched DO I = 10, 2, -2
+  Critical L
+    S = S + I
+  End Critical
+End Selfsched DO
+Barrier
+Print S
+End Barrier
+Join
+`},
+}
+
+// RuntimeErrors is the uniform runtime-error corpus: every process hits
+// the error, at any NP, and every tier must report the identical
+// "force runtime: line N: ..." message.
+var RuntimeErrors = []Program{
+	{"subscript", 1, `Force E of NP ident ME
+Shared Real A(3)
+End Declarations
+A(4) = 1.0
+Join
+`},
+	{"subscript-2d", 1, `Force E of NP ident ME
+Private Real M(3, 3)
+Private Integer I
+End Declarations
+I = 0
+M(2, I) = 1.0
+Join
+`},
+	{"div-zero", 1, `Force E of NP ident ME
+Private Integer I
+End Declarations
+I = 1 / 0
+Join
+`},
+	{"sqrt-negative", 1, `Force E of NP ident ME
+Private Real X
+End Declarations
+X = SQRT(-1.0)
+Join
+`},
+	{"mod-zero", 1, `Force E of NP ident ME
+Private Integer I
+End Declarations
+I = MOD(5, 0)
+Join
+`},
+	{"zero-step", 1, `Force E of NP ident ME
+Private Integer I
+End Declarations
+DO I = 1, 3, 0
+End DO
+Join
+`},
+	{"async-bounds", 1, `Force E of NP ident ME
+Async Integer C(3)
+End Declarations
+Produce C(4) = 1
+Join
+`},
+}
+
+// NonUniform is the fault-containment corpus: the error strikes only
+// some processes while their peers block in (or head toward) a
+// collective construct.  Each program must return the force runtime
+// error — not hang — at NP in {2, 8} under every tier.
+var NonUniform = []Program{
+	{"before-a-barrier", 2, `Force E of NP ident ME
+Private Integer I
+End Declarations
+IF (ME .EQ. 1) THEN
+I = 1 / 0
+END IF
+Barrier
+End Barrier
+Join
+`},
+	{"inside-critical", 2, `Force E of NP ident ME
+Shared Integer S
+Private Integer I
+End Declarations
+Critical C
+IF (ME .EQ. 1) THEN
+I = 1 / 0
+END IF
+S = S + 1
+End Critical
+Barrier
+End Barrier
+Join
+`},
+	{"inside-doall-body", 2, `Force E of NP ident ME
+Shared Real A(100)
+Private Integer I
+End Declarations
+Selfsched DO I = 1, 100
+A(I) = 1.0 / (I - 7)
+A(I) = A(I) * REAL(I / (I - 7))
+End Selfsched DO
+Join
+`},
+	{"peer-waits-in-askfor", 2, `Force E of NP ident ME
+Private Integer W, I
+End Declarations
+Askfor W = 1
+I = 1 / 0
+End Askfor
+Join
+`},
+	{"consume-never-produced", 2, `Force E of NP ident ME
+Async Integer V
+Private Integer I
+End Declarations
+IF (ME .EQ. 0) THEN
+Consume V into I
+END IF
+IF (ME .EQ. 1) THEN
+I = 1 / 0
+END IF
+Join
+`},
+	{"reduction-missing-contributor", 2, `Force E of NP ident ME
+Shared Integer T
+Private Integer I
+End Declarations
+IF (ME .EQ. 1) THEN
+I = 1 / 0
+END IF
+GSUM T = ME
+Join
+`},
+}
+
+// Chunk is the chunk-tier edge matrix; tests pick their own NP sweep
+// (typically {1, 2, 8}).
+var Chunk = []Program{
+	{"step-gt-1", 0, `Force S3 of NP ident ME
+Shared Real A(100)
+Private Integer I
+Private Real T
+End Declarations
+Presched DO I = 1, 100
+  A(I) = 0.0
+End Presched DO
+Barrier
+End Barrier
+Presched DO I = 1, 97, 3
+  A(I) = REAL(I) * 2.0
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 100
+    T = T + A(I)
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+	{"negative-step-accum", 0, `Force NEGC of NP ident ME
+Shared Real A(64)
+Shared Integer S
+Private Integer I
+Private Real T
+End Declarations
+Barrier
+  S = 0
+End Barrier
+Presched DO I = 1, 64
+  A(I) = 1.0
+End Presched DO
+Barrier
+End Barrier
+Presched DO I = 60, 4, -4
+  A(I) = REAL(I) + 0.5
+  S = S + I
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 64
+    T = T + A(I)
+  End DO
+  Print S, NINT(T * 2.0)
+End Barrier
+Join
+`},
+	{"empty-range", 0, `Force EMPTY of NP ident ME
+Shared Real A(10)
+Shared Integer S
+Private Integer I
+Private Real T
+End Declarations
+Barrier
+  S = 0
+End Barrier
+Presched DO I = 1, 10
+  A(I) = 1.0
+End Presched DO
+Barrier
+End Barrier
+Presched DO I = 5, 1
+  A(I) = REAL(I) * 100.0
+  S = S + 1
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 10
+    T = T + A(I)
+  End DO
+  Print S, NINT(T)
+End Barrier
+Join
+`},
+	{"doall2-nested", 0, `Force D2 of NP ident ME
+Shared Real M(8, 12)
+Private Integer I, J
+Private Real T
+End Declarations
+Presched DO I = 1, 8 also J = 1, 12
+  M(I, J) = REAL(I * 100 + J)
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 8
+    DO J = 1, 12
+      T = T + M(I, J)
+    End DO
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+	{"same-element-fallback", 0, `Force SAMEF of NP ident ME
+Shared Real A(4)
+Shared Real B(40)
+Private Integer I
+Private Real T
+End Declarations
+Presched DO I = 1, 40
+  A(MOD(I, 4) + 1) = 7.0
+  B(I) = REAL(I)
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 4
+    T = T + A(I)
+  End DO
+  DO I = 1, 40
+    T = T + B(I)
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+	{"uniform-hoist", 0, `Force UHOIST of NP ident ME
+Shared Real A(50)
+Shared Real C1, C2
+Private Integer I
+Private Real X, T
+End Declarations
+Barrier
+  C1 = 1.5
+  C2 = 0.25
+End Barrier
+Presched DO I = 1, 50
+  X = (C1 * 2.0 + C2) * REAL(I)
+  A(I) = X + C1
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 50
+    T = T + A(I)
+  End DO
+  Print NINT(T * 4.0)
+End Barrier
+Join
+`},
+	{"selfsched-accum", 0, `Force SSACC of NP ident ME
+Shared Real A(300)
+Shared Integer S
+Private Integer I
+Private Real T
+End Declarations
+Barrier
+  S = 100
+End Barrier
+Selfsched DO I = 1, 300
+  A(I) = REAL(I)
+  S = S + I
+  S = S - 1
+End Selfsched DO
+Barrier
+  T = 0.0
+  DO I = 1, 300
+    T = T + A(I)
+  End DO
+  Print S, NINT(T)
+End Barrier
+Join
+`},
+	{"if-and-seqdo", 0, `Force IFSD of NP ident ME
+Shared Real A(40)
+Private Integer I, J
+Private Real T
+End Declarations
+Presched DO I = 1, 40
+  T = 0.0
+  DO J = 1, 5
+    T = T + REAL(I * J)
+  End DO
+  IF (MOD(I, 2) .EQ. 0) THEN
+    A(I) = T
+  ELSE
+    A(I) = 0.0 - T
+  End IF
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 40
+    T = T + A(I)
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+	{"written-subscript-fallback", 0, `Force WSUB of NP ident ME
+Shared Real A(30)
+Private Integer I, K
+Private Real T
+End Declarations
+Presched DO I = 1, 30
+  K = I + 1
+  A(K - 1) = REAL(I) * 3.0
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 30
+    T = T + A(I)
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+	{"loop-var-final", 0, `Force LVF of NP ident ME
+Private Integer I
+End Declarations
+I = 0 - 9
+Presched DO I = 1, 37
+End Presched DO
+Print 'me', ME, I
+Join
+`},
+}

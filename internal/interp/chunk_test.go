@@ -11,233 +11,16 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/forcelang"
 )
 
 // chunkCorpus holds programs chosen to hit the chunk tier's edges:
 // strides, empty ranges, two-index DOALLs, disjointness proofs and
 // their failures, uniform hoisting, accumulator folding, and final
-// loop-variable values.
-var chunkCorpus = []struct {
-	name string
-	src  string
-}{
-	{"step-gt-1", `Force S3 of NP ident ME
-Shared Real A(100)
-Private Integer I
-Private Real T
-End Declarations
-Presched DO I = 1, 100
-  A(I) = 0.0
-End Presched DO
-Barrier
-End Barrier
-Presched DO I = 1, 97, 3
-  A(I) = REAL(I) * 2.0
-End Presched DO
-Barrier
-  T = 0.0
-  DO I = 1, 100
-    T = T + A(I)
-  End DO
-  Print NINT(T)
-End Barrier
-Join
-`},
-	{"negative-step-accum", `Force NEGC of NP ident ME
-Shared Real A(64)
-Shared Integer S
-Private Integer I
-Private Real T
-End Declarations
-Barrier
-  S = 0
-End Barrier
-Presched DO I = 1, 64
-  A(I) = 1.0
-End Presched DO
-Barrier
-End Barrier
-Presched DO I = 60, 4, -4
-  A(I) = REAL(I) + 0.5
-  S = S + I
-End Presched DO
-Barrier
-  T = 0.0
-  DO I = 1, 64
-    T = T + A(I)
-  End DO
-  Print S, NINT(T * 2.0)
-End Barrier
-Join
-`},
-	{"empty-range", `Force EMPTY of NP ident ME
-Shared Real A(10)
-Shared Integer S
-Private Integer I
-Private Real T
-End Declarations
-Barrier
-  S = 0
-End Barrier
-Presched DO I = 1, 10
-  A(I) = 1.0
-End Presched DO
-Barrier
-End Barrier
-Presched DO I = 5, 1
-  A(I) = REAL(I) * 100.0
-  S = S + 1
-End Presched DO
-Barrier
-  T = 0.0
-  DO I = 1, 10
-    T = T + A(I)
-  End DO
-  Print S, NINT(T)
-End Barrier
-Join
-`},
-	{"doall2-nested", `Force D2 of NP ident ME
-Shared Real M(8, 12)
-Private Integer I, J
-Private Real T
-End Declarations
-Presched DO I = 1, 8 also J = 1, 12
-  M(I, J) = REAL(I * 100 + J)
-End Presched DO
-Barrier
-  T = 0.0
-  DO I = 1, 8
-    DO J = 1, 12
-      T = T + M(I, J)
-    End DO
-  End DO
-  Print NINT(T)
-End Barrier
-Join
-`},
-	{"same-element-fallback", `Force SAMEF of NP ident ME
-Shared Real A(4)
-Shared Real B(40)
-Private Integer I
-Private Real T
-End Declarations
-Presched DO I = 1, 40
-  A(MOD(I, 4) + 1) = 7.0
-  B(I) = REAL(I)
-End Presched DO
-Barrier
-  T = 0.0
-  DO I = 1, 4
-    T = T + A(I)
-  End DO
-  DO I = 1, 40
-    T = T + B(I)
-  End DO
-  Print NINT(T)
-End Barrier
-Join
-`},
-	{"uniform-hoist", `Force UHOIST of NP ident ME
-Shared Real A(50)
-Shared Real C1, C2
-Private Integer I
-Private Real X, T
-End Declarations
-Barrier
-  C1 = 1.5
-  C2 = 0.25
-End Barrier
-Presched DO I = 1, 50
-  X = (C1 * 2.0 + C2) * REAL(I)
-  A(I) = X + C1
-End Presched DO
-Barrier
-  T = 0.0
-  DO I = 1, 50
-    T = T + A(I)
-  End DO
-  Print NINT(T * 4.0)
-End Barrier
-Join
-`},
-	{"selfsched-accum", `Force SSACC of NP ident ME
-Shared Real A(300)
-Shared Integer S
-Private Integer I
-Private Real T
-End Declarations
-Barrier
-  S = 100
-End Barrier
-Selfsched DO I = 1, 300
-  A(I) = REAL(I)
-  S = S + I
-  S = S - 1
-End Selfsched DO
-Barrier
-  T = 0.0
-  DO I = 1, 300
-    T = T + A(I)
-  End DO
-  Print S, NINT(T)
-End Barrier
-Join
-`},
-	{"if-and-seqdo", `Force IFSD of NP ident ME
-Shared Real A(40)
-Private Integer I, J
-Private Real T
-End Declarations
-Presched DO I = 1, 40
-  T = 0.0
-  DO J = 1, 5
-    T = T + REAL(I * J)
-  End DO
-  IF (MOD(I, 2) .EQ. 0) THEN
-    A(I) = T
-  ELSE
-    A(I) = 0.0 - T
-  End IF
-End Presched DO
-Barrier
-  T = 0.0
-  DO I = 1, 40
-    T = T + A(I)
-  End DO
-  Print NINT(T)
-End Barrier
-Join
-`},
-	{"written-subscript-fallback", `Force WSUB of NP ident ME
-Shared Real A(30)
-Private Integer I, K
-Private Real T
-End Declarations
-Presched DO I = 1, 30
-  K = I + 1
-  A(K - 1) = REAL(I) * 3.0
-End Presched DO
-Barrier
-  T = 0.0
-  DO I = 1, 30
-    T = T + A(I)
-  End DO
-  Print NINT(T)
-End Barrier
-Join
-`},
-	{"loop-var-final", `Force LVF of NP ident ME
-Private Integer I
-End Declarations
-I = 0 - 9
-Presched DO I = 1, 37
-End Presched DO
-Print 'me', ME, I
-Join
-`},
-}
+// loop-variable values.  It lives in internal/corpus so the AOT tier's
+// parity sweep covers the same matrix.
+var chunkCorpus = corpus.Chunk
 
 // TestChunkEquivalence runs the chunk corpus under every engine at
 // np ∈ {1, 2, 8} and requires each engine's sorted output to match the
@@ -245,9 +28,9 @@ Join
 func TestChunkEquivalence(t *testing.T) {
 	for _, tc := range chunkCorpus {
 		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
+		t.Run(tc.Name, func(t *testing.T) {
 			t.Parallel()
-			prog, err := forcelang.Parse(tc.src)
+			prog, err := forcelang.Parse(tc.Src)
 			if err != nil {
 				t.Fatalf("parse: %v", err)
 			}

@@ -4,338 +4,15 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/corpus"
 	"repro/internal/forcelang"
 )
 
-// equivCase is one program of the tree-vs-compiled equivalence corpus.
-// Every case is deterministic by construction (synchronization fixes the
-// dataflow; per-process Print order may still vary, hence the sorted
-// comparison), so both engines must produce the same lines.
-type equivCase struct {
-	name string
-	np   int
-	src  string
-}
-
-var equivCorpus = []equivCase{
-	{"hello", 4, `Force HELLO of NP ident ME
-End Declarations
-Print 'hello from', ME, 'of', NP
-Join
-`},
-	{"coercions", 2, `Force CO of NP ident ME
-Private Real X
-Private Integer K
-Private Logical B
-End Declarations
-IF (ME .EQ. 0) THEN
-  X = 7
-  K = 3.9
-  B = 1 .LT. 2 .AND. .NOT. (2.0 .GE. 3.0)
-  Print X, K, B
-  Print INT(2.9), NINT(2.9), INT(7), MOD(9, 4), MOD(9.5, 4.0)
-  Print MIN(3, 1, 2), MAX(1.5, 2), ABS(-3), ABS(-2.5), SQRT(16.0)
-  Print -X, -K, 5 / 2, 5.0 / 2.0, 1 / 2
-End IF
-Join
-`},
-	{"shared-scalar-traffic", 4, `Force SST of NP ident ME
-Shared Integer TOTAL
-Shared Real ACC
-Shared Logical FLAG
-Private Integer I
-End Declarations
-Barrier
-  TOTAL = 0
-  ACC = 0.0
-  FLAG = .FALSE.
-End Barrier
-Presched DO I = 1, 200
-  Critical L
-    TOTAL = TOTAL + I
-    ACC = ACC + REAL(I) / 2.0
-  End Critical
-End Presched DO
-Barrier
-  FLAG = TOTAL .EQ. 20100
-  Print TOTAL, ACC, FLAG
-End Barrier
-Join
-`},
-	{"arrays-2d", 3, `Force A2 of NP ident ME
-Shared Real M(6,7)
-Shared Real S
-Private Integer I, J
-End Declarations
-Presched DO I = 1, 6 also J = 1, 7
-  M(I, J) = REAL(I) + REAL(J) / 10.0
-End Presched DO
-Barrier
-S = 0.0
-End Barrier
-Selfsched DO I = 1, 6
-  DO J = 1, 7
-    Critical L
-      S = S + M(I, J)
-    End Critical
-  End DO
-End Selfsched DO
-Barrier
-Print NINT(S * 10.0)
-End Barrier
-Join
-`},
-	{"call-chain-param-forwarding", 4, `Force CHAIN of NP ident ME
-Shared Real A(6)
-Shared Real S
-Private Integer I
-End Declarations
-Presched DO I = 1, 6
-  A(I) = REAL(I)
-End Presched DO
-Barrier
-End Barrier
-Call OUTER(A, S)
-Barrier
-  Print 'sum', NINT(S)
-End Barrier
-IF (ME .EQ. 0) THEN
-  Call BUMP(A(2))
-  Print 'bumped', A(2)
-End IF
-Join
-Forcesub OUTER(X, T)
-Shared Real X(6)
-Shared Real T
-End Declarations
-Call INNER(X, T)
-Endsub
-Forcesub INNER(Y, U)
-Shared Real Y(6)
-Shared Real U
-Private Integer K
-End Declarations
-Barrier
-  U = 0.0
-End Barrier
-Presched DO K = 1, 6
-  Critical LC
-    U = U + Y(K)
-  End Critical
-End Presched DO
-Barrier
-End Barrier
-IF (U .GT. 100.0) THEN
-  Call BUMP(Y(1))
-End IF
-Endsub
-Forcesub BUMP(Z)
-Shared Real Z
-End Declarations
-Z = Z + 10.0
-Endsub
-`},
-	{"recursive-sub", 2, `Force REC of NP ident ME
-Private Integer N, R
-End Declarations
-IF (ME .EQ. 0) THEN
-  N = 5
-  R = 1
-  Call FACT(N, R)
-  Print 'fact', R
-End IF
-Join
-Forcesub FACT(N, R)
-Private Integer N, R
-Private Integer M
-End Declarations
-IF (N .GT. 1) THEN
-  R = R * N
-  M = N - 1
-  Call FACT(M, R)
-End IF
-Endsub
-`},
-	{"private-arrays-fresh-per-call", 2, `Force PA of NP ident ME
-End Declarations
-IF (ME .EQ. 0) THEN
-  Call WORK
-  Call WORK
-End IF
-Join
-Forcesub WORK()
-Private Real B(4)
-Private Integer K, Z
-End Declarations
-Z = 0
-DO K = 1, 4
-  IF (B(K) .EQ. 0.0) THEN
-    Z = Z + 1
-  End IF
-  B(K) = REAL(K)
-End DO
-Print 'zeros', Z
-Endsub
-`},
-	{"unit-local-shared", 3, `Force PERSIST of NP ident ME
-End Declarations
-Call TICK
-Call TICK
-Barrier
-End Barrier
-Call REPORT
-Join
-Forcesub TICK()
-Shared Integer COUNT
-End Declarations
-Barrier
-COUNT = COUNT + 1
-End Barrier
-Endsub
-Forcesub REPORT()
-Shared Integer COUNT
-End Declarations
-Barrier
-Print 'count', COUNT
-End Barrier
-Endsub
-`},
-	{"pcase", 2, `Force PC of NP ident ME
-Shared Integer A, B, C
-Shared Integer N
-End Declarations
-Barrier
-N = 3
-End Barrier
-Pcase
-Usect
-  A = A + 1
-Csect (N .GT. 2)
-  B = B + 1
-Csect (N .GT. 5)
-  C = C + 100
-End Pcase
-Barrier
-Print A, B, C
-End Barrier
-Join
-`},
-	{"askfor-put", 4, `Force AF of NP ident ME
-Shared Integer SEEN
-Private Integer T
-End Declarations
-Barrier
-  SEEN = 0
-End Barrier
-Askfor T = 4
-  Critical CL
-    SEEN = SEEN + 1
-  End Critical
-  IF (T .GT. 1) THEN
-    Put T - 1
-    Put T - 1
-  End IF
-End Askfor
-Barrier
-  Print 'tasks', SEEN
-End Barrier
-Join
-`},
-	{"reductions", 4, `Force RD of NP ident ME
-Shared Integer TOTAL
-Shared Real BIG
-Shared Logical ALLIN, ANYODD
-Private Integer I, MINE
-End Declarations
-MINE = 0
-Presched DO I = 1, 40
-  MINE = MINE + I
-End Presched DO
-GSUM TOTAL = MINE
-GMAX BIG = REAL(ME) + 0.5
-GAND ALLIN = TOTAL .EQ. 820
-GOR ANYODD = MOD(ME, 2) .EQ. 1
-Barrier
-  Print TOTAL, BIG, ALLIN, ANYODD
-End Barrier
-Join
-`},
-	{"async-wave", 5, `Force WAVE of NP ident ME
-Async Integer CELLS(8)
-Private Integer X
-End Declarations
-IF (ME .EQ. 0) THEN
-  Produce CELLS(1) = 100
-End IF
-IF (ME .GT. 0) THEN
-  Consume CELLS(ME) into X
-  Produce CELLS(ME) = X
-  Produce CELLS(ME + 1) = X + 1
-End IF
-Barrier
-End Barrier
-IF (ME .EQ. 0) THEN
-  Consume CELLS(NP) into X
-  Print 'end of wave:', X
-End IF
-Join
-`},
-	{"async-copy-void", 1, `Force CV of NP ident ME
-Async Real V
-Private Real A
-Private Integer K
-End Declarations
-Produce V = 4.5
-Copy V into A
-Print A
-Consume V into K
-Print K
-Produce V = 1.0
-Void V
-Produce V = 2.25
-Consume V into A
-Print A
-Join
-`},
-	{"while-convergence", 5, `Force WH of NP ident ME
-Shared Integer ROUNDS
-Shared Logical DONE
-End Declarations
-Barrier
-  DONE = .FALSE.
-  ROUNDS = 0
-End Barrier
-DO WHILE (.NOT. DONE)
-  Barrier
-    ROUNDS = ROUNDS + 1
-    IF (ROUNDS .GE. 7) THEN
-      DONE = .TRUE.
-    End IF
-  End Barrier
-End DO
-Barrier
-Print 'rounds', ROUNDS
-End Barrier
-Join
-`},
-	{"negative-step", 2, `Force NEG of NP ident ME
-Private Integer I
-Shared Integer S
-End Declarations
-Barrier
-S = 0
-End Barrier
-Selfsched DO I = 10, 2, -2
-  Critical L
-    S = S + I
-  End Critical
-End Selfsched DO
-Barrier
-Print S
-End Barrier
-Join
-`},
-}
+// The tree-vs-compiled equivalence corpus lives in internal/corpus so
+// the AOT (generated-Go) tier is held to the same programs.  Every case
+// is deterministic by construction (synchronization fixes the dataflow;
+// per-process Print order may still vary, hence the sorted comparison).
+var equivCorpus = corpus.Equiv
 
 // TestExecEnginesAgree runs the corpus under every engine — the tree
 // walker, the closure compiler, and the chunk tier — and requires
@@ -344,16 +21,16 @@ Join
 func TestExecEnginesAgree(t *testing.T) {
 	for _, tc := range equivCorpus {
 		tc := tc
-		t.Run(tc.name, func(t *testing.T) {
+		t.Run(tc.Name, func(t *testing.T) {
 			t.Parallel()
-			prog, err := forcelang.Parse(tc.src)
+			prog, err := forcelang.Parse(tc.Src)
 			if err != nil {
 				t.Fatalf("parse: %v", err)
 			}
 			outs := map[ExecMode]string{}
 			for _, mode := range ExecModes() {
 				var sb strings.Builder
-				if err := Run(prog, Config{NP: tc.np, Stdout: &sb, Exec: mode}); err != nil {
+				if err := Run(prog, Config{NP: tc.NP, Stdout: &sb, Exec: mode}); err != nil {
 					t.Fatalf("%s: %v", mode, err)
 				}
 				outs[mode] = sb.String()
@@ -378,55 +55,9 @@ func TestExecEnginesAgree(t *testing.T) {
 // TestRuntimeErrorsBothEngines checks that the runtime-error corpus
 // aborts with identical messages under every engine.
 func TestRuntimeErrorsBothEngines(t *testing.T) {
-	cases := map[string]string{
-		"subscript": `Force E of NP ident ME
-Shared Real A(3)
-End Declarations
-A(4) = 1.0
-Join
-`,
-		"subscript-2d": `Force E of NP ident ME
-Private Real M(3, 3)
-Private Integer I
-End Declarations
-I = 0
-M(2, I) = 1.0
-Join
-`,
-		"div zero": `Force E of NP ident ME
-Private Integer I
-End Declarations
-I = 1 / 0
-Join
-`,
-		"sqrt negative": `Force E of NP ident ME
-Private Real X
-End Declarations
-X = SQRT(-1.0)
-Join
-`,
-		"mod zero": `Force E of NP ident ME
-Private Integer I
-End Declarations
-I = MOD(5, 0)
-Join
-`,
-		"zero step": `Force E of NP ident ME
-Private Integer I
-End Declarations
-DO I = 1, 3, 0
-End DO
-Join
-`,
-		"async bounds": `Force E of NP ident ME
-Async Integer C(3)
-End Declarations
-Produce C(4) = 1
-Join
-`,
-	}
-	for name, src := range cases {
-		prog, err := forcelang.Parse(src)
+	for _, tc := range corpus.RuntimeErrors {
+		name := tc.Name
+		prog, err := forcelang.Parse(tc.Src)
 		if err != nil {
 			t.Fatalf("%s: parse: %v", name, err)
 		}

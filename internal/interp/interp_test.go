@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/barrier"
+	"repro/internal/corpus"
 	"repro/internal/forcelang"
 	"repro/internal/machine"
 	"repro/internal/trace"
@@ -347,43 +348,11 @@ Endsub
 }
 
 func TestRuntimeErrors(t *testing.T) {
-	cases := map[string]string{
-		"subscript": `Force E of NP ident ME
-Shared Real A(3)
-End Declarations
-A(4) = 1.0
-Join
-`,
-		"div zero": `Force E of NP ident ME
-Private Integer I
-End Declarations
-I = 1 / 0
-Join
-`,
-		"sqrt negative": `Force E of NP ident ME
-Private Real X
-End Declarations
-X = SQRT(-1.0)
-Join
-`,
-		"mod zero": `Force E of NP ident ME
-Private Integer I
-End Declarations
-I = MOD(5, 0)
-Join
-`,
-		"zero step": `Force E of NP ident ME
-Private Integer I
-End Declarations
-DO I = 1, 3, 0
-End DO
-Join
-`,
-	}
 	// Uniform error sites: every process errs, at any NP, under both
 	// engines.  Before the poison protocol only NP=1 was safe to test.
-	for name, src := range cases {
-		prog, err := forcelang.Parse(src)
+	for _, tc := range corpus.RuntimeErrors {
+		name := tc.Name
+		prog, err := forcelang.Parse(tc.Src)
 		if err != nil {
 			t.Fatalf("%s: parse: %v", name, err)
 		}
@@ -406,74 +375,8 @@ Join
 // peers are inside a barrier leaves them blocked"); now each must
 // return the force runtime error at NP in {2, 8} under both engines.
 func TestRuntimeErrorsNonUniform(t *testing.T) {
-	cases := map[string]string{
-		"before a barrier": `Force E of NP ident ME
-Private Integer I
-End Declarations
-IF (ME .EQ. 1) THEN
-I = 1 / 0
-END IF
-Barrier
-End Barrier
-Join
-`,
-		"inside critical": `Force E of NP ident ME
-Shared Integer S
-Private Integer I
-End Declarations
-Critical C
-IF (ME .EQ. 1) THEN
-I = 1 / 0
-END IF
-S = S + 1
-End Critical
-Barrier
-End Barrier
-Join
-`,
-		"inside doall body": `Force E of NP ident ME
-Shared Real A(100)
-Private Integer I
-End Declarations
-Selfsched DO I = 1, 100
-A(I) = 1.0 / (I - 7)
-A(I) = A(I) * REAL(I / (I - 7))
-End Selfsched DO
-Join
-`,
-		"peer waits in askfor": `Force E of NP ident ME
-Private Integer W, I
-End Declarations
-Askfor W = 1
-I = 1 / 0
-End Askfor
-Join
-`,
-		"consume never produced": `Force E of NP ident ME
-Async Integer V
-Private Integer I
-End Declarations
-IF (ME .EQ. 0) THEN
-Consume V into I
-END IF
-IF (ME .EQ. 1) THEN
-I = 1 / 0
-END IF
-Join
-`,
-		"reduction missing contributor": `Force E of NP ident ME
-Shared Integer T
-Private Integer I
-End Declarations
-IF (ME .EQ. 1) THEN
-I = 1 / 0
-END IF
-GSUM T = ME
-Join
-`,
-	}
-	for name, src := range cases {
-		name, src := name, src
+	for _, tc := range corpus.NonUniform {
+		name, src := tc.Name, tc.Src
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			prog, err := forcelang.Parse(src)
