@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -1127,6 +1129,184 @@ Join
 	for _, k := range kernels {
 		if ch, warm := perSec["chunked-interp/"+k.name][1], perSec["aot-warm/"+k.name][1]; ch > 0 {
 			fmt.Printf("aot-warm vs chunked-interp, %s, np=1: %.2fx\n", k.name, warm/ch)
+		}
+	}
+	if c.jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d cells)\n", c.jsonPath, len(report.Results))
+	}
+	return nil
+}
+
+// cancelCell is one T13 measurement: the distribution of the
+// cancellation latency — cancel() to Run returning — with every
+// process of the force parked across its blocking primitives.
+type cancelCell struct {
+	Tier         string  `json:"tier"`
+	NP           int     `json:"np"`
+	Samples      int     `json:"samples"`
+	MillisMin    float64 `json:"millis_min"`
+	MillisMedian float64 `json:"millis_median"`
+	MillisMax    float64 `json:"millis_max"`
+}
+
+// cancelReport is the top-level T13 JSON document (BENCH_cancel.json).
+type cancelReport struct {
+	Experiment string       `json:"experiment"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Runs       int          `json:"runs"`
+	Results    []cancelCell `json:"results"`
+}
+
+// expT13 is the cancellation-latency experiment: a non-conformant
+// program parks every process of the force in the barrier (process 0
+// never arrives), the run is canceled from outside, and the cell
+// reports the distribution of cancel() → Run-returned.  The interpreter
+// tiers measure the poison protocol's wake-and-unwind path; the aot
+// tier measures the subprocess analogue — SIGKILL of the child's
+// process group plus the reap.  The robustness acceptance bound is
+// 100 ms at np=8 on the in-process tiers.
+func expT13(c config) error {
+	// The missing-peer barrier stall: process 0 never arrives, everyone
+	// else parks in the barrier.  np starts at 2 — with one process the
+	// program has no missing peer (and a pure channel stall would trip
+	// the Go deadlock detector inside the aot child binary).
+	const stallSrc = `Force STALL of NP ident ME
+End Declarations
+IF (ME .GT. 0) THEN
+Barrier
+End Barrier
+END IF
+Join
+`
+	prog, err := forcelang.Parse(stallSrc)
+	if err != nil {
+		return err
+	}
+	samples := c.runs * 3
+	if samples < 5 {
+		samples = 5
+	}
+	if c.quick {
+		samples = 3
+	}
+	// settle gives the force time to reach the parked state before the
+	// cancel, so the cell times the wake path, not the program prologue.
+	const settle = 30 * time.Millisecond
+
+	measure := func(start func(ctx context.Context) chan error) (cancelCell, error) {
+		lat := make([]float64, 0, samples)
+		for i := 0; i < samples; i++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			errc := start(ctx)
+			time.Sleep(settle)
+			begin := time.Now()
+			cancel()
+			err := <-errc
+			d := time.Since(begin)
+			if err == nil || !errors.Is(err, context.Canceled) {
+				return cancelCell{}, fmt.Errorf("canceled run returned %v, want context.Canceled", err)
+			}
+			lat = append(lat, d.Seconds()*1e3)
+		}
+		sort.Float64s(lat)
+		return cancelCell{
+			Samples:      len(lat),
+			MillisMin:    lat[0],
+			MillisMedian: lat[len(lat)/2],
+			MillisMax:    lat[len(lat)-1],
+		}, nil
+	}
+
+	report := cancelReport{Experiment: "cancel-latency", GoMaxProcs: runtime.GOMAXPROCS(0), Runs: samples}
+	nps := []int{2, 8}
+	tbl := &stats.Table{
+		Title:  fmt.Sprintf("cancellation latency, cancel → Run returns, ms median (max), %d samples", samples),
+		Header: append([]string{"tier"}, npHeaders(nps)...),
+		Notes: []string{
+			"program: non-conformant missing-peer stall — process 0 skips the barrier everyone else parks in (needs np >= 2)",
+			"interpreter tiers: poison wake + unwind, in-process; aot: SIGKILL of the child's process group + reap",
+			"acceptance bound: < 100 ms at np=8 on the in-process tiers",
+		},
+	}
+
+	for _, mode := range []interp.ExecMode{interp.ExecTree, interp.ExecCompiled, interp.ExecChunked} {
+		row := []any{mode.String()}
+		for _, np := range nps {
+			np := np
+			cell, err := measure(func(ctx context.Context) chan error {
+				errc := make(chan error, 1)
+				cfg := interp.Config{NP: np, Stdout: io.Discard, Exec: mode, Context: ctx}
+				if c.barSet {
+					cfg.Barrier = c.barKind
+				}
+				go func() { errc <- interp.Run(prog, cfg) }()
+				return errc
+			})
+			if err != nil {
+				return fmt.Errorf("%s np=%d: %w", mode, np, err)
+			}
+			cell.Tier, cell.NP = mode.String(), np
+			report.Results = append(report.Results, cell)
+			row = append(row, fmt.Sprintf("%.1f (%.1f)", cell.MillisMedian, cell.MillisMax))
+		}
+		tbl.AddRow(row...)
+	}
+
+	// The native tier: one cached build, then cancel the running binary.
+	aotRow := func() error {
+		cacheDir, err := os.MkdirTemp("", "force-cancel-bench-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(cacheDir)
+		cache, err := aot.Open(cacheDir)
+		if err != nil {
+			return err
+		}
+		entry, err := cache.Ensure(prog, aot.Options{})
+		if errors.Is(err, aot.ErrNoToolchain) {
+			fmt.Println("go toolchain unavailable; skipping the aot row")
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		row := []any{"aot"}
+		for _, np := range nps {
+			np := np
+			cell, err := measure(func(ctx context.Context) chan error {
+				errc := make(chan error, 1)
+				go func() { errc <- entry.RunContext(ctx, np, io.Discard) }()
+				return errc
+			})
+			if err != nil {
+				return fmt.Errorf("aot np=%d: %w", np, err)
+			}
+			cell.Tier, cell.NP = "aot", np
+			report.Results = append(report.Results, cell)
+			row = append(row, fmt.Sprintf("%.1f (%.1f)", cell.MillisMedian, cell.MillisMax))
+		}
+		tbl.AddRow(row...)
+		return nil
+	}
+	if err := aotRow(); err != nil {
+		return err
+	}
+
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	for _, cell := range report.Results {
+		if cell.NP == 8 && cell.Tier != "aot" && cell.MillisMax > 100 {
+			fmt.Printf("WARNING: %s np=8 max latency %.1f ms exceeds the 100 ms acceptance bound\n",
+				cell.Tier, cell.MillisMax)
 		}
 	}
 	if c.jsonPath != "" {

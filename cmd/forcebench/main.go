@@ -14,6 +14,7 @@
 //	T10 global reductions: critical vs slots vs tree vs atomic
 //	T11 interpreter throughput: tree walker vs closure compiler vs chunk tier
 //	T12 execution tiers: chunked interpreter vs cold/warm aot native binary
+//	T13 cancellation latency: cancel → Run returns, per tier and force size
 //	A1  ablation: the paper's barrier over every lock kind
 //	A2  ablation: selfscheduling chunk size
 //
@@ -23,7 +24,8 @@
 //
 // -json writes the running experiment's measurements as machine-readable
 // JSON (T9: BENCH_askfor.json-style, T10: BENCH_reduce.json-style, T11:
-// BENCH_interp.json-style, T12: BENCH_aot.json-style) so successive revisions can track the
+// BENCH_interp.json-style, T12: BENCH_aot.json-style, T13:
+// BENCH_cancel.json-style) so successive revisions can track the
 // performance trajectory; use it with a single -exp, as every
 // JSON-emitting experiment writes the same file.
 // -barrier overrides the global barrier algorithm of every force the
@@ -102,7 +104,7 @@ func (c config) npSweep() []int {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (F1, T1..T12, A1, A2) or all")
+		exp    = flag.String("exp", "all", "experiment id (F1, T1..T13, A1, A2) or all")
 		quick  = flag.Bool("quick", false, "smaller problem sizes and fewer repetitions")
 		maxNP  = flag.Int("maxnp", 2*runtime.GOMAXPROCS(0), "largest force size in sweeps")
 		runs   = flag.Int("runs", 3, "timing repetitions per cell")
@@ -164,6 +166,7 @@ func experiments() map[string]experiment {
 		{"T10", "global reductions: critical vs slots vs tree vs atomic", expT10},
 		{"T11", "interpreter throughput: tree walker vs closure compiler vs chunk tier", expT11},
 		{"T12", "execution tiers: chunked interpreter vs aot native binary", expT12},
+		{"T13", "cancellation latency: cancel → Run returns, per tier", expT13},
 		{"A1", "ablation: two-lock barrier over lock kinds", expA1},
 		{"A2", "ablation: selfscheduling chunk size", expA2},
 	}

@@ -29,12 +29,16 @@
 //	    execute from ($FORCE_CACHE or ~/.cache/force) — and print the
 //	    cache key, status (hit or built) and binary path.  Use it to
 //	    pre-warm the cache so a program's first -exec aot run is
-//	    already native.
+//	    already native.  -timeout D bounds the pre-warm's `go build`
+//	    with a wall-clock deadline (same semantics as forcerun
+//	    -timeout): an expired build exits 1 and leaves no entry, so
+//	    the next -cache (or forcerun) simply rebuilds.
 //
 // A file name of "-" reads standard input.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -64,6 +68,7 @@ func main() {
 		barF     = flag.String("barrier", "twolock", "barrier algorithm in -go and -cache output")
 		askforF  = flag.String("askfor", "stealing", "Askfor pool discipline in -go and -cache output")
 		chunkF   = flag.Int("chunk", 0, "selfsched span size baked into -go and -cache output (0 = discipline default)")
+		wallTO   = flag.Duration("timeout", 0, "wall-clock deadline for the -cache pre-warm build (0 disables)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -108,7 +113,13 @@ func main() {
 				fail(err)
 			}
 			opts := aot.Options{Selfsched: kind, Reduce: rk, Barrier: bk, Askfor: pool, Chunk: *chunkF}
-			entry, err := cache.Ensure(prog, opts)
+			ctx := context.Background()
+			if *wallTO > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, *wallTO)
+				defer cancel()
+			}
+			entry, err := cache.EnsureContext(ctx, prog, opts)
 			if err != nil {
 				fail(err)
 			}

@@ -45,7 +45,7 @@
 //
 //	forcerun -np 8 -cpuprofile cpu.out file.force && go tool pprof cpu.out
 //
-// # Fault containment and the stall watchdog
+// # Fault containment, deadlines and the stall watchdog
 //
 // A Force runtime error (division by zero, subscript out of range)
 // aborts the whole force even when it strikes only some processes: the
@@ -53,20 +53,47 @@
 // prints "forcerun: force runtime: ..." and exits 1 — at every NP, not
 // just NP=1.
 //
-// -hang-timeout D arms a stall watchdog for genuinely non-conformant
+// -timeout D bounds the whole run by a wall-clock deadline: the run
+// executes under a context (core.Force.RunContext), and when the
+// deadline passes the force is poisoned with the *external* cause,
+// every blocked process unwinds within one park interval, and forcerun
+// reports the deadline and exits 1.  All four exec tiers honor it — the
+// interpreter tiers through the poison cell, the aot tier by killing
+// the generated binary's whole process group and reaping it.
+//
+// -hang-timeout D arms the stall watchdog for genuinely non-conformant
 // SPMD programs (a Barrier some processes never reach, a Consume no one
 // Produces): if the run has not finished after D, forcerun reports
 // which processes are blocked at which construct and source line,
 // poisons the force so the blocked processes unwind, and exits through
 // the normal error path.
 //
+// The two compose: -timeout is the caller's hard budget for the whole
+// run (parse to exit), while -hang-timeout is a diagnosis tool that
+// additionally prints the per-process blocked-site report before
+// aborting.  With both set, whichever fires first aborts the run; a
+// stall report only appears if the stall watchdog wins.  Both exit 1
+// when they abort a run (the deadline or stall is the run's outcome);
+// exit 3 is reserved for the stall watchdog's give-up path below.
+//
+// FORCE_FAULTS=<spec> arms the fault-injection chaos harness
+// (internal/faultinject) before the run: named runtime sites
+// (barrier.enter, askfor.take, aot.exec, ...) panic, delay or stall
+// according to the spec — e.g. "seed=7,barrier.enter=panic".  Used by
+// the chaos sweep in CI; off (and costless) when unset.  Injections
+// arm this process only: the aot tier's generated child binary runs
+// uninstrumented (its aot.build/aot.exec parent-side sites still fire).
+//
 // Exit codes: 0 success; 1 any error (parse, check, runtime error,
-// watchdog-aborted stall); 2 usage; 3 a stall the watchdog could not
+// -timeout deadline, watchdog-aborted stall, injected fault); 2 usage
+// (or a malformed FORCE_FAULTS spec); 3 a stall the watchdog could not
 // abort (the force did not unwind after poisoning, or the stall hit
 // before the force was created).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -80,6 +107,7 @@ import (
 	"repro/internal/barrier"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/forcelang"
 	"repro/internal/interp"
 	"repro/internal/machine"
@@ -109,6 +137,7 @@ func run() error {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		hangTO  = flag.Duration("hang-timeout", 0, "abort a run that has not finished after this long, reporting where each process is blocked (0 disables)")
+		wallTO  = flag.Duration("timeout", 0, "wall-clock deadline for the whole run: cancel via the runtime's external-cancellation path after this long (0 disables)")
 		showAST = flag.Bool("ast", false, "print a program summary before running")
 		promote = flag.Int("promote", 3, "with -exec auto, interpreted runs before promotion to the native tier")
 		verbose = flag.Bool("v", false, "report tier decisions and cache activity on standard error")
@@ -117,6 +146,16 @@ func run() error {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: forcerun [-np N] [-machine NAME] [-barrier ALG] [-exec ENGINE] file.force")
 		os.Exit(2)
+	}
+	// Arm the chaos harness before anything runs; a malformed spec is a
+	// usage error, same as a bad flag.
+	if spec := os.Getenv("FORCE_FAULTS"); spec != "" {
+		plan, err := faultinject.ParseSpec(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "forcerun:", err)
+			os.Exit(2)
+		}
+		faultinject.Enable(plan)
 	}
 	src, err := readSource(flag.Arg(0))
 	if err != nil {
@@ -189,11 +228,18 @@ func run() error {
 		fmt.Printf("program %s: %d declarations, %d subroutines, %d top-level statements\n",
 			prog.Name, len(prog.Decls), len(prog.Subs), len(prog.Body))
 	}
+	// The -timeout context bounds the whole run, whatever the tier.
+	ctx := context.Background()
+	if *wallTO > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *wallTO)
+		defer cancel()
+	}
 	if nativeTier {
 		opts := aot.Options{Selfsched: sk, Reduce: rk, Barrier: bk, Askfor: pool, Chunk: *chunkN}
-		ran, err := tryNative(prog, *execF, opts, *np, *machF, *promote, *verbose, *hangTO)
+		ran, err := tryNative(ctx, prog, *execF, opts, *np, *machF, *promote, *verbose, *hangTO)
 		if ran {
-			return err
+			return reportDeadline(err, *wallTO)
 		}
 		// Fall through to the chunked interpreter.
 	}
@@ -207,6 +253,7 @@ func run() error {
 		Reduce:    rk,
 		Exec:      em,
 		Chunk:     *chunkN,
+		Context:   ctx,
 	}
 	if *hangTO > 0 {
 		done := make(chan struct{})
@@ -224,7 +271,16 @@ func run() error {
 			return force
 		})
 	}
-	return interp.Run(prog, cfg)
+	return reportDeadline(interp.Run(prog, cfg), *wallTO)
+}
+
+// reportDeadline rewrites a -timeout expiry into a user-facing message;
+// every other error (including a -hang-timeout stall) passes through.
+func reportDeadline(err error, wallTO time.Duration) error {
+	if wallTO > 0 && errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("wall-clock deadline exceeded after %v (-timeout)", wallTO)
+	}
+	return err
 }
 
 // tryNative runs prog through the ahead-of-time native tier.  It
@@ -234,7 +290,7 @@ func run() error {
 // build, or an "auto" program that is not hot yet.  When ran is true
 // the returned error is the program's outcome — nil or the exact
 // "force runtime: line N: ..." the interpreter tiers would report.
-func tryNative(prog *forcelang.Program, execMode string, opts aot.Options, np int, machName string, promote int, verbose bool, hangTO time.Duration) (bool, error) {
+func tryNative(ctx context.Context, prog *forcelang.Program, execMode string, opts aot.Options, np int, machName string, promote int, verbose bool, hangTO time.Duration) (bool, error) {
 	vlog := func(format string, args ...any) {
 		if verbose {
 			fmt.Fprintf(os.Stderr, "forcerun: "+format+"\n", args...)
@@ -269,8 +325,14 @@ func tryNative(prog *forcelang.Program, execMode string, opts aot.Options, np in
 	}
 	if entry == nil {
 		start := time.Now()
-		e, err := cache.Ensure(prog, opts)
+		e, err := cache.EnsureContext(ctx, prog, opts)
 		if err != nil {
+			if ctx.Err() != nil {
+				// The -timeout deadline expired during the build: the run
+				// is over, not fallback material — interpreting now would
+				// overrun the very deadline the caller set.
+				return true, err
+			}
 			vlog("tier %s: %v; falling back to the chunked interpreter", execMode, err)
 			return false, nil
 		}
@@ -283,7 +345,20 @@ func tryNative(prog *forcelang.Program, execMode string, opts aot.Options, np in
 			vlog("tier %s: cache hit (key %.12s)", execMode, e.Key)
 		}
 	}
-	return true, entry.Run(np, os.Stdout, hangTO)
+	// Compose the two deadlines: ctx carries -timeout, and -hang-timeout
+	// nests a stall deadline inside it.  Whichever expires first kills
+	// the child's process group; the stall message appears only when the
+	// stall watchdog fired with the -timeout budget still open.
+	if hangTO > 0 {
+		hctx, cancel := context.WithTimeout(ctx, hangTO)
+		defer cancel()
+		err := entry.RunContext(hctx, np, os.Stdout)
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			err = fmt.Errorf("force stalled: aot binary produced no result after %v", hangTO)
+		}
+		return true, err
+	}
+	return true, entry.RunContext(ctx, np, os.Stdout)
 }
 
 // watchdog aborts a stalled run: after the timeout it reports where
@@ -325,7 +400,10 @@ func watchdog(after time.Duration, done <-chan struct{}, finalizeProfiles func()
 	for pid, site := range f.Blocked() {
 		fmt.Fprintf(os.Stderr, "  process %d: %s\n", pid, site)
 	}
-	f.Fault().Poison(interp.AbortError{Err: fmt.Errorf("force stalled: no result after %v (-hang-timeout)", after)})
+	// The stall is an external termination request, not a process
+	// failure: poison with the external cause, so RunContext returns the
+	// stall as an error (exit 1) instead of re-panicking it.
+	f.Fault().PoisonExternal(interp.AbortError{Err: fmt.Errorf("force stalled: no result after %v (-hang-timeout)", after)})
 	select {
 	case <-done:
 		// The poison unwound the force; run() is returning the stall

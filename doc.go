@@ -82,7 +82,21 @@
 //	    1989 machines the same failure wedged the whole force forever.
 //	    forcerun surfaces the protocol as a prompt "force runtime" error
 //	    exit at any NP, plus a -hang-timeout stall watchdog that reports
-//	    which processes are blocked at which construct and line.
+//	    which processes are blocked at which construct and line.  The
+//	    cell also carries an external cause: core.Force.RunContext
+//	    poisons through it when a context is canceled or its deadline
+//	    passes, so the same wake-and-unwind path serves forcerun
+//	    -timeout, Force.Shutdown, and the aot tier's kill of the child's
+//	    process group (forcebench T13 measures the cancel latency);
+//
+//	  - internal/faultinject is the chaos layer over the same choke
+//	    points: 16 named injection sites (barrier.enter ... aot.exec)
+//	    threaded through the runtime's blocking primitives, each one
+//	    atomic load when disarmed.  A seeded plan — FORCE_FAULTS env or
+//	    the programmatic API — arms panic/delay/stall injectors at a
+//	    site; the chaos sweep (TestChaos*) asserts every corpus program
+//	    x tier x np x injection ends in the correct output or a clean
+//	    abort carrying the injected failure, never a deadlock.
 //
 // See README.md for the quickstart, DESIGN.md for the system inventory
 // and experiment index, and EXPERIMENTS.md for paper-vs-measured results.
@@ -90,7 +104,8 @@
 // regenerate every experiment table; forcebench -exp T9 -json FILE emits
 // the monitor-vs-stealing Askfor comparison, T10 the reduction-strategy
 // comparison, T11 the tree-walker vs closure-compiler vs chunk-tier
-// interpreter comparison, and T12 the chunked-interpreter vs cached
-// native (aot) tier comparison machine-readably (the committed
-// BENCH_*.json baselines).
+// interpreter comparison, T12 the chunked-interpreter vs cached
+// native (aot) tier comparison, and T13 the cancellation-latency
+// distribution per tier machine-readably (the committed BENCH_*.json
+// baselines).
 package repro

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/barrier"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/forcelang"
 	"repro/internal/reduce"
 	"repro/internal/sched"
@@ -196,9 +197,24 @@ func (c *Cache) Cached(prog *forcelang.Program, opts Options) (*Entry, bool) {
 // stale.  Builds are single-flight: concurrent Ensure calls for the
 // same key (in this process or another) wait for one build.
 func (c *Cache) Ensure(prog *forcelang.Program, opts Options) (*Entry, error) {
+	return c.EnsureContext(context.Background(), prog, opts)
+}
+
+// EnsureContext is Ensure under an external cancellation context: the
+// `go build` cold path is bounded by ctx (a canceled build kills the
+// toolchain invocation and returns ctx's error; the entry stays absent
+// and the next Ensure rebuilds).  A warm lookup never blocks, so ctx is
+// only consulted on the cold path.
+func (c *Cache) EnsureContext(ctx context.Context, prog *forcelang.Program, opts Options) (*Entry, error) {
 	key := Key(prog, opts)
 	if e, st := c.lookupCounted(key); st == lookupHit {
 		return e, nil
+	}
+	if err := faultinject.FireErr(faultinject.AOTBuild, nil); err != nil {
+		return nil, fmt.Errorf("aot: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	unlock, err := c.lockKey(key)
 	if err != nil {
@@ -210,7 +226,7 @@ func (c *Cache) Ensure(prog *forcelang.Program, opts Options) (*Entry, error) {
 		return e, nil
 	}
 	start := time.Now()
-	e, err := c.build(key, prog, opts)
+	e, err := c.build(ctx, key, prog, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -271,12 +287,11 @@ func (c *Cache) RecordInterpreted(prog *forcelang.Program, opts Options) (int, e
 	return int(st.Size()), nil
 }
 
-// Run executes the cached binary at np, streaming program output to
-// stdout.  A generated-driver runtime failure (exit 1 with the
-// interpreter's "force runtime: line N: ..." protocol on stderr) comes
-// back as that exact error, so forcerun's aot tier reports
-// byte-identical messages to the interpreter tiers.  A zero timeout
-// means no deadline.
+// Run executes the cached binary at np with an optional wall-clock
+// timeout (zero means no deadline), streaming program output to stdout.
+// It delegates to RunContext; the stall-shaped timeout keeps its
+// historical watchdog message so forcerun's -hang-timeout reports read
+// the same across tiers.
 func (e *Entry) Run(np int, stdout io.Writer, timeout time.Duration) error {
 	ctx := context.Background()
 	if timeout > 0 {
@@ -284,16 +299,78 @@ func (e *Entry) Run(np int, stdout io.Writer, timeout time.Duration) error {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	cmd := exec.CommandContext(ctx, e.Bin, "-np", strconv.Itoa(np))
+	err := e.RunContext(ctx, np, stdout)
+	if timeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("force stalled: aot binary produced no result after %v", timeout)
+	}
+	return err
+}
+
+// testChildStarted, when non-nil, receives the child's pid right after
+// the exec starts — the robustness tests' hook for killing the child
+// out from under the parent.
+var testChildStarted func(pid int)
+
+// RunContext executes the cached binary at np under an external
+// cancellation context, streaming program output to stdout.
+//
+// A generated-driver runtime failure (exit 1 with the interpreter's
+// "force runtime: line N: ..." protocol on stderr) comes back as that
+// exact error, so forcerun's aot tier reports byte-identical messages
+// to the interpreter tiers.
+//
+// Cancellation is the subprocess analogue of poisoning the in-process
+// force: when ctx is canceled or its deadline passes, the child's WHOLE
+// process group is SIGKILLed (the child runs as its own group leader,
+// so helpers it spawned die with it rather than leaking as orphans),
+// the child is reaped by Wait, and the context's error — typically
+// context.DeadlineExceeded — is relayed to the caller.  The cache entry
+// is untouched: a killed run does not invalidate the binary.
+func (e *Entry) RunContext(ctx context.Context, np int, stdout io.Writer) error {
+	if err := faultinject.FireErr(faultinject.AOTExec, nil); err != nil {
+		return fmt.Errorf("aot: %s: %w", filepath.Base(e.Bin), err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cmd := exec.Command(e.Bin, "-np", strconv.Itoa(np))
 	cmd.Stdout = stdout
 	var errb bytes.Buffer
 	cmd.Stderr = &errb
-	err := cmd.Run()
+	setProcGroup(cmd)
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("aot: %s: %w", filepath.Base(e.Bin), err)
+	}
+	if testChildStarted != nil {
+		testChildStarted(cmd.Process.Pid)
+	}
+	// The cancellation watcher: on ctx expiry, kill the child's process
+	// group (and the child itself, covering platforms without process
+	// groups); Wait below then reaps it, so no zombie survives.
+	waitDone := make(chan struct{})
+	var watcher sync.WaitGroup
+	if ctx.Done() != nil {
+		watcher.Add(1)
+		go func() {
+			defer watcher.Done()
+			select {
+			case <-ctx.Done():
+				killProcGroup(cmd.Process.Pid)
+				_ = cmd.Process.Kill()
+			case <-waitDone:
+			}
+		}()
+	}
+	err := cmd.Wait()
+	close(waitDone)
+	watcher.Wait()
 	if err == nil {
 		return nil
 	}
-	if ctx.Err() == context.DeadlineExceeded {
-		return fmt.Errorf("force stalled: aot binary produced no result after %v", timeout)
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// The exit status of a group-killed child is noise; the caller
+		// asked for the cancellation, so relay its error.
+		return ctxErr
 	}
 	msg := strings.TrimSpace(errb.String())
 	var ee *exec.ExitError

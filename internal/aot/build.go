@@ -11,6 +11,7 @@ package aot
 // one that executes a half-written binary.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -52,8 +53,11 @@ func moduleRoot() (string, error) {
 }
 
 // build generates, compiles and publishes the entry for key.  The
-// caller holds the build lock.
-func (c *Cache) build(key string, prog *forcelang.Program, opts Options) (*Entry, error) {
+// caller holds the build lock.  ctx bounds the toolchain invocation: a
+// canceled build kills the `go build` subprocess and reports ctx's
+// error; the half-built scratch state is torn down as usual and the
+// entry classifies stale/missing for the next builder.
+func (c *Cache) build(ctx context.Context, key string, prog *forcelang.Program, opts Options) (*Entry, error) {
 	if _, err := exec.LookPath("go"); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNoToolchain, err)
 	}
@@ -93,9 +97,12 @@ func (c *Cache) build(key string, prog *forcelang.Program, opts Options) (*Entry
 	}
 	start := time.Now()
 	binTmp := filepath.Join(dir, "force.bin.tmp")
-	cmd := exec.Command("go", "build", "-o", binTmp, "./"+filepath.Base(scratch))
+	cmd := exec.CommandContext(ctx, "go", "build", "-o", binTmp, "./"+filepath.Base(scratch))
 	cmd.Dir = root
 	if out, err := cmd.CombinedOutput(); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("aot: go build canceled: %w", ctxErr)
+		}
 		return nil, fmt.Errorf("aot: go build: %w\n%s", err, out)
 	}
 	buildTime := time.Since(start)

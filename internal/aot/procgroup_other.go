@@ -1,0 +1,13 @@
+//go:build !unix
+
+package aot
+
+import "os/exec"
+
+// setProcGroup is a no-op without unix process groups; cancellation
+// falls back to killing the direct child only.
+func setProcGroup(cmd *exec.Cmd) {}
+
+// killProcGroup kills the direct child via its handle elsewhere; no
+// group-wide kill is available here.
+func killProcGroup(pid int) {}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package aot
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcGroup places the child in its own process group, so a
+// cancellation can kill the child AND anything the child spawned: a
+// plain Process.Kill reaps only the direct child and abandons its
+// descendants — exactly the orphan leak Entry.RunContext exists to
+// prevent.
+func setProcGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+}
+
+// killProcGroup SIGKILLs the child's whole process group (pid is the
+// group leader because of setProcGroup).  Errors are ignored: the group
+// may already be gone, and the caller's cmd.Wait reaps the leader either
+// way.
+func killProcGroup(pid int) {
+	_ = syscall.Kill(-pid, syscall.SIGKILL)
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/lock"
 	"repro/internal/poison"
 )
@@ -167,6 +168,7 @@ func (v *twoLockVar[T]) SetPoison(c *poison.Cell) { v.pc = c }
 // Produce follows the paper: "Lock F / Write to the asynchronous variable /
 // Unlock E."  Other producers find F locked and wait.
 func (v *twoLockVar[T]) Produce(x T) {
+	faultinject.Fire(faultinject.AsyncProduce, -1, v.pc)
 	lock.Acquire(v.f, v.pc)
 	v.val = x
 	v.setFull(true)
@@ -177,6 +179,7 @@ func (v *twoLockVar[T]) Produce(x T) {
 // Unlock F."  While a Produce is in progress a consumer waits until E is
 // unlocked.
 func (v *twoLockVar[T]) Consume() T {
+	faultinject.Fire(faultinject.AsyncConsume, -1, v.pc)
 	lock.Acquire(v.e, v.pc)
 	x := v.val
 	v.setFull(false)
@@ -187,6 +190,7 @@ func (v *twoLockVar[T]) Consume() T {
 // Copy waits for full (E unlocked), reads, and restores E, leaving the
 // variable full.
 func (v *twoLockVar[T]) Copy() T {
+	faultinject.Fire(faultinject.AsyncCopy, -1, v.pc)
 	lock.Acquire(v.e, v.pc)
 	x := v.val
 	v.e.Unlock()
@@ -240,6 +244,7 @@ func (v *chanVar[T]) SetPoison(c *poison.Cell) { v.pc = c }
 
 // Produce sends into the cell, blocking while it is full.
 func (v *chanVar[T]) Produce(x T) {
+	faultinject.Fire(faultinject.AsyncProduce, -1, v.pc)
 	if v.pc == nil {
 		v.ch <- x
 		return
@@ -253,6 +258,7 @@ func (v *chanVar[T]) Produce(x T) {
 
 // Consume receives from the cell, blocking while it is empty.
 func (v *chanVar[T]) Consume() T {
+	faultinject.Fire(faultinject.AsyncConsume, -1, v.pc)
 	if v.pc == nil {
 		return <-v.ch
 	}
@@ -269,6 +275,7 @@ func (v *chanVar[T]) Consume() T {
 // observable as empty between the two steps; the HEP's read-preserving
 // access had no such window, but no Force construct depends on its absence.
 func (v *chanVar[T]) Copy() T {
+	faultinject.Fire(faultinject.AsyncCopy, -1, v.pc)
 	x := v.Consume()
 	if v.pc == nil {
 		v.ch <- x
@@ -337,6 +344,7 @@ func (v *condVar[T]) await(ready func() bool) {
 
 // Produce waits for empty under the mutex, writes, and wakes waiters.
 func (v *condVar[T]) Produce(x T) {
+	faultinject.Fire(faultinject.AsyncProduce, -1, v.pc)
 	v.mu.Lock()
 	v.await(func() bool { return !v.full })
 	v.val = x
@@ -347,6 +355,7 @@ func (v *condVar[T]) Produce(x T) {
 
 // Consume waits for full under the mutex, reads, and wakes waiters.
 func (v *condVar[T]) Consume() T {
+	faultinject.Fire(faultinject.AsyncConsume, -1, v.pc)
 	v.mu.Lock()
 	v.await(func() bool { return v.full })
 	x := v.val
@@ -358,6 +367,7 @@ func (v *condVar[T]) Consume() T {
 
 // Copy waits for full and reads without emptying.
 func (v *condVar[T]) Copy() T {
+	faultinject.Fire(faultinject.AsyncCopy, -1, v.pc)
 	v.mu.Lock()
 	v.await(func() bool { return v.full })
 	x := v.val

@@ -59,11 +59,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/asyncvar"
+	"repro/internal/faultinject"
 	"repro/internal/barrier"
 	"repro/internal/engine"
 	"repro/internal/lock"
@@ -93,6 +95,10 @@ type Force struct {
 
 	pc    *poison.Cell // fault-containment cell; shared with sub-forces
 	sites []procSite   // per-pid blocked-construct state for the stall watchdog
+
+	// inflight is the current Run's completion channel (nil between
+	// runs), installed by RunContext so Shutdown can drain gracefully.
+	inflight atomic.Pointer[chan struct{}]
 
 	entries sync.Map // construct seq (uint64) -> *constructEntry
 	stats   Stats
@@ -357,7 +363,35 @@ func (f *Force) Stats() *Stats { return &f.stats }
 // table) is rebuilt, so the persistent force remains reusable: the next
 // Run starts clean.  Run must not be invoked concurrently on the same
 // force.
+//
+// Run is the no-deadline entry point: it delegates to RunContext with
+// context.Background().  Because a background context never cancels,
+// any error from RunContext here comes from an out-of-band external
+// poisoning (a stall watchdog via Fault), and Run re-panics it to keep
+// its historical panic-on-abort signature.
 func (f *Force) Run(program func(p *Proc)) {
+	if err := f.RunContext(context.Background(), program); err != nil {
+		panic(err)
+	}
+}
+
+// RunContext executes program like Run, under an external cancellation
+// context.  When ctx is canceled or its deadline passes, the force is
+// poisoned with an *external* cause (poison.CauseExternal): every
+// process blocked in a force construct — any of the seven barrier
+// kinds, a reduce episode, an asynchronous variable, an Askfor pool or
+// engine park, a chunked-tier iteration boundary — wakes within one
+// park interval and unwinds, the persistent force is rebuilt exactly
+// as after an internal abort (the force remains reusable), and
+// RunContext returns ctx.Err().  Internal failures keep Run's
+// contract: the first failing process's panic value is re-panicked
+// after all processes have stopped.
+//
+// The asymmetry is deliberate: a peer's panic is a program bug the
+// caller did not ask for (a panic), while a deadline is an outcome the
+// caller explicitly requested (an error return) — the service-shaped
+// cancellation contract of context-aware Go APIs.
+func (f *Force) RunContext(ctx context.Context, program func(p *Proc)) error {
 	if f.eng == nil {
 		// Only scoped sub-forces lack workers, and their processes are
 		// the parent's workers re-scoped — Resolve hands them Procs
@@ -369,10 +403,38 @@ func (f *Force) Run(program func(p *Proc)) {
 	// erasing it.  An *aborted* Run never leaves leftover poison — it
 	// is consumed by recoverAborted below.
 	if f.pc.Poisoned() {
-		v := f.pc.Value()
-		f.recoverAborted()
-		panic(v)
+		return f.settleAborted()
 	}
+	// A context dead on arrival never starts the force at all.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Register the in-flight run so Shutdown can drain gracefully.
+	done := make(chan struct{})
+	f.inflight.Store(&done)
+	defer func() {
+		f.inflight.Store(nil)
+		close(done)
+	}()
+
+	// The cancellation watcher: one goroutine selecting the context
+	// against run completion.  Armed only when the context can actually
+	// cancel, so Run's Background() path pays nothing.
+	var watcher sync.WaitGroup
+	stop := make(chan struct{})
+	if ctx.Done() != nil {
+		watcher.Add(1)
+		go func() {
+			defer watcher.Done()
+			select {
+			case <-ctx.Done():
+				f.pc.PoisonExternal(ctx.Err())
+			case <-stop:
+			}
+		}()
+	}
+
 	f.eng.RunCell(f.pc, func(id int) {
 		f.sites[id].construct.Store(nil)
 		f.sites[id].note.Store(nil)
@@ -383,11 +445,48 @@ func (f *Force) Run(program func(p *Proc)) {
 		f.sites[id].note.Store(nil)
 		f.sites[id].construct.Store(&siteExited)
 	})
+	close(stop)
+	watcher.Wait() // no PoisonExternal can race past this point
+
 	if f.pc.Poisoned() {
-		v := f.pc.Value()
-		f.recoverAborted()
-		panic(v)
+		return f.settleAborted()
 	}
+	return nil
+}
+
+// settleAborted consumes the cell's poison after every process has
+// stopped: the per-run state is rebuilt for the next Run, an external
+// cancellation is returned as an error, and an internal failure is
+// re-panicked (Run's contract).
+func (f *Force) settleAborted() error {
+	v, cause := f.pc.Value(), f.pc.Cause()
+	f.recoverAborted()
+	if cause == poison.CauseExternal {
+		return poison.AsError(v)
+	}
+	panic(v)
+}
+
+// Shutdown closes the force gracefully: an in-flight Run is drained
+// until ctx expires, at which point it is canceled (poisoned with the
+// external cause, exactly as RunContext would) and awaited; the
+// workers are then released.  Returns nil when the drain completed
+// without canceling, ctx.Err() when the in-flight run had to be
+// canceled.  Safe with no run in flight (it just Closes); the caller
+// owns the ordering against *starting* Runs, as with Run/Run.
+func (f *Force) Shutdown(ctx context.Context) error {
+	var err error
+	if done := f.inflight.Load(); done != nil {
+		select {
+		case <-*done:
+		case <-ctx.Done():
+			err = ctx.Err()
+			f.pc.PoisonExternal(err)
+			<-*done // cancellation latency is bounded; the drain completes
+		}
+	}
+	f.Close()
+	return err
 }
 
 // recoverAborted rebuilds the per-run construct state an aborted Run
@@ -482,9 +581,11 @@ func (p *Proc) Barrier() {
 	p.f.pc.Check()
 	p.f.stats.Barriers.Add(1)
 	p.f.tr.Record(p.id, trace.BarrierEnter, "", 0)
+	faultinject.Fire(faultinject.BarrierEnter, p.id, p.f.pc)
 	p.enterSite(&siteBarrier)
 	p.f.bar.Sync(p.id, nil)
 	p.leaveSite()
+	faultinject.Fire(faultinject.BarrierExit, p.id, p.f.pc)
 	p.f.tr.Record(p.id, trace.BarrierLeave, "", 0)
 }
 
@@ -503,9 +604,18 @@ func (p *Proc) BarrierSection(section func()) {
 			p.f.tr.Record(p.id, trace.SectionEnd, "", 0)
 		}
 	}
+	if section != nil && faultinject.Enabled() {
+		inner := section
+		section = func() {
+			faultinject.Fire(faultinject.BarrierSection, p.id, p.f.pc)
+			inner()
+		}
+	}
+	faultinject.Fire(faultinject.BarrierEnter, p.id, p.f.pc)
 	p.enterSite(&siteBarrier)
 	p.f.bar.Sync(p.id, section)
 	p.leaveSite()
+	faultinject.Fire(faultinject.BarrierExit, p.id, p.f.pc)
 	p.f.tr.Record(p.id, trace.BarrierLeave, "", 0)
 }
 
@@ -801,7 +911,10 @@ func (p *Proc) Askfor(seed []any, body func(task any, put func(any))) {
 		return engine.NewPool(p.f.askfor, p.f.np, seed, p.f.pc)
 	}).(engine.Pool)
 
-	put := func(t any) { pool.Put(p.id, t) }
+	put := func(t any) {
+		faultinject.Fire(faultinject.AskforPut, p.id, p.f.pc)
+		pool.Put(p.id, t)
+	}
 	p.enterSite(&siteAskfor)
 	for {
 		// Per-task poison check: the stealing pool's hand-slot fast
@@ -809,6 +922,7 @@ func (p *Proc) Askfor(seed []any, body func(task any, put func(any))) {
 		// without ever parking, so without this a worker could drain
 		// an entire task chain after the force died.
 		p.f.pc.Check()
+		faultinject.Fire(faultinject.AskforTake, p.id, p.f.pc)
 		task, ok := pool.Next(p.id)
 		if !ok {
 			break

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/faultinject"
 	"repro/internal/reduce"
 	"repro/internal/trace"
 )
@@ -128,6 +129,18 @@ func reduceVia[T any](p *Proc, op reduce.Op, x T, combine func(T, T) T, section 
 	f := p.f
 	f.pc.Check()
 	f.stats.Reductions.Add(1)
+	if faultinject.Enabled() {
+		// The combine wrapper exists only under an armed plan, so the
+		// disabled harness costs the combining hot path nothing.  The
+		// wrapped combine fires without process identity: the combining
+		// process is strategy-dependent (tree interior, episode winner),
+		// not the contributor.
+		inner := combine
+		combine = func(a, b T) T {
+			faultinject.Fire(faultinject.ReduceCombine, -1, f.pc)
+			return inner(a, b)
+		}
+	}
 	seq := p.nextSeq()
 	ep := f.entry(seq, func() any {
 		return reduce.New[T](f.reduceK, f.np, op, combine, reduce.Config[T]{
@@ -143,6 +156,7 @@ func reduceVia[T any](p *Proc, op reduce.Op, x T, combine func(T, T) T, section 
 		})
 	}).(reduce.Episode[T])
 	f.tr.Record(p.id, trace.ReduceEnter, op.String(), int64(seq))
+	faultinject.Fire(faultinject.ReduceContrib, p.id, f.pc)
 	p.enterSite(&siteReduce)
 	out := ep.Do(p.id, x)
 	p.leaveSite()

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/poison"
 )
 
@@ -249,6 +250,7 @@ func (p *stealingPool) Next(pid int) (any, bool) {
 		if b, ok := own.PopRef(); ok {
 			return p.unbox(pid, b), true
 		}
+		faultinject.Fire(faultinject.EngineSteal, pid, p.pc)
 		for i := 1; i < p.np; i++ {
 			if b, ok := p.stealHalf(own, p.deques[(pid+i)%p.np]); ok {
 				return p.unbox(pid, b), true
@@ -266,6 +268,7 @@ func (p *stealingPool) Next(pid int) (any, bool) {
 		// only matter when every deque is dry — either momentarily, or
 		// because a putter is blocked inside its body with the
 		// successor task still in its hand.
+		faultinject.Fire(faultinject.EngineHand, pid, p.pc)
 		for i := 1; i < p.np; i++ {
 			if b := p.hands[(pid+i)%p.np].p.Swap(nil); b != nil {
 				return p.unbox(pid, b), true
@@ -275,6 +278,7 @@ func (p *stealingPool) Next(pid int) (any, bool) {
 		// poisoned, or a steal race we lost leaves visible work to
 		// re-contest.  A poison wake falls through to the loop head,
 		// whose Check unwinds this process.
+		faultinject.Fire(faultinject.EnginePark, pid, p.pc)
 		p.mu.Lock()
 		p.sleepers.Add(1)
 		for !p.workVisible() && p.outstanding.Load() > 0 && !p.pc.Poisoned() {
@@ -358,6 +362,7 @@ func (p *monitorPool) Done(pid int) {
 }
 
 func (p *monitorPool) Next(pid int) (any, bool) {
+	faultinject.Fire(faultinject.EnginePark, pid, p.pc)
 	p.mu.Lock()
 	for len(p.queue) == 0 && p.outstanding > 0 && !p.pc.Poisoned() {
 		p.cond.Wait()

@@ -1,0 +1,257 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/poison"
+)
+
+// arm installs a plan for the test and guarantees it is torn down, so a
+// failing case cannot leave the process-global gate armed for the next
+// test.  Tests arming plans must not run in parallel.
+func arm(t *testing.T, p *Plan) {
+	t.Helper()
+	Enable(p)
+	t.Cleanup(Disable)
+}
+
+func TestParseSpecGrammar(t *testing.T) {
+	p, err := ParseSpec("seed=7, barrier.enter=panic ,askfor.take=stall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed() != 7 {
+		t.Errorf("seed = %d, want 7", p.Seed())
+	}
+	for _, site := range []string{BarrierEnter, AskforTake} {
+		a := p.sites[site]
+		if a == nil {
+			t.Fatalf("site %s not armed", site)
+		}
+		if want := seededAfter(7, site); a.inj.After != want {
+			t.Errorf("%s: After = %d, want seeded %d", site, a.inj.After, want)
+		}
+	}
+	if p.sites[BarrierEnter].inj.Kind != Panic || p.sites[AskforTake].inj.Kind != Stall {
+		t.Error("kinds not parsed")
+	}
+}
+
+func TestParseSpecArgs(t *testing.T) {
+	p, err := ParseSpec("barrier.exit=delay/5ms/after=2/pid=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := p.sites[BarrierExit].inj
+	if inj.Kind != Delay || inj.Delay != 5*time.Millisecond || inj.After != 2 || inj.Pid != 1 {
+		t.Errorf("parsed injection %+v", inj)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"seed=x",
+		"nonsite=panic",
+		"barrier.enter=explode",
+		"barrier.enter",
+		"barrier.enter=delay/bogus",
+		"barrier.enter=panic/after=-1",
+		"barrier.enter=panic/pid=-2",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+	// The empty spec is a valid empty plan (FORCE_FAULTS="" disarms).
+	if p, err := ParseSpec(""); err != nil || len(p.sites) != 0 {
+		t.Errorf("ParseSpec(\"\") = %v, %v", p, err)
+	}
+}
+
+// TestSeededPlacementDeterministic: the same seed places the same
+// injection regardless of arming order or plan identity, and different
+// seeds spread placements — the property letting one seed pin a whole
+// sweep's timing.
+func TestSeededPlacementDeterministic(t *testing.T) {
+	for _, site := range Sites {
+		a := NewPlan(42).Add(Injection{Site: site, Kind: Panic, After: -1, Pid: -1})
+		b := NewPlan(42).Add(Injection{Site: site, Kind: Stall, After: -1, Pid: -1})
+		if x, y := a.sites[site].inj.After, b.sites[site].inj.After; x != y {
+			t.Errorf("%s: seed 42 placed After=%d then After=%d", site, x, y)
+		}
+		if got := a.sites[site].inj.After; got < 0 || got > 3 {
+			t.Errorf("%s: After = %d, want [0, 4)", site, got)
+		}
+	}
+}
+
+// TestFireOneShot: an After=2 injection skips two hits, fires on the
+// third with the 1-based hit count, and never fires again.
+func TestFireOneShot(t *testing.T) {
+	p := NewPlan(0).Add(Injection{Site: BarrierEnter, Kind: Panic, After: 2, Pid: -1})
+	arm(t, p)
+	c := poison.NewCell()
+	fire := func() (e *Error) {
+		defer func() {
+			if r := recover(); r != nil {
+				e = r.(*Error)
+			}
+		}()
+		Fire(BarrierEnter, 0, c)
+		return nil
+	}
+	for i := 0; i < 2; i++ {
+		if e := fire(); e != nil {
+			t.Fatalf("hit %d fired early: %v", i+1, e)
+		}
+	}
+	e := fire()
+	if e == nil {
+		t.Fatal("chosen hit did not fire")
+	}
+	if e.Site != BarrierEnter || e.Hit != 3 {
+		t.Errorf("fired %+v, want site=%s hit=3", e, BarrierEnter)
+	}
+	if !strings.Contains(e.Error(), "fault injected at barrier.enter") {
+		t.Errorf("message %q", e.Error())
+	}
+	if !p.Fired(BarrierEnter) || !p.FiredAny() {
+		t.Error("fired latch not set")
+	}
+	if e := fire(); e != nil {
+		t.Errorf("injection fired twice: %v", e)
+	}
+}
+
+// TestFirePidRestriction: pid-restricted injections ignore other
+// processes' traffic entirely — their hits do not advance the counter —
+// and pid-less call sites (pid -1) bypass the restriction.
+func TestFirePidRestriction(t *testing.T) {
+	p := NewPlan(0).Add(Injection{Site: BarrierExit, Kind: Panic, After: 0, Pid: 2})
+	arm(t, p)
+	c := poison.NewCell()
+	Fire(BarrierExit, 0, c) // wrong pid: must not fire, must not count
+	Fire(BarrierExit, 1, c)
+	fired := func(pid int) (ok bool) {
+		defer func() { ok = recover() != nil }()
+		Fire(BarrierExit, pid, c)
+		return false
+	}
+	if !fired(2) {
+		t.Error("restricted pid did not fire on its first hit")
+	}
+}
+
+func TestFireDisabledIsNoop(t *testing.T) {
+	Disable()
+	Fire(BarrierEnter, 0, nil) // must not panic, must not dereference
+	if err := FireErr(AOTBuild, nil); err != nil {
+		t.Errorf("disabled FireErr = %v", err)
+	}
+	if Enabled() {
+		t.Error("Enabled() after Disable")
+	}
+}
+
+func TestFireDelay(t *testing.T) {
+	p := NewPlan(0).Add(Injection{Site: ReduceContrib, Kind: Delay, Delay: 20 * time.Millisecond, Pid: -1})
+	arm(t, p)
+	start := time.Now()
+	Fire(ReduceContrib, 0, poison.NewCell())
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("delay injector returned after %v, want >= 20ms", d)
+	}
+}
+
+// TestStallReleasedByDisable: a stalled process resumes (without
+// unwinding) when the plan is removed, so a chaos case tearing down
+// cannot leak a goroutine forever.
+func TestStallReleasedByDisable(t *testing.T) {
+	p := NewPlan(0).Add(Injection{Site: EnginePark, Kind: Stall, After: 0, Pid: -1})
+	arm(t, p)
+	c := poison.NewCell()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Fire(EnginePark, 0, c)
+	}()
+	select {
+	case <-done:
+		t.Fatal("stall returned before release")
+	case <-time.After(30 * time.Millisecond):
+	}
+	Disable()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stall not released by Disable")
+	}
+}
+
+// TestStallUnwoundByPoison: poisoning the cell (what external
+// cancellation does) unwinds a stalled process with the distinguished
+// abort panic, exactly like any poisoned waiter.
+func TestStallUnwoundByPoison(t *testing.T) {
+	p := NewPlan(0).Add(Injection{Site: AskforTake, Kind: Stall, After: 0, Pid: -1})
+	arm(t, p)
+	c := poison.NewCell()
+	unwound := make(chan any, 1)
+	go func() {
+		defer func() { unwound <- recover() }()
+		Fire(AskforTake, 0, c)
+		unwound <- nil
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.PoisonExternal(errors.New("canceled"))
+	select {
+	case v := <-unwound:
+		if v == nil {
+			t.Fatal("stall returned normally instead of unwinding on poison")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("poison did not unwind the stalled process")
+	}
+}
+
+// TestFireErrStall: the error-path stall (aot sites) surfaces the
+// poison as an error instead of a panic, and a nil cell stalls until
+// the plan is disabled.
+func TestFireErrStall(t *testing.T) {
+	p := NewPlan(0).Add(Injection{Site: AOTExec, Kind: Stall, After: 0, Pid: -1})
+	arm(t, p)
+	c := poison.NewCell()
+	errc := make(chan error, 1)
+	go func() { errc <- FireErr(AOTExec, c) }()
+	time.Sleep(20 * time.Millisecond)
+	want := errors.New("deadline")
+	c.PoisonExternal(want)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, want) {
+			t.Errorf("stalled FireErr = %v, want %v", err, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("FireErr stall did not observe the poison")
+	}
+}
+
+func TestFireErrPanicKindReturnsError(t *testing.T) {
+	arm(t, NewPlan(0).Add(Injection{Site: AOTBuild, Kind: Panic, After: 0, Pid: -1}))
+	err := FireErr(AOTBuild, nil)
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Site != AOTBuild {
+		t.Errorf("FireErr = %v, want *Error at %s", err, AOTBuild)
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%s) = %v, %v", k, got, err)
+		}
+	}
+}

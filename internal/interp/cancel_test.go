@@ -1,0 +1,73 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/forcelang"
+)
+
+// stallProg parks every process but 0 in the barrier forever.
+const stallProg = `Force STALL of NP ident ME
+End Declarations
+IF (ME .GT. 0) THEN
+Barrier
+End Barrier
+END IF
+Join
+`
+
+// TestCancelUnblocksRun: Config.Context cancellation must unwind a
+// stalled program and surface as the context's error, on every engine.
+func TestCancelUnblocksRun(t *testing.T) {
+	prog := forcelang.MustParse(stallProg)
+	for _, mode := range ExecModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			errc := make(chan error, 1)
+			go func() {
+				errc <- Run(prog, Config{NP: 4, Stdout: io.Discard, Exec: mode, Context: ctx})
+			}()
+			time.Sleep(20 * time.Millisecond) // let the force park
+			cancel()
+			select {
+			case err := <-errc:
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("Run = %v, want context.Canceled", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("cancel did not unblock the run")
+			}
+		})
+	}
+}
+
+// TestDeadlineExceededSurfaces: a deadline behaves like a cancel but
+// reports context.DeadlineExceeded, so callers can tell a wall-clock
+// bound from an explicit stop.
+func TestDeadlineExceededSurfaces(t *testing.T) {
+	prog := forcelang.MustParse(stallProg)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := Run(prog, Config{NP: 2, Stdout: io.Discard, Context: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestNilContextRunsUnbounded: the zero Config keeps the pre-context
+// behavior — a conformant program completes normally.
+func TestNilContextRunsUnbounded(t *testing.T) {
+	prog := forcelang.MustParse(`Force OK of NP ident ME
+End Declarations
+Barrier
+End Barrier
+Join
+`)
+	if err := Run(prog, Config{NP: 2, Stdout: io.Discard}); err != nil {
+		t.Fatalf("Run = %v, want nil", err)
+	}
+}

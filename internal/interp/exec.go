@@ -161,19 +161,22 @@ func runCompiled(prog *forcelang.Program, cfg Config) (err error) {
 		cfg.OnForce(f)
 	}
 	defer func() {
+		// Flush in every exit path, but never let a flush error clobber
+		// the run's own failure (a cancellation error, an abort).
 		flushErr := in.out.flush()
 		if r := recover(); r != nil {
 			err = recoverRunErr(r)
 			return
 		}
-		err = flushErr
+		if err == nil {
+			err = flushErr
+		}
 	}()
-	f.Run(func(p *core.Proc) {
+	return f.RunContext(runCtx(cfg), func(p *core.Proc) {
 		pr := &cproc{in: in, p: p}
 		fr := cp.main.newFrame(int64(p.ID()))
 		for _, st := range cp.main.body {
 			st(pr, fr)
 		}
 	})
-	return nil
 }

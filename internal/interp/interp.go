@@ -54,6 +54,7 @@ package interp
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -64,6 +65,7 @@ import (
 	"repro/internal/barrier"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/forcelang"
 	"repro/internal/machine"
 	"repro/internal/reduce"
@@ -114,6 +116,11 @@ type Config struct {
 	// reach the force's Blocked report and Fault cell from outside the
 	// running program.
 	OnForce func(f *core.Force)
+	// Context, when non-nil, bounds the run externally: its cancellation
+	// or deadline poisons the force (core.Force.RunContext), every
+	// blocked process unwinds, and Run returns the context's error.  A
+	// nil Context runs unbounded (context.Background()).
+	Context context.Context
 }
 
 // ExecMode selects the interpreter's execution engine.
@@ -198,18 +205,29 @@ func runTree(prog *forcelang.Program, cfg Config) (err error) {
 		cfg.OnForce(f)
 	}
 	defer func() {
+		// Flush in every exit path, but never let a flush error clobber
+		// the run's own failure (a cancellation error, an abort).
 		flushErr := in.flush()
 		if r := recover(); r != nil {
 			err = recoverRunErr(r)
 			return
 		}
-		err = flushErr
+		if err == nil {
+			err = flushErr
+		}
 	}()
-	f.Run(func(p *core.Proc) {
+	return f.RunContext(runCtx(cfg), func(p *core.Proc) {
 		pr := &proc{in: in, p: p}
 		pr.runMain()
 	})
-	return nil
+}
+
+// runCtx resolves the run's bounding context.
+func runCtx(cfg Config) context.Context {
+	if cfg.Context != nil {
+		return cfg.Context
+	}
+	return context.Background()
 }
 
 // AbortError marks an abort injected into a running force from outside
@@ -233,6 +251,10 @@ func recoverRunErr(r any) error {
 		return error(t)
 	case AbortError:
 		return t.Err
+	case *faultinject.Error:
+		// A chaos-harness injection is a deliberate process failure, not
+		// an interpreter bug: report it like any force runtime error.
+		return t
 	default:
 		panic(r)
 	}

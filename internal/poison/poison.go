@@ -71,20 +71,57 @@ func AsError(v any) error {
 	}
 }
 
+// Cause classifies WHY a cell was poisoned.  The distinction matters at
+// the Run boundary: an internal failure (a process panicked) re-panics
+// out of Run, while an external cancellation (a context deadline, a
+// watchdog, a graceful shutdown) is an expected, service-shaped outcome
+// that core.Force.RunContext returns as an error.
+type Cause int
+
+const (
+	// CauseNone: the cell is not poisoned.
+	CauseNone Cause = iota
+	// CauseFailure: a process of the force panicked (the PR-4 protocol's
+	// original, and only, cause).
+	CauseFailure
+	// CauseExternal: something OUTSIDE the force asked it to stop — a
+	// context's cancellation or deadline, forcerun's stall watchdog, or
+	// a draining Force.Shutdown.  The poison value is the cancellation
+	// error (context.Canceled, context.DeadlineExceeded, a watchdog
+	// report).
+	CauseExternal
+)
+
+// String returns the cause's short name.
+func (c Cause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CauseFailure:
+		return "failure"
+	case CauseExternal:
+		return "external"
+	default:
+		return fmt.Sprintf("poison.Cause(%d)", int(c))
+	}
+}
+
 // Cell is the cancellation cell of one force: an atomic poison flag and
-// the first failure's panic value.  A Cell is created once per force and
-// rearmed (Reset) between runs, so primitives bind to it once.
+// the first failure's panic value, tagged with its Cause.  A Cell is
+// created once per force and rearmed (Reset) between runs, so
+// primitives bind to it once.
 //
 // All methods are safe on a nil *Cell, which behaves as a cell that is
 // never poisoned.
 type Cell struct {
 	flag atomic.Bool
 
-	mu   sync.Mutex
-	val  any
-	ch   chan struct{}
-	subs map[int]func()
-	next int
+	mu    sync.Mutex
+	val   any
+	cause Cause
+	ch    chan struct{}
+	subs  map[int]func()
+	next  int
 }
 
 // NewCell returns an armed, unpoisoned cell.
@@ -92,11 +129,22 @@ func NewCell() *Cell {
 	return &Cell{ch: make(chan struct{})}
 }
 
-// Poison records v as the force's first failure and broadcasts: the wake
-// channel closes and every subscriber hook runs.  Only the first call
-// wins; Poison reports whether this call was it.  Poisoning a nil cell
-// reports false.
-func (c *Cell) Poison(v any) bool {
+// Poison records v as the force's first failure (CauseFailure) and
+// broadcasts: the wake channel closes and every subscriber hook runs.
+// Only the first call wins; Poison reports whether this call was it.
+// Poisoning a nil cell reports false.
+func (c *Cell) Poison(v any) bool { return c.PoisonCause(v, CauseFailure) }
+
+// PoisonExternal poisons the cell with an external cancellation: err is
+// recorded as the poison value under CauseExternal.  Context wiring
+// (core.Force.RunContext), stall watchdogs and graceful shutdowns use
+// it; the Run boundary returns external poisons as errors instead of
+// re-panicking them.
+func (c *Cell) PoisonExternal(err error) bool { return c.PoisonCause(err, CauseExternal) }
+
+// PoisonCause is Poison with an explicit cause.  First caller wins,
+// whatever its cause — the force reports its FIRST termination reason.
+func (c *Cell) PoisonCause(v any, cause Cause) bool {
 	if c == nil {
 		return false
 	}
@@ -106,6 +154,7 @@ func (c *Cell) Poison(v any) bool {
 		return false
 	}
 	c.val = v
+	c.cause = cause
 	c.flag.Store(true)
 	close(c.ch)
 	subs := make([]func(), 0, len(c.subs))
@@ -139,6 +188,16 @@ func (c *Cell) Value() any {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.val
+}
+
+// Cause returns why the cell was poisoned (CauseNone when unpoisoned).
+func (c *Cell) Cause() Cause {
+	if c == nil {
+		return CauseNone
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cause
 }
 
 // Err returns the first failure as an error (nil when unpoisoned).
@@ -246,6 +305,7 @@ func (c *Cell) Reset() {
 	c.mu.Lock()
 	if c.flag.Load() {
 		c.val = nil
+		c.cause = CauseNone
 		c.ch = make(chan struct{})
 		c.flag.Store(false)
 	}

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/barrier"
+	"repro/internal/faultinject"
 	"repro/internal/lock"
 	"repro/internal/poison"
 )
@@ -256,6 +257,7 @@ func (r *release[T]) publish(v T, onComplete func(T)) T {
 }
 
 func (r *release[T]) await() T {
+	faultinject.Fire(faultinject.ReduceRelease, -1, r.pc)
 	for i := 0; i < 64; i++ {
 		if r.done.Load() == 1 {
 			return r.result
@@ -310,6 +312,8 @@ func (e *criticalEpisode[T]) Do(pid int, x T) T {
 	if e.onComplete != nil {
 		section = func() { e.onComplete(e.acc) }
 	}
+	// The critical strategy's release position is its closing barrier.
+	faultinject.Fire(faultinject.ReduceRelease, pid, e.pc)
 	e.bar.Sync(pid, section)
 	// All folds happened before the last arrival opened the barrier
 	// drain, so the accumulator is final and safe to read.
