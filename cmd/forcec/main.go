@@ -23,6 +23,18 @@
 //	forcec -check file.force
 //	    Parse and type-check only.
 //
+//	forcec -explain FV001
+//	    Print the long-form rule text behind a forcevet diagnostic
+//	    code and exit; no input file is read.
+//
+// Every compiling mode (-check, -go, -cache) also runs the forcevet
+// static analyzer (internal/vet) after the type check: collective
+// consistency (FV001), provable faults (FV002/FV003), shared-memory
+// races (FV101/FV102) and asyncvar protocol breaks (FV201/FV202).
+// Diagnostics print on standard error; -vet=warn (the default) reports
+// and continues, -vet=err reports and fails, -vet=off skips the
+// analysis.
+//
 //	forcec -cache [-selfsched KIND] [-reduce STRAT] [-barrier ALG] [-askfor POOL] [-chunk N] file.force
 //	    Compile the program into the ahead-of-time binary cache — the
 //	    same content-addressed store forcerun's -exec aot/auto tiers
@@ -43,6 +55,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/aot"
 	"repro/internal/barrier"
@@ -52,6 +65,7 @@ import (
 	"repro/internal/maclib"
 	"repro/internal/reduce"
 	"repro/internal/sched"
+	"repro/internal/vet"
 )
 
 func main() {
@@ -69,10 +83,22 @@ func main() {
 		askforF  = flag.String("askfor", "stealing", "Askfor pool discipline in -go and -cache output")
 		chunkF   = flag.Int("chunk", 0, "selfsched span size baked into -go and -cache output (0 = discipline default)")
 		wallTO   = flag.Duration("timeout", 0, "wall-clock deadline for the -cache pre-warm build (0 disables)")
+		vetF     = flag.String("vet", "warn", "forcevet static analysis in -check/-go/-cache: warn, err or off")
+		explain  = flag.String("explain", "", "print the long-form rule for a forcevet diagnostic code and exit")
 	)
 	flag.Parse()
+	if *explain != "" {
+		text := vet.Explain(*explain)
+		if text == "" {
+			fmt.Fprintf(os.Stderr, "forcec: unknown diagnostic code %q (known: %s)\n",
+				*explain, strings.Join(vet.Codes(), ", "))
+			os.Exit(1)
+		}
+		fmt.Println(text)
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: forcec [-expand|-go|-check] [flags] file.force")
+		fmt.Fprintln(os.Stderr, "usage: forcec [-expand|-go|-check|-explain CODE] [flags] file.force")
 		os.Exit(2)
 	}
 	src, err := readSource(flag.Arg(0))
@@ -89,6 +115,9 @@ func main() {
 	case *goOut, *cacheCmd:
 		prog, err := forcelang.Parse(src)
 		if err != nil {
+			fail(err)
+		}
+		if err := vetProgram(prog, *vetF); err != nil {
 			fail(err)
 		}
 		kind, err := sched.ParseSelfschedKind(*selfK)
@@ -136,7 +165,11 @@ func main() {
 		}
 		os.Stdout.Write(out)
 	case *check:
-		if _, err := forcelang.Parse(src); err != nil {
+		prog, err := forcelang.Parse(src)
+		if err != nil {
+			fail(err)
+		}
+		if err := vetProgram(prog, *vetF); err != nil {
 			fail(err)
 		}
 		fmt.Println("ok")
@@ -153,6 +186,31 @@ func readSource(name string) (string, error) {
 	}
 	b, err := os.ReadFile(name)
 	return string(b), err
+}
+
+// vetProgram runs forcevet over a parsed program per the -vet mode:
+// "warn" reports on standard error and continues, "err" reports and
+// fails, "off" skips the analysis.
+func vetProgram(prog *forcelang.Program, mode string) error {
+	switch mode {
+	case "off":
+		return nil
+	case "warn", "err":
+	default:
+		fmt.Fprintf(os.Stderr, "forcec: invalid -vet mode %q (want warn, err or off)\n", mode)
+		os.Exit(2)
+	}
+	diags, err := vet.Analyze(prog)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "forcec: forcevet: %s\n", d)
+	}
+	if mode == "err" && len(diags) > 0 {
+		return fmt.Errorf("forcevet: %d issue(s) reported with -vet=err", len(diags))
+	}
+	return nil
 }
 
 func fail(err error) {

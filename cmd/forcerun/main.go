@@ -32,6 +32,14 @@
 // profile is requested.  -v reports the tier decision, cache
 // hit/miss and build time on standard error.
 //
+// After parsing, forcerun runs the forcevet static analyzer
+// (internal/vet): collective consistency (FV001), provable faults
+// (FV002/FV003), shared-memory races (FV101/FV102) and asyncvar
+// protocol breaks (FV201/FV202), printed on standard error.  -vet=warn
+// (the default) reports and runs anyway, -vet=err reports and refuses
+// to run, -vet=off skips the analysis.  `forcec -explain FV001` prints
+// the long-form rule behind a code.
+//
 // -chunk N sets the span size for the "chunk"/"stealing" selfsched
 // disciplines (sched.Config.ChunkSize; 0 keeps each discipline's
 // default, 16 for chunked selfscheduling).  It does not change the
@@ -113,6 +121,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/reduce"
 	"repro/internal/sched"
+	"repro/internal/vet"
 )
 
 func main() {
@@ -138,6 +147,7 @@ func run() error {
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		hangTO  = flag.Duration("hang-timeout", 0, "abort a run that has not finished after this long, reporting where each process is blocked (0 disables)")
 		wallTO  = flag.Duration("timeout", 0, "wall-clock deadline for the whole run: cancel via the runtime's external-cancellation path after this long (0 disables)")
+		vetF    = flag.String("vet", "warn", "forcevet static analysis: warn (report and run), err (report and fail), off")
 		showAST = flag.Bool("ast", false, "print a program summary before running")
 		promote = flag.Int("promote", 3, "with -exec auto, interpreted runs before promotion to the native tier")
 		verbose = flag.Bool("v", false, "report tier decisions and cache activity on standard error")
@@ -163,6 +173,9 @@ func run() error {
 	}
 	prog, err := forcelang.Parse(src)
 	if err != nil {
+		return err
+	}
+	if err := vetProgram(prog, *vetF, "forcerun"); err != nil {
 		return err
 	}
 	prof, err := machine.ByName(*machF)
@@ -272,6 +285,32 @@ func run() error {
 		})
 	}
 	return reportDeadline(interp.Run(prog, cfg), *wallTO)
+}
+
+// vetProgram runs the forcevet static analyzer over a parsed program.
+// Diagnostics go to standard error; mode "warn" (the default) reports
+// and continues, "err" reports and fails the run, "off" skips the
+// analysis entirely.
+func vetProgram(prog *forcelang.Program, mode, tool string) error {
+	switch mode {
+	case "off":
+		return nil
+	case "warn", "err":
+	default:
+		fmt.Fprintf(os.Stderr, "%s: invalid -vet mode %q (want warn, err or off)\n", tool, mode)
+		os.Exit(2)
+	}
+	diags, err := vet.Analyze(prog)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: forcevet: %s\n", tool, d)
+	}
+	if mode == "err" && len(diags) > 0 {
+		return fmt.Errorf("forcevet: %d issue(s) reported with -vet=err", len(diags))
+	}
+	return nil
 }
 
 // reportDeadline rewrites a -timeout expiry into a user-facing message;

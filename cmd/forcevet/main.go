@@ -1,0 +1,90 @@
+// Command forcevet is the standalone front end of the internal/vet
+// static analyzer:
+//
+//	forcevet [-err] file.force...
+//	forcevet -explain FV001
+//
+// Each file is parsed, type-checked and analyzed; diagnostics print as
+//
+//	file.force:LINE: CODE severity: message
+//
+// on standard output, one per line.  The exit status is 1 when any
+// error-severity diagnostic (FV001, FV002, FV201) was reported — or,
+// with -err, when any diagnostic at all was — and 0 on a clean pass,
+// so CI can sweep a corpus with a shell loop.  A file that fails to
+// parse or type-check reports the front end's error and also exits 1.
+//
+// -explain CODE prints the long-form rule text behind a diagnostic
+// code (the same text `forcec -explain` prints) and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/forcelang"
+	"repro/internal/vet"
+)
+
+func main() {
+	var (
+		errAll  = flag.Bool("err", false, "exit 1 on any diagnostic, not only error-severity ones")
+		explain = flag.String("explain", "", "print the long-form rule for a diagnostic code and exit")
+	)
+	flag.Parse()
+	if *explain != "" {
+		text := vet.Explain(*explain)
+		if text == "" {
+			fmt.Fprintf(os.Stderr, "forcevet: unknown diagnostic code %q (known: %s)\n",
+				*explain, strings.Join(vet.Codes(), ", "))
+			os.Exit(1)
+		}
+		fmt.Println(text)
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: forcevet [-err] file.force...  |  forcevet -explain CODE")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		src, err := readSource(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "forcevet:", err)
+			failed = true
+			continue
+		}
+		prog, err := forcelang.Parse(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "forcevet: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		diags, err := vet.Analyze(prog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "forcevet: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		for _, d := range diags {
+			fmt.Printf("%s:%d: %s %s: %s\n", path, d.Line, d.Code, d.Sev, d.Message)
+			if *errAll || d.Sev == vet.Error {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func readSource(name string) (string, error) {
+	if name == "-" {
+		b, err := os.ReadFile("/dev/stdin")
+		return string(b), err
+	}
+	b, err := os.ReadFile(name)
+	return string(b), err
+}

@@ -1,0 +1,42 @@
+// Command poisoncheck runs the repo-local fault-containment linter
+// (internal/analysis/poisoncheck) over the repository:
+//
+//	go run ./cmd/poisoncheck [root]
+//
+// root defaults to the current directory (CI runs it from the module
+// root).  Exit status 1 when any finding is reported; findings print
+// one per line as file:line: rule: message.
+//
+// The linter enforces three invariants the poison protocol and the
+// chaos harness depend on: yielding wait loops in the blocking
+// primitive packages must observe the poison cell, blocking selects
+// there must carry a <-...Done() case, and every faultinject.Fire site
+// must be a registered injection-site constant.  See the package
+// documentation of internal/analysis/poisoncheck for the full rules.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/analysis/poisoncheck"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := poisoncheck.Run(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "poisoncheck:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "poisoncheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -9,6 +9,16 @@
 //		   │                 and the GSUM/GMAX global-reduction statements);
 //		   │                 the checker records a (unit, slot) identity on
 //		   │                 every declaration
+//		   ├── vet           forcevet static analysis over the checked AST:
+//		   │                 collective consistency (a Barrier/DOALL/GSUM
+//		   │                 reachable under a non-uniform condition),
+//		   │                 provable faults, shared-memory races, asyncvar
+//		   │                 protocol breaks — structured FVnnn diagnostics
+//		   │                 wired into forcec/forcerun (-vet=warn|err|off,
+//		   │                 forcec -explain FVnnn) and cmd/forcevet; the
+//		   │                 uniform/varying lattice and the affine
+//		   │                 disjointness proofs live in internal/uniform,
+//		   │                 shared with the chunk classifier below
 //		   ├── interp        SPMD interpreter: a resolve pass binds every
 //		   │                 reference to a (storage class, slot) pair and a
 //		   │                 compile pass emits typed closures over

@@ -65,9 +65,9 @@ import (
 	"sync/atomic"
 
 	"repro/internal/asyncvar"
-	"repro/internal/faultinject"
 	"repro/internal/barrier"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/lock"
 	"repro/internal/machine"
 	"repro/internal/poison"

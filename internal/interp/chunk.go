@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/forcelang"
 	"repro/internal/sched"
+	"repro/internal/uniform"
 )
 
 // poisonEvery bounds how many chunk iterations run between poison
@@ -291,7 +292,7 @@ func (k *kcompiler) assign(t *forcelang.Assign) kstmtFn {
 		case scShared:
 			cell := k.c.in.scalar(sym.unit, sym.slot)
 			if si, isSum := k.plan.sums[t.Target.Name]; isSum {
-				delta, neg, ok := accumDelta(t.Target.Name, t.Expr)
+				delta, neg, ok := uniform.AccumDelta(t.Target.Name, t.Expr)
 				if !ok {
 					panic(compileErrf("line %d: internal: accumulator shape lost for %s", t.Pos(), t.Target.Name))
 				}

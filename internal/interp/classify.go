@@ -35,6 +35,7 @@ import (
 	"fmt"
 
 	"repro/internal/forcelang"
+	"repro/internal/uniform"
 )
 
 // chunkPlan is the classifier's verdict for one chunk-compilable ParDo,
@@ -201,7 +202,7 @@ func (cl *classifier) assign(t *forcelang.Assign) string {
 	// INTEGER shared scalar S and an RHS that is statically INTEGER and
 	// never reads S outside the self-reference.
 	if sym.class == scShared && sym.decl.Type == forcelang.TInt {
-		delta, _, ok := accumDelta(t.Target.Name, t.Expr)
+		delta, _, ok := uniform.AccumDelta(t.Target.Name, t.Expr)
 		// The whole RHS must be statically INTEGER: a REAL-promoted sum
 		// is computed in float64 and truncated on store, which private
 		// integer deltas cannot reproduce.
@@ -210,7 +211,7 @@ func (cl *classifier) assign(t *forcelang.Assign) string {
 				ok = false
 			}
 		}
-		if ok && !refersTo(delta, t.Target.Name) {
+		if ok && !uniform.RefersTo(delta, t.Target.Name) {
 			cl.selfRefs[t.Target.Name]++
 			cl.accWrite[t.Target.Name]++
 		} else {
@@ -223,68 +224,10 @@ func (cl *classifier) assign(t *forcelang.Assign) string {
 	return ""
 }
 
-// accumDelta matches e against the accumulator shapes for scalar name,
-// returning the delta expression and its sign.
-func accumDelta(name string, e forcelang.Expr) (delta forcelang.Expr, negate bool, ok bool) {
-	b, isBin := e.(*forcelang.Bin)
-	if !isBin {
-		return nil, false, false
-	}
-	isSelf := func(x forcelang.Expr) bool {
-		r, okRef := x.(*forcelang.Ref)
-		return okRef && r.Name == name && len(r.Subs) == 0
-	}
-	switch b.Op {
-	case forcelang.OpAdd:
-		if isSelf(b.L) {
-			return b.R, false, true
-		}
-		if isSelf(b.R) {
-			return b.L, false, true
-		}
-	case forcelang.OpSub:
-		if isSelf(b.L) {
-			return b.R, true, true
-		}
-	}
-	return nil, false, false
-}
-
-// refersTo reports whether e reads the scalar name anywhere.
-func refersTo(e forcelang.Expr, name string) bool {
-	found := false
-	walkExpr(e, func(r *forcelang.Ref) {
-		if r.Name == name && len(r.Subs) == 0 {
-			found = true
-		}
-	})
-	return found
-}
-
-// walkExpr visits every Ref in e, subscripts included.
-func walkExpr(e forcelang.Expr, visit func(*forcelang.Ref)) {
-	switch t := e.(type) {
-	case *forcelang.Ref:
-		visit(t)
-		for _, s := range t.Subs {
-			walkExpr(s, visit)
-		}
-	case *forcelang.Un:
-		walkExpr(t.X, visit)
-	case *forcelang.Bin:
-		walkExpr(t.L, visit)
-		walkExpr(t.R, visit)
-	case *forcelang.Intrinsic:
-		for _, a := range t.Args {
-			walkExpr(a, visit)
-		}
-	}
-}
-
 // expr records every reference inside e: scalar reads, parameter uses
 // (which disable the bulk tier) and shared-array element reads.
 func (cl *classifier) expr(e forcelang.Expr) {
-	walkExpr(e, func(r *forcelang.Ref) {
+	uniform.Walk(e, func(r *forcelang.Ref) {
 		sym, ok := cl.lay.syms[r.Name]
 		if !ok {
 			return // compile will report it
@@ -332,136 +275,27 @@ func (cl *classifier) planArrays() {
 }
 
 // disjointUses checks the one-form + affine + injective conditions over
-// all recorded accesses of one array.
+// all recorded accesses of one array, through the shared uniformity
+// package.  The Space's IntScalar predicate encodes this classifier's
+// remainder rule: an unwritten, non-parameter INTEGER private or shared
+// scalar is identical for every iteration a process executes.
 func (cl *classifier) disjointUses(uses []arrayUse) bool {
-	form := ""
-	var coefs [][2]int64
-	for ui, u := range uses {
-		key := ""
-		for _, s := range u.ref.Subs {
-			key += canonExpr(s) + ";"
-		}
-		if ui == 0 {
-			form = key
-			for _, s := range u.ref.Subs {
-				ci, cj, ok := cl.affine(s)
-				if !ok {
-					return false
-				}
-				coefs = append(coefs, [2]int64{ci, cj})
+	sp := &uniform.Space{
+		Outer: cl.plan.outer,
+		Inner: cl.plan.inner,
+		IntScalar: func(name string) bool {
+			sym, found := cl.lay.syms[name]
+			if !found || cl.plan.written[name] {
+				return false
 			}
-			continue
-		}
-		if key != form {
-			// Two distinct subscript forms (e.g. A(I) and A(I+1)) can
-			// collide across iterations; stay per-element.
-			return false
-		}
+			return (sym.class == scPrivate || sym.class == scShared) && sym.decl.Type == forcelang.TInt
+		},
 	}
-	if cl.plan.inner == "" {
-		for _, c := range coefs {
-			if c[0] != 0 {
-				return true
-			}
-		}
-		return false
+	refs := make([]*forcelang.Ref, len(uses))
+	for i, u := range uses {
+		refs[i] = u.ref
 	}
-	// Two loop indices: some pair of subscript rows must be linearly
-	// independent for the index pair to map injectively to elements.
-	for a := 0; a < len(coefs); a++ {
-		for b := a + 1; b < len(coefs); b++ {
-			if coefs[a][0]*coefs[b][1]-coefs[a][1]*coefs[b][0] != 0 {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// affine decomposes e as ci*outer + cj*inner + rest, requiring literal
-// coefficients and a rest that reads only unwritten, non-parameter
-// scalars (so it is identical for every iteration a process executes).
-func (cl *classifier) affine(e forcelang.Expr) (ci, cj int64, ok bool) {
-	switch t := e.(type) {
-	case *forcelang.IntLit:
-		return 0, 0, true
-	case *forcelang.Ref:
-		if len(t.Subs) > 0 {
-			return 0, 0, false
-		}
-		if t.Name == cl.plan.outer {
-			return 1, 0, true
-		}
-		if cl.plan.inner != "" && t.Name == cl.plan.inner {
-			return 0, 1, true
-		}
-		sym, found := cl.lay.syms[t.Name]
-		if !found || cl.plan.written[t.Name] {
-			return 0, 0, false
-		}
-		if (sym.class == scPrivate || sym.class == scShared) && sym.decl.Type == forcelang.TInt {
-			return 0, 0, true
-		}
-		return 0, 0, false
-	case *forcelang.Un:
-		if !t.Neg {
-			return 0, 0, false
-		}
-		ci, cj, ok = cl.affine(t.X)
-		return -ci, -cj, ok
-	case *forcelang.Bin:
-		switch t.Op {
-		case forcelang.OpAdd, forcelang.OpSub:
-			li, lj, lok := cl.affine(t.L)
-			ri, rj, rok := cl.affine(t.R)
-			if !lok || !rok {
-				return 0, 0, false
-			}
-			if t.Op == forcelang.OpSub {
-				return li - ri, lj - rj, true
-			}
-			return li + ri, lj + rj, true
-		case forcelang.OpMul:
-			if k, kok := constInt(t.L); kok {
-				ri, rj, rok := cl.affine(t.R)
-				return k * ri, k * rj, rok
-			}
-			if k, kok := constInt(t.R); kok {
-				li, lj, lok := cl.affine(t.L)
-				return k * li, k * lj, lok
-			}
-		}
-	}
-	return 0, 0, false
-}
-
-// constInt evaluates a literal-only INTEGER expression.
-func constInt(e forcelang.Expr) (int64, bool) {
-	switch t := e.(type) {
-	case *forcelang.IntLit:
-		return t.Value, true
-	case *forcelang.Un:
-		if !t.Neg {
-			return 0, false
-		}
-		v, ok := constInt(t.X)
-		return -v, ok
-	case *forcelang.Bin:
-		l, lok := constInt(t.L)
-		r, rok := constInt(t.R)
-		if !lok || !rok {
-			return 0, false
-		}
-		switch t.Op {
-		case forcelang.OpAdd:
-			return l + r, true
-		case forcelang.OpSub:
-			return l - r, true
-		case forcelang.OpMul:
-			return l * r, true
-		}
-	}
-	return 0, false
+	return sp.Disjoint(refs)
 }
 
 // planSums promotes shared INTEGER scalars to private accumulation when
@@ -483,43 +317,5 @@ func (cl *classifier) planSums() {
 		}
 		cl.plan.sums[name] = len(cl.plan.sumSyms)
 		cl.plan.sumSyms = append(cl.plan.sumSyms, cl.lay.syms[name])
-	}
-}
-
-// canonExpr renders e to a position-independent structural key, used to
-// compare subscript forms for identity.
-func canonExpr(e forcelang.Expr) string {
-	switch t := e.(type) {
-	case *forcelang.IntLit:
-		return fmt.Sprintf("i%d", t.Value)
-	case *forcelang.RealLit:
-		return fmt.Sprintf("r%v", t.Value)
-	case *forcelang.BoolLit:
-		return fmt.Sprintf("l%v", t.Value)
-	case *forcelang.Ref:
-		s := "v" + t.Name
-		if len(t.Subs) > 0 {
-			s += "("
-			for _, sub := range t.Subs {
-				s += canonExpr(sub) + ","
-			}
-			s += ")"
-		}
-		return s
-	case *forcelang.Un:
-		if t.Neg {
-			return "neg(" + canonExpr(t.X) + ")"
-		}
-		return "not(" + canonExpr(t.X) + ")"
-	case *forcelang.Bin:
-		return fmt.Sprintf("b%d(%s,%s)", int(t.Op), canonExpr(t.L), canonExpr(t.R))
-	case *forcelang.Intrinsic:
-		s := "f" + t.Name + "("
-		for _, a := range t.Args {
-			s += canonExpr(a) + ","
-		}
-		return s + ")"
-	default:
-		return fmt.Sprintf("?%T", e)
 	}
 }

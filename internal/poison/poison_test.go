@@ -140,7 +140,7 @@ func TestPoisonHooksCannotDeadlockEachOther(t *testing.T) {
 	c := NewCell()
 	var mu sync.Mutex
 	release := make(chan struct{})
-	mu.Lock() // held until the second hook releases it
+	mu.Lock()                                      // held until the second hook releases it
 	c.Subscribe(func() { mu.Lock(); mu.Unlock() }) //nolint:staticcheck // models a barrier's broadcast hook
 	c.Subscribe(func() { <-release })
 	done := make(chan struct{})

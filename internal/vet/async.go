@@ -1,0 +1,172 @@
+package vet
+
+// The asyncvar protocol pass: FV201 and FV202.
+//
+// An async variable is a HEP-style full/empty cell: Produce fills it
+// (blocking while full), Consume empties it (blocking while empty),
+// Copy reads it without emptying, Void force-empties it.  Two protocol
+// breaks are statically visible:
+//
+//	FV201  a Consume or Copy of a variable no statement in the whole
+//	       program ever Produces — the consumer blocks forever and
+//	       only the hang detector (or a deadline) frees it;
+//	FV202  two Produces of the same cell on one straight-line path
+//	       with no intervening Consume or Void — the second Produce
+//	       blocks on its own full cell.
+//
+// FV201 is whole-program: the checker rejects Async parameters, so an
+// async name in any unit resolves to exactly one declaring unit, and
+// "ever produced" is decidable by a full walk keyed on unit|name.
+// FV202 is deliberately local: it only tracks straight-line statement
+// runs (array subscripts compared by canonical form) and forgets all
+// state at any compound statement, since another process may Consume in
+// between across any synchronization point.
+
+import (
+	"repro/internal/forcelang"
+	"repro/internal/uniform"
+)
+
+// asyncPass runs FV201/FV202 over every unit.
+func (a *analysis) asyncPass() {
+	produced := map[string]bool{}
+	a.collectProduced(a.main, a.main.body, produced)
+	for _, u := range a.subs {
+		a.collectProduced(u, u.body, produced)
+	}
+	a.checkConsumes(a.main, a.main.body, produced)
+	for _, u := range a.subs {
+		a.checkConsumes(u, u.body, produced)
+	}
+	a.doubleProduce(a.main, a.main.body)
+	for _, u := range a.subs {
+		a.doubleProduce(u, u.body)
+	}
+}
+
+// asyncKey names an async variable globally: declaring unit + "|" + name.
+func (a *analysis) asyncKey(u *unitInfo, name string) string {
+	if d, ok := u.scope.Lookup(name); ok {
+		return d.Unit + "|" + norm(name)
+	}
+	return "?|" + norm(name)
+}
+
+func (a *analysis) collectProduced(u *unitInfo, list []forcelang.Stmt, produced map[string]bool) {
+	forEachStmt(list, func(st forcelang.Stmt) {
+		if t, ok := st.(*forcelang.ProduceStmt); ok {
+			produced[a.asyncKey(u, t.Var)] = true
+		}
+	})
+}
+
+func (a *analysis) checkConsumes(u *unitInfo, list []forcelang.Stmt, produced map[string]bool) {
+	forEachStmt(list, func(st forcelang.Stmt) {
+		switch t := st.(type) {
+		case *forcelang.ConsumeStmt:
+			if !produced[a.asyncKey(u, t.Var)] {
+				a.report("FV201", Error, t.Pos(),
+					"Consume of async variable %s, which is never Produced", norm(t.Var))
+			}
+		case *forcelang.CopyStmt:
+			if !produced[a.asyncKey(u, t.Var)] {
+				a.report("FV201", Error, t.Pos(),
+					"Copy of async variable %s, which is never Produced", norm(t.Var))
+			}
+		}
+	})
+}
+
+// forEachStmt visits every statement in the list, recursing into every
+// compound body.
+func forEachStmt(list []forcelang.Stmt, visit func(forcelang.Stmt)) {
+	for _, st := range list {
+		visit(st)
+		switch t := st.(type) {
+		case *forcelang.If:
+			forEachStmt(t.Then, visit)
+			forEachStmt(t.Else, visit)
+		case *forcelang.SeqDo:
+			forEachStmt(t.Body, visit)
+		case *forcelang.WhileDo:
+			forEachStmt(t.Body, visit)
+		case *forcelang.ParDo:
+			forEachStmt(t.Body, visit)
+		case *forcelang.BarrierStmt:
+			forEachStmt(t.Section, visit)
+		case *forcelang.CriticalStmt:
+			forEachStmt(t.Body, visit)
+		case *forcelang.PcaseStmt:
+			for _, b := range t.Blocks {
+				forEachStmt(b.Body, visit)
+			}
+		case *forcelang.AskforStmt:
+			forEachStmt(t.Body, visit)
+		}
+	}
+}
+
+// doubleProduce flags FV202 per straight-line run.  State maps
+// unitKey|canonical-subscript to "full"; any compound statement clears
+// it (a barrier, loop or branch may interleave another process's
+// Consume), and each nested body starts fresh.
+func (a *analysis) doubleProduce(u *unitInfo, list []forcelang.Stmt) {
+	full := map[string]bool{}
+	cellKey := func(t *forcelang.ProduceStmt) string {
+		k := a.asyncKey(u, t.Var)
+		if t.Sub != nil {
+			k += "|" + uniform.Canon(t.Sub)
+		}
+		return k
+	}
+	voidKey := func(varName string, sub forcelang.Expr) string {
+		k := a.asyncKey(u, varName)
+		if sub != nil {
+			k += "|" + uniform.Canon(sub)
+		}
+		return k
+	}
+	for _, st := range list {
+		switch t := st.(type) {
+		case *forcelang.ProduceStmt:
+			k := cellKey(t)
+			if full[k] {
+				a.report("FV202", Warning, t.Pos(),
+					"second Produce of %s without an intervening Consume or Void", norm(t.Var))
+			}
+			full[k] = true
+		case *forcelang.ConsumeStmt:
+			delete(full, voidKey(t.Var, t.Sub))
+		case *forcelang.VoidStmt:
+			delete(full, voidKey(t.Var, t.Sub))
+		case *forcelang.CopyStmt, *forcelang.Assign, *forcelang.PrintStmt, *forcelang.PutStmt:
+			// No effect on full/empty state.
+		default:
+			// A compound statement (loop, branch, barrier, ...) may
+			// resequence other processes: forget everything and give
+			// each nested body its own straight-line analysis.
+			full = map[string]bool{}
+			switch t := st.(type) {
+			case *forcelang.If:
+				a.doubleProduce(u, t.Then)
+				a.doubleProduce(u, t.Else)
+			case *forcelang.SeqDo:
+				a.doubleProduce(u, t.Body)
+			case *forcelang.WhileDo:
+				a.doubleProduce(u, t.Body)
+			case *forcelang.ParDo:
+				a.doubleProduce(u, t.Body)
+			case *forcelang.BarrierStmt:
+				a.doubleProduce(u, t.Section)
+			case *forcelang.CriticalStmt:
+				a.doubleProduce(u, t.Body)
+			case *forcelang.PcaseStmt:
+				for _, b := range t.Blocks {
+					a.doubleProduce(u, b.Body)
+				}
+			case *forcelang.AskforStmt:
+				a.doubleProduce(u, t.Body)
+			}
+		}
+	}
+}

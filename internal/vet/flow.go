@@ -1,0 +1,870 @@
+package vet
+
+// The flow pass: a forward dataflow walk over one unit's statements
+// carrying, per private scalar, a point of the uniform/varying lattice
+// (internal/uniform) and, per private INTEGER scalar, a known constant
+// value.  The walk classifies every condition as uniform (every process
+// evaluates the same value, so the force stays together) or varying
+// (processes split), flags collective constructs reachable under a
+// varying condition (FV001), and proves runtime faults: a divisor that
+// is constant zero or provably reaches zero over an enclosing constant-
+// bounds loop, a constant subscript outside the declared bounds, SQRT
+// of a negative constant, MOD by zero, a zero loop step.  A provable
+// fault under a varying condition is FV002 (a strict subset of
+// processes aborts while the peers block at the next collective); on
+// the uniform path it is FV003 (every process faults).
+//
+// Calls are analyzed inline: parameter levels are bound to the argument
+// levels at the call site, and by-reference result levels propagate
+// back.  Recursion is cut by marking reference arguments varying.
+
+import (
+	"repro/internal/forcelang"
+	"repro/internal/shm"
+	"repro/internal/uniform"
+)
+
+// loopRange is one enclosing DO loop with constant bounds, the space
+// the divisor-reachability proof quantifies over.
+type loopRange struct {
+	v            string // normalized loop variable
+	lo, hi, step int64
+	constOK      bool
+}
+
+type flow struct {
+	a    *analysis
+	unit *unitInfo
+
+	env    map[string]uniform.Level // normalized private name -> level (zero value Uniform)
+	consts map[string]int64         // normalized private INTEGER scalar -> known constant
+	loops  []loopRange
+
+	callPath map[string]bool // subs on the current inline path (cycle guard)
+	inlined  bool            // analyzing a callee inline (suppresses FV102)
+	depth    int             // enclosing construct depth (FV102 fires only at depth 0)
+	mute     int             // >0: fixpoint iteration, do not emit diagnostics
+}
+
+// flowUnit analyzes one unit.  paramLev is nil for the main program and
+// for standalone subroutine analysis (parameters assumed uniform).
+func (a *analysis) flowUnit(u *unitInfo, paramLev map[string]uniform.Level) {
+	f := &flow{
+		a:        a,
+		unit:     u,
+		env:      map[string]uniform.Level{},
+		consts:   map[string]int64{},
+		callPath: map[string]bool{},
+	}
+	for p, lv := range paramLev {
+		f.env[p] = lv
+	}
+	f.stmts(u.body, uniform.Uniform)
+}
+
+func (f *flow) report(code string, sev Severity, line int, format string, args ...interface{}) {
+	if f.mute > 0 {
+		return
+	}
+	f.a.report(code, sev, line, format, args...)
+}
+
+// decl resolves a name in the unit's scope.
+func (f *flow) decl(name string) (forcelang.Decl, bool) {
+	return f.unit.scope.Lookup(name)
+}
+
+// isMe reports whether the declaration is the unit's implicit ident
+// variable: slot 0 of the unit's private scalars.
+func isMe(d forcelang.Decl) bool {
+	return d.Class == shm.Private && len(d.Dims) == 0 && d.Slot == 0
+}
+
+// refLevel computes the lattice point of reading r.  Shared and async
+// reads are uniform by convention — the synchronized-program reading
+// the convergence idiom (DO WHILE over a barrier-maintained flag)
+// depends on; the race and protocol passes own the cases where that
+// convention is violated.
+func (f *flow) refLevel(r *forcelang.Ref) uniform.Level {
+	d, ok := f.decl(r.Name)
+	if !ok {
+		return uniform.Varying
+	}
+	lv := uniform.Uniform
+	switch {
+	case isMe(d):
+		lv = uniform.Varying
+	case d.Class == shm.Private:
+		lv = f.env[norm(r.Name)]
+	}
+	// An element read through a varying subscript differs across
+	// processes even when every element is uniform.
+	for _, s := range r.Subs {
+		lv = lv.Join(f.exprLevel(s))
+	}
+	return lv
+}
+
+func (f *flow) exprLevel(e forcelang.Expr) uniform.Level {
+	switch t := e.(type) {
+	case *forcelang.Ref:
+		return f.refLevel(t)
+	case *forcelang.Un:
+		return f.exprLevel(t.X)
+	case *forcelang.Bin:
+		return f.exprLevel(t.L).Join(f.exprLevel(t.R))
+	case *forcelang.Intrinsic:
+		lv := uniform.Uniform
+		for _, arg := range t.Args {
+			lv = lv.Join(f.exprLevel(arg))
+		}
+		return lv
+	default:
+		return uniform.Uniform // literals
+	}
+}
+
+// constEval folds e to an INTEGER constant using literals and the
+// known-constant private scalars.
+func (f *flow) constEval(e forcelang.Expr) (int64, bool) {
+	switch t := e.(type) {
+	case *forcelang.IntLit:
+		return t.Value, true
+	case *forcelang.Ref:
+		if len(t.Subs) == 0 {
+			v, ok := f.consts[norm(t.Name)]
+			return v, ok
+		}
+	case *forcelang.Un:
+		if t.Neg {
+			v, ok := f.constEval(t.X)
+			return -v, ok
+		}
+	case *forcelang.Bin:
+		l, lok := f.constEval(t.L)
+		r, rok := f.constEval(t.R)
+		if !lok || !rok {
+			return 0, false
+		}
+		switch t.Op {
+		case forcelang.OpAdd:
+			return l + r, true
+		case forcelang.OpSub:
+			return l - r, true
+		case forcelang.OpMul:
+			return l * r, true
+		case forcelang.OpDiv:
+			if r != 0 {
+				return l / r, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// constReal folds e to a REAL constant (literals only; integer
+// constants promote).
+func (f *flow) constReal(e forcelang.Expr) (float64, bool) {
+	switch t := e.(type) {
+	case *forcelang.RealLit:
+		return t.Value, true
+	case *forcelang.IntLit:
+		return float64(t.Value), true
+	case *forcelang.Ref:
+		if len(t.Subs) == 0 {
+			if v, ok := f.consts[norm(t.Name)]; ok {
+				if d, found := f.decl(t.Name); found && d.Type == forcelang.TInt {
+					return float64(v), true
+				}
+			}
+		}
+	case *forcelang.Un:
+		if t.Neg {
+			v, ok := f.constReal(t.X)
+			return -v, ok
+		}
+	case *forcelang.Bin:
+		l, lok := f.constReal(t.L)
+		r, rok := f.constReal(t.R)
+		if !lok || !rok {
+			return 0, false
+		}
+		switch t.Op {
+		case forcelang.OpAdd:
+			return l + r, true
+		case forcelang.OpSub:
+			return l - r, true
+		case forcelang.OpMul:
+			return l * r, true
+		case forcelang.OpDiv:
+			if r != 0 {
+				return l / r, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// typeOf resolves an expression's type, returning ok=false on any
+// checker-level inconsistency (which Check already reported).
+func (f *flow) typeOf(e forcelang.Expr) (forcelang.Type, bool) {
+	t, err := forcelang.TypeOf(f.a.prog, f.unit.scope, e)
+	return t, err == nil
+}
+
+// fault reports a provable runtime fault: FV002 under a varying
+// context, FV003 on the uniform path.
+func (f *flow) fault(line int, ctx uniform.Level, format string, args ...interface{}) {
+	if ctx == uniform.Varying {
+		f.report("FV002", Error, line, "provable fault under non-uniform condition: "+format, args...)
+	} else {
+		f.report("FV003", Warning, line, "provable fault: "+format, args...)
+	}
+}
+
+// zeroReachable proves an integer expression reaches zero over some
+// enclosing constant-bounds loop: e must decompose as c*v + rest with
+// nonzero literal coefficient c and constant rest, and -rest/c must be
+// a value the loop actually visits.  Returns the loop variable and the
+// witnessing value.
+func (f *flow) zeroReachable(e forcelang.Expr) (string, int64, bool) {
+	for i := len(f.loops) - 1; i >= 0; i-- {
+		lr := f.loops[i]
+		if !lr.constOK {
+			continue
+		}
+		sp := &uniform.Space{Outer: lr.v, IntScalar: func(n string) bool {
+			_, ok := f.consts[norm(n)]
+			return ok
+		}}
+		ci, _, ok := sp.Coef(e)
+		if !ok || ci == 0 {
+			continue
+		}
+		// rest = e with the loop variable at zero.
+		saved, had := f.consts[lr.v]
+		f.consts[lr.v] = 0
+		rest, rok := f.constEval(e)
+		if had {
+			f.consts[lr.v] = saved
+		} else {
+			delete(f.consts, lr.v)
+		}
+		if !rok || (-rest)%ci != 0 {
+			continue
+		}
+		v := -rest / ci
+		if lr.step > 0 {
+			if v < lr.lo || v > lr.hi || (v-lr.lo)%lr.step != 0 {
+				continue
+			}
+		} else {
+			if v > lr.lo || v < lr.hi || (lr.lo-v)%(-lr.step) != 0 {
+				continue
+			}
+		}
+		return lr.v, v, true
+	}
+	return "", 0, false
+}
+
+// divisorFault proves an integer divisor is (or reaches) zero.
+func (f *flow) divisorFault(div forcelang.Expr, line int, ctx uniform.Level, what string) {
+	if v, ok := f.constEval(div); ok {
+		if v == 0 {
+			f.fault(line, ctx, "%s", what)
+		}
+		return
+	}
+	if lv, val, ok := f.zeroReachable(div); ok {
+		f.fault(line, ctx, "%s when %s = %d", what, lv, val)
+	}
+}
+
+// faultsExpr walks e proving runtime faults: integer division and MOD
+// by a (reachably) zero divisor, SQRT of a negative constant, constant
+// subscripts outside the declared bounds.
+func (f *flow) faultsExpr(e forcelang.Expr, ctx uniform.Level) {
+	switch t := e.(type) {
+	case *forcelang.Ref:
+		f.faultsRef(t, ctx)
+	case *forcelang.Un:
+		f.faultsExpr(t.X, ctx)
+	case *forcelang.Bin:
+		f.faultsExpr(t.L, ctx)
+		f.faultsExpr(t.R, ctx)
+		if t.Op == forcelang.OpDiv {
+			lt, lok := f.typeOf(t.L)
+			rt, rok := f.typeOf(t.R)
+			if lok && rok && lt == forcelang.TInt && rt == forcelang.TInt {
+				f.divisorFault(t.R, t.Pos(), ctx, "integer division by zero")
+			}
+		}
+	case *forcelang.Intrinsic:
+		for _, arg := range t.Args {
+			f.faultsExpr(arg, ctx)
+		}
+		switch t.Name {
+		case "MOD":
+			if len(t.Args) == 2 {
+				at, aok := f.typeOf(t.Args[1])
+				if aok && at == forcelang.TInt {
+					f.divisorFault(t.Args[1], t.Pos(), ctx, "MOD by zero")
+				} else if v, ok := f.constReal(t.Args[1]); ok && v == 0 {
+					f.fault(t.Pos(), ctx, "MOD by zero")
+				}
+			}
+		case "SQRT":
+			if len(t.Args) == 1 {
+				if v, ok := f.constReal(t.Args[0]); ok && v < 0 {
+					f.fault(t.Pos(), ctx, "SQRT of negative value %g", v)
+				}
+			}
+		}
+	}
+}
+
+// faultsRef checks constant subscripts against the declared bounds (and
+// recurses into the subscript expressions).
+func (f *flow) faultsRef(r *forcelang.Ref, ctx uniform.Level) {
+	for _, s := range r.Subs {
+		f.faultsExpr(s, ctx)
+	}
+	d, ok := f.decl(r.Name)
+	if !ok || len(r.Subs) == 0 || len(d.Dims) != len(r.Subs) {
+		return
+	}
+	for i, s := range r.Subs {
+		if v, ok := f.constEval(s); ok && (v < 1 || v > int64(d.Dims[i])) {
+			f.fault(r.Pos(), ctx, "subscript %d of %s out of range: %d not in [1,%d]", i+1, norm(r.Name), v, d.Dims[i])
+		}
+	}
+}
+
+// faultsAsyncSub checks an async array element designator.
+func (f *flow) faultsAsyncSub(varName string, sub forcelang.Expr, line int, ctx uniform.Level) {
+	if sub == nil {
+		return
+	}
+	f.faultsExpr(sub, ctx)
+	d, ok := f.decl(varName)
+	if !ok || len(d.Dims) != 1 {
+		return
+	}
+	if v, ok := f.constEval(sub); ok && (v < 1 || v > int64(d.Dims[0])) {
+		f.fault(line, ctx, "subscript 1 of %s out of range: %d not in [1,%d]", norm(varName), v, d.Dims[0])
+	}
+}
+
+// setPrivate records an assignment's effect on the lattice and
+// constant environments.
+func (f *flow) setPrivate(target *forcelang.Ref, expr forcelang.Expr, lv uniform.Level) {
+	d, ok := f.decl(target.Name)
+	if !ok || d.Class != shm.Private {
+		return
+	}
+	key := norm(target.Name)
+	if len(target.Subs) == 0 {
+		f.env[key] = lv
+		if v, cok := f.constEval(expr); cok && d.Type == forcelang.TInt {
+			f.consts[key] = v
+		} else {
+			delete(f.consts, key)
+		}
+		return
+	}
+	// Array element: weak update — join subscript levels too, a
+	// varying subscript leaves different elements per process.
+	for _, s := range target.Subs {
+		lv = lv.Join(f.exprLevel(s))
+	}
+	f.env[key] = f.env[key].Join(lv)
+}
+
+// writtenNames collects every name a statement list may write:
+// assignment targets, loop variables, Consume/Copy targets, Askfor task
+// variables, and (conservatively) every Call argument.
+func writtenNames(list []forcelang.Stmt, out map[string]bool) {
+	for _, st := range list {
+		switch t := st.(type) {
+		case *forcelang.Assign:
+			out[norm(t.Target.Name)] = true
+		case *forcelang.If:
+			writtenNames(t.Then, out)
+			writtenNames(t.Else, out)
+		case *forcelang.SeqDo:
+			out[norm(t.Var)] = true
+			writtenNames(t.Body, out)
+		case *forcelang.WhileDo:
+			writtenNames(t.Body, out)
+		case *forcelang.ParDo:
+			out[norm(t.Var)] = true
+			if t.Inner != nil {
+				out[norm(t.Inner.Var)] = true
+			}
+			writtenNames(t.Body, out)
+		case *forcelang.BarrierStmt:
+			writtenNames(t.Section, out)
+		case *forcelang.CriticalStmt:
+			writtenNames(t.Body, out)
+		case *forcelang.PcaseStmt:
+			for _, b := range t.Blocks {
+				writtenNames(b.Body, out)
+			}
+		case *forcelang.AskforStmt:
+			out[norm(t.Var)] = true
+			writtenNames(t.Body, out)
+		case *forcelang.ConsumeStmt:
+			out[norm(t.Target.Name)] = true
+		case *forcelang.CopyStmt:
+			out[norm(t.Target.Name)] = true
+		case *forcelang.CallStmt:
+			for i := range t.Args {
+				out[norm(t.Args[i].Name)] = true
+			}
+		}
+	}
+}
+
+// killWritten drops constants that a loop body may overwrite, so
+// in-body constant facts come only from the current iteration's own
+// straight-line assignments.
+func (f *flow) killWritten(list []forcelang.Stmt) {
+	w := map[string]bool{}
+	writtenNames(list, w)
+	for name := range w {
+		delete(f.consts, name)
+	}
+}
+
+func cloneLevels(m map[string]uniform.Level) map[string]uniform.Level {
+	out := make(map[string]uniform.Level, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneConsts(m map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// joinInto merges b into a pointwise (missing keys are Uniform).
+func joinInto(a, b map[string]uniform.Level) {
+	for k, v := range b {
+		a[k] = a[k].Join(v)
+	}
+}
+
+// intersectConsts keeps only facts present and equal in both.
+func intersectConsts(a, b map[string]int64) {
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			delete(a, k)
+		}
+	}
+}
+
+func levelsEqual(a, b map[string]uniform.Level) bool {
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	for k, v := range b {
+		if a[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// fixpoint iterates body until the lattice environment stabilizes
+// (diagnostics muted), then runs one final reporting pass on the
+// stable environment.
+func (f *flow) fixpoint(body []forcelang.Stmt, ctx uniform.Level) {
+	f.killWritten(body)
+	f.mute++
+	for i := 0; i < 10; i++ {
+		before := cloneLevels(f.env)
+		f.killWritten(body)
+		f.stmts(body, ctx)
+		joinInto(f.env, before)
+		if levelsEqual(before, f.env) {
+			break
+		}
+	}
+	f.mute--
+	f.killWritten(body)
+	f.stmts(body, ctx)
+}
+
+func (f *flow) stmts(list []forcelang.Stmt, ctx uniform.Level) {
+	for _, st := range list {
+		f.stmt(st, ctx)
+	}
+}
+
+// loopBounds evaluates a loop's constant range (step nil means 1).
+func (f *flow) loopBounds(v string, from, to, step forcelang.Expr) loopRange {
+	lr := loopRange{v: norm(v), step: 1}
+	lo, lok := f.constEval(from)
+	hi, hok := f.constEval(to)
+	sok := true
+	if step != nil {
+		lr.step, sok = f.constEval(step)
+	}
+	lr.lo, lr.hi = lo, hi
+	lr.constOK = lok && hok && sok && lr.step != 0
+	return lr
+}
+
+func (f *flow) stmt(st forcelang.Stmt, ctx uniform.Level) {
+	switch t := st.(type) {
+	case *forcelang.Assign:
+		f.faultsExpr(t.Expr, ctx)
+		f.faultsRef(&t.Target, ctx)
+		lv := f.exprLevel(t.Expr).Join(ctx)
+		f.checkReplicatedStore(t, ctx)
+		f.setPrivate(&t.Target, t.Expr, lv)
+
+	case *forcelang.If:
+		f.faultsExpr(t.Cond, ctx)
+		cl := f.exprLevel(t.Cond).Join(ctx)
+		envT, constT := cloneLevels(f.env), cloneConsts(f.consts)
+		f.stmts(t.Then, cl)
+		envT, f.env = f.env, envT
+		constT, f.consts = f.consts, constT
+		f.stmts(t.Else, cl)
+		joinInto(f.env, envT)
+		intersectConsts(f.consts, constT)
+
+	case *forcelang.SeqDo:
+		f.faultsExpr(t.From, ctx)
+		f.faultsExpr(t.To, ctx)
+		blv := f.exprLevel(t.From).Join(f.exprLevel(t.To))
+		if t.Step != nil {
+			f.faultsExpr(t.Step, ctx)
+			blv = blv.Join(f.exprLevel(t.Step))
+			if v, ok := f.constEval(t.Step); ok && v == 0 {
+				f.fault(t.Pos(), ctx, "loop step is zero")
+			}
+		}
+		lr := f.loopBounds(t.Var, t.From, t.To, t.Step)
+		pre := cloneLevels(f.env)
+		preConsts := cloneConsts(f.consts)
+		f.env[norm(t.Var)] = blv.Join(ctx)
+		delete(f.consts, norm(t.Var))
+		f.loops = append(f.loops, lr)
+		f.fixpoint(t.Body, ctx.Join(blv))
+		f.loops = f.loops[:len(f.loops)-1]
+		joinInto(f.env, pre)
+		intersectConsts(f.consts, preConsts)
+
+	case *forcelang.WhileDo:
+		pre := cloneLevels(f.env)
+		preConsts := cloneConsts(f.consts)
+		f.faultsExpr(t.Cond, ctx)
+		// The body context includes the condition's level; recompute
+		// it at the fixpoint since body writes can raise it.
+		f.mute++
+		for i := 0; i < 10; i++ {
+			before := cloneLevels(f.env)
+			f.killWritten(t.Body)
+			f.stmts(t.Body, ctx.Join(f.exprLevel(t.Cond)))
+			joinInto(f.env, before)
+			if levelsEqual(before, f.env) {
+				break
+			}
+		}
+		f.mute--
+		f.killWritten(t.Body)
+		f.stmts(t.Body, ctx.Join(f.exprLevel(t.Cond)))
+		joinInto(f.env, pre)
+		intersectConsts(f.consts, preConsts)
+
+	case *forcelang.ParDo:
+		if ctx == uniform.Varying {
+			f.report("FV001", Error, t.Pos(), "collective %s DO reachable under non-uniform condition", t.Sched)
+		}
+		f.faultsExpr(t.From, ctx)
+		f.faultsExpr(t.To, ctx)
+		if t.Step != nil {
+			f.faultsExpr(t.Step, ctx)
+			if v, ok := f.constEval(t.Step); ok && v == 0 {
+				f.fault(t.Pos(), ctx, "loop step is zero")
+			}
+		}
+		outer := f.loopBounds(t.Var, t.From, t.To, t.Step)
+		pre := cloneLevels(f.env)
+		preConsts := cloneConsts(f.consts)
+		f.env[norm(t.Var)] = uniform.Varying
+		delete(f.consts, norm(t.Var))
+		f.loops = append(f.loops, outer)
+		if t.Inner != nil {
+			f.faultsExpr(t.Inner.From, ctx)
+			f.faultsExpr(t.Inner.To, ctx)
+			if t.Inner.Step != nil {
+				f.faultsExpr(t.Inner.Step, ctx)
+				if v, ok := f.constEval(t.Inner.Step); ok && v == 0 {
+					f.fault(t.Pos(), ctx, "loop step is zero")
+				}
+			}
+			f.env[norm(t.Inner.Var)] = uniform.Varying
+			delete(f.consts, norm(t.Inner.Var))
+			f.loops = append(f.loops, f.loopBounds(t.Inner.Var, t.Inner.From, t.Inner.To, t.Inner.Step))
+		}
+		f.depth++
+		f.fixpoint(t.Body, uniform.Varying)
+		f.depth--
+		if t.Inner != nil {
+			f.loops = f.loops[:len(f.loops)-1]
+		}
+		f.loops = f.loops[:len(f.loops)-1]
+		joinInto(f.env, pre)
+		intersectConsts(f.consts, preConsts)
+		// The loop variable's final value depends on the schedule.
+		f.env[norm(t.Var)] = uniform.Varying
+
+	case *forcelang.BarrierStmt:
+		if ctx == uniform.Varying {
+			f.report("FV001", Error, t.Pos(), "collective Barrier reachable under non-uniform condition")
+		}
+		// The section runs in exactly one process: its writes are
+		// per-process facts, and a fault in it strikes one process
+		// while the peers wait at the barrier.
+		pre := cloneLevels(f.env)
+		preConsts := cloneConsts(f.consts)
+		f.depth++
+		f.stmts(t.Section, uniform.Varying)
+		f.depth--
+		joinInto(f.env, pre)
+		intersectConsts(f.consts, preConsts)
+
+	case *forcelang.CriticalStmt:
+		f.depth++
+		f.stmts(t.Body, ctx)
+		f.depth--
+
+	case *forcelang.PcaseStmt:
+		if ctx == uniform.Varying {
+			f.report("FV001", Error, t.Pos(), "collective Pcase reachable under non-uniform condition")
+		}
+		pre := cloneLevels(f.env)
+		preConsts := cloneConsts(f.consts)
+		merged := cloneLevels(pre)
+		for _, b := range t.Blocks {
+			if b.Cond != nil {
+				f.faultsExpr(b.Cond, ctx)
+			}
+			f.env = cloneLevels(pre)
+			f.consts = cloneConsts(preConsts)
+			f.depth++
+			f.stmts(b.Body, uniform.Varying)
+			f.depth--
+			joinInto(merged, f.env)
+		}
+		f.env = merged
+		f.consts = preConsts
+		f.killWrittenBlocks(t.Blocks)
+
+	case *forcelang.AskforStmt:
+		if ctx == uniform.Varying {
+			f.report("FV001", Error, t.Pos(), "collective Askfor reachable under non-uniform condition")
+		}
+		f.faultsExpr(t.Seed, ctx)
+		pre := cloneLevels(f.env)
+		preConsts := cloneConsts(f.consts)
+		f.env[norm(t.Var)] = uniform.Varying
+		delete(f.consts, norm(t.Var))
+		f.depth++
+		f.fixpoint(t.Body, uniform.Varying)
+		f.depth--
+		joinInto(f.env, pre)
+		intersectConsts(f.consts, preConsts)
+		f.env[norm(t.Var)] = uniform.Varying
+
+	case *forcelang.PutStmt:
+		f.faultsExpr(t.Expr, ctx)
+
+	case *forcelang.ReduceStmt:
+		if ctx == uniform.Varying {
+			f.report("FV001", Error, t.Pos(), "collective %s reachable under non-uniform condition", t.Op)
+		}
+		f.faultsExpr(t.Expr, ctx)
+		f.faultsRef(&t.Target, ctx)
+		// Every process receives the combined value.
+		if d, ok := f.decl(t.Target.Name); ok && d.Class == shm.Private {
+			key := norm(t.Target.Name)
+			if len(t.Target.Subs) == 0 {
+				f.env[key] = uniform.Uniform.Join(ctx)
+				delete(f.consts, key)
+			} else {
+				lv := uniform.Uniform.Join(ctx)
+				for _, s := range t.Target.Subs {
+					lv = lv.Join(f.exprLevel(s))
+				}
+				f.env[key] = f.env[key].Join(lv)
+			}
+		}
+
+	case *forcelang.ProduceStmt:
+		f.faultsAsyncSub(t.Var, t.Sub, t.Pos(), ctx)
+		f.faultsExpr(t.Expr, ctx)
+
+	case *forcelang.ConsumeStmt:
+		f.faultsAsyncSub(t.Var, t.Sub, t.Pos(), ctx)
+		f.faultsRef(&t.Target, ctx)
+		f.consumeTarget(&t.Target)
+
+	case *forcelang.CopyStmt:
+		f.faultsAsyncSub(t.Var, t.Sub, t.Pos(), ctx)
+		f.faultsRef(&t.Target, ctx)
+		f.consumeTarget(&t.Target)
+
+	case *forcelang.VoidStmt:
+		f.faultsAsyncSub(t.Var, t.Sub, t.Pos(), ctx)
+
+	case *forcelang.PrintStmt:
+		for _, item := range t.Items {
+			f.faultsExpr(item, ctx)
+		}
+
+	case *forcelang.CallStmt:
+		f.call(t, ctx)
+	}
+}
+
+// killWrittenBlocks drops constants Pcase blocks may overwrite.
+func (f *flow) killWrittenBlocks(blocks []forcelang.PcaseBlock) {
+	for _, b := range blocks {
+		w := map[string]bool{}
+		writtenNames(b.Body, w)
+		for name := range w {
+			delete(f.consts, name)
+		}
+	}
+}
+
+// consumeTarget marks a Consume/Copy destination varying: full/empty
+// hand-offs deliver different values to different processes.
+func (f *flow) consumeTarget(target *forcelang.Ref) {
+	d, ok := f.decl(target.Name)
+	if !ok || d.Class != shm.Private {
+		return
+	}
+	key := norm(target.Name)
+	if len(target.Subs) == 0 {
+		f.env[key] = uniform.Varying
+		delete(f.consts, key)
+		return
+	}
+	f.env[key] = uniform.Varying
+}
+
+// call analyzes a call site: FV001 when the callee transitively
+// contains a collective and the context is varying, then an inline
+// walk of the callee with parameter levels bound to the arguments.
+func (f *flow) call(t *forcelang.CallStmt, ctx uniform.Level) {
+	for i := range t.Args {
+		f.faultsRef(&t.Args[i], ctx)
+	}
+	key := norm(t.Name)
+	u, ok := f.a.subs[key]
+	if !ok {
+		return
+	}
+	siteFlagged := false
+	if ctx == uniform.Varying && f.a.hasCollective(t.Name, map[string]bool{}) {
+		f.report("FV001", Error, t.Pos(), "collective construct in %s reachable under non-uniform condition (call site)", norm(t.Name))
+		siteFlagged = true
+	}
+	if f.callPath[key] {
+		// Recursion: assume every by-reference argument varies.
+		for i := range t.Args {
+			if d, found := f.decl(t.Args[i].Name); found && d.Class == shm.Private {
+				f.env[norm(t.Args[i].Name)] = uniform.Varying
+			}
+			delete(f.consts, norm(t.Args[i].Name))
+		}
+		return
+	}
+	sub := f.a.prog.Sub(t.Name)
+	if sub == nil || len(sub.Params) != len(t.Args) {
+		return
+	}
+	cf := &flow{
+		a:        f.a,
+		unit:     u,
+		env:      map[string]uniform.Level{},
+		consts:   map[string]int64{},
+		callPath: map[string]bool{},
+		inlined:  true,
+		mute:     f.mute,
+	}
+	if siteFlagged {
+		// The call-site diagnostic already covers every collective in
+		// the callee; walk it only for level propagation.
+		cf.mute++
+	}
+	for k := range f.callPath {
+		cf.callPath[k] = true
+	}
+	cf.callPath[key] = true
+	for i, p := range sub.Params {
+		cf.env[norm(p)] = f.refLevel(&t.Args[i])
+	}
+	cf.stmts(u.body, ctx)
+	// Propagate by-reference results back to scalar arguments.
+	for i, p := range sub.Params {
+		if len(t.Args[i].Subs) > 0 {
+			continue
+		}
+		d, found := f.decl(t.Args[i].Name)
+		if !found {
+			continue
+		}
+		akey := norm(t.Args[i].Name)
+		delete(f.consts, akey)
+		if d.Class == shm.Private {
+			f.env[akey] = f.env[akey].Join(cf.env[norm(p)])
+		}
+	}
+}
+
+// checkReplicatedStore flags FV102: at force level of the main program
+// (outside every construct, on the uniform path, not inside an inline
+// call walk) every process executes the same assignment; a shared
+// scalar target with a varying value or a read-modify-write is a
+// replicated unsynchronized store.
+func (f *flow) checkReplicatedStore(t *forcelang.Assign, ctx uniform.Level) {
+	if f.unit.name != "" || f.inlined || f.depth > 0 || ctx == uniform.Varying {
+		return
+	}
+	d, ok := f.decl(t.Target.Name)
+	if !ok || !d.Class.IsShared() || d.Class == shm.Async || f.unit.isParam(t.Target.Name) {
+		return
+	}
+	lv := f.exprLevel(t.Expr)
+	if len(t.Target.Subs) == 0 {
+		if uniform.RefersTo(t.Expr, t.Target.Name) {
+			f.report("FV102", Warning, t.Pos(), "shared %s updated by every process at force level without synchronization (read-modify-write)", norm(t.Target.Name))
+		} else if lv == uniform.Varying {
+			f.report("FV102", Warning, t.Pos(), "shared %s stored by every process at force level with differing values", norm(t.Target.Name))
+		}
+		return
+	}
+	subsUniform := true
+	for _, s := range t.Target.Subs {
+		if f.exprLevel(s) == uniform.Varying {
+			subsUniform = false
+		}
+	}
+	if subsUniform && lv == uniform.Varying {
+		f.report("FV102", Warning, t.Pos(), "every process stores a differing value into the same element of shared %s at force level", norm(t.Target.Name))
+	}
+}

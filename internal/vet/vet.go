@@ -1,0 +1,246 @@
+// Package vet is forcevet: a whole-program static analyzer over the
+// checked forcelang AST.  It emits structured diagnostics for the three
+// failure families the runtime's fault-containment layer (PR 4) catches
+// dynamically, so a broken program can be rejected at submit time
+// instead of occupying a force:
+//
+//	FV001  collective consistency: a Barrier, DOALL, Pcase, Askfor or
+//	       global reduction reachable under a non-uniform condition
+//	       (one that depends on ME, a consumed value, or another
+//	       varying input), including through Call — only some
+//	       processes would arrive, deadlocking the force without the
+//	       poison protocol.
+//	FV002  provable fault under a non-uniform condition: a statement
+//	       that provably faults (division by zero, bad subscript, ...)
+//	       in a strict subset of processes; the peers head for a
+//	       collective and block until the abort protocol wakes them.
+//	FV003  provable fault on the uniform path: every process faults.
+//	FV101  shared-memory race: a shared scalar or array written inside
+//	       a DOALL/Pcase/Askfor body outside Critical and not provably
+//	       safe (affine-injective disjoint subscripts, pure integer
+//	       accumulator, or idempotent uniform stores).
+//	FV102  replicated unsynchronized store: every process writes a
+//	       shared scalar (or one element) with differing values at
+//	       force level, outside any construct.
+//	FV201  asyncvar protocol: Consume/Copy of a variable no statement
+//	       ever Produces — the consumer blocks forever.
+//	FV202  asyncvar protocol: a second Produce of the same variable on
+//	       a straight-line path with no intervening Consume or Void —
+//	       the producer blocks on its own full cell.
+//
+// The uniform/varying lattice and the affine-subscript disjointness
+// proofs are shared with the chunk compiler through internal/uniform:
+// one notion of "uniform" serves both the optimizer and the analyzer.
+//
+// Analyze requires a program that already passed forcelang.Check (Parse
+// runs it); the checker's own guarantees (no collectives inside
+// single-stream contexts, declaration and type consistency) are assumed
+// and not re-reported.
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/forcelang"
+)
+
+// Severity is the weight of a diagnostic.
+type Severity int
+
+const (
+	// Warning marks a diagnostic that does not fail the build by
+	// default (-vet=err promotes it).
+	Warning Severity = iota
+	// Error marks a definite protocol violation: the program cannot
+	// run to completion on the flagged path.
+	Error
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Code    string // "FV001" ...
+	Sev     Severity
+	Line    int
+	Message string
+}
+
+// String renders the diagnostic in the canonical single-line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("line %d: %s %s: %s", d.Line, d.Code, d.Sev, d.Message)
+}
+
+// analysis carries the shared per-program state of all passes.
+type analysis struct {
+	prog       *forcelang.Program
+	main       *unitInfo
+	subs       map[string]*unitInfo
+	collective map[string]bool // sub name -> transitively contains a collective construct
+	diags      []Diagnostic
+}
+
+// unitInfo is one compilation unit (the main program or a subroutine)
+// with its resolved scope.
+type unitInfo struct {
+	name   string // "" for the main program
+	scope  *forcelang.Scope
+	body   []forcelang.Stmt
+	params map[string]bool // normalized parameter names; nil for main
+	sub    *forcelang.Subroutine
+}
+
+func norm(s string) string { return strings.ToUpper(s) }
+
+// isParam reports whether name is a by-reference parameter of the unit.
+func (u *unitInfo) isParam(name string) bool { return u.params[norm(name)] }
+
+// Analyze runs every pass over a checked program and returns the
+// deduplicated diagnostics sorted by line, then code.
+func Analyze(prog *forcelang.Program) ([]Diagnostic, error) {
+	global, err := forcelang.GlobalScope(prog)
+	if err != nil {
+		return nil, err
+	}
+	a := &analysis{
+		prog:       prog,
+		main:       &unitInfo{scope: global, body: prog.Body},
+		subs:       map[string]*unitInfo{},
+		collective: map[string]bool{},
+	}
+	for _, sub := range prog.Subs {
+		scope, err := forcelang.SubScope(prog, sub)
+		if err != nil {
+			return nil, err
+		}
+		params := map[string]bool{}
+		for _, p := range sub.Params {
+			params[norm(p)] = true
+		}
+		a.subs[norm(sub.Name)] = &unitInfo{name: sub.Name, scope: scope, body: sub.Body, params: params, sub: sub}
+	}
+	for name := range a.subs {
+		a.hasCollective(name, map[string]bool{})
+	}
+
+	// Flow pass: uniformity dataflow, collective consistency (FV001),
+	// provable faults (FV002/FV003), replicated stores (FV102).  The
+	// main program is the entry point; calls are analyzed inline with
+	// argument levels bound to parameters.  Every subroutine is also
+	// analyzed standalone (parameters uniform) so unit-local issues
+	// surface even on call paths the inline walk does not reach.
+	a.flowUnit(a.main, nil)
+	for _, u := range a.subs {
+		a.flowUnit(u, nil)
+	}
+
+	// Race pass: FV101 over every parallel construct body.
+	a.racePass(a.main)
+	for _, u := range a.subs {
+		a.racePass(u)
+	}
+
+	// Asyncvar protocol pass: FV201/FV202.
+	a.asyncPass()
+
+	return finish(a.diags), nil
+}
+
+// report appends a diagnostic.
+func (a *analysis) report(code string, sev Severity, line int, format string, args ...interface{}) {
+	a.diags = append(a.diags, Diagnostic{Code: code, Sev: sev, Line: line, Message: fmt.Sprintf(format, args...)})
+}
+
+// finish deduplicates (identical code+line+message pairs arise from
+// fixpoint re-walks and repeated call sites), drops FV003 at any line
+// that also carries FV002 (the non-uniform verdict subsumes the uniform
+// one for the same fault), and sorts by line then code.
+func finish(diags []Diagnostic) []Diagnostic {
+	fv002 := map[int]bool{}
+	for _, d := range diags {
+		if d.Code == "FV002" {
+			fv002[d.Line] = true
+		}
+	}
+	seen := map[string]bool{}
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if d.Code == "FV003" && fv002[d.Line] {
+			continue
+		}
+		key := fmt.Sprintf("%s|%d|%s", d.Code, d.Line, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}
+
+// hasCollective reports whether the named subroutine transitively
+// contains a collective construct (Barrier, DOALL, Pcase, Askfor,
+// global reduction), memoized; path guards call cycles.
+func (a *analysis) hasCollective(name string, path map[string]bool) bool {
+	key := norm(name)
+	if v, ok := a.collective[key]; ok {
+		return v
+	}
+	if path[key] {
+		return false // cycle: this path adds nothing new
+	}
+	u, ok := a.subs[key]
+	if !ok {
+		return false
+	}
+	path[key] = true
+	v := a.stmtsHaveCollective(u.body, path)
+	delete(path, key)
+	a.collective[key] = v
+	return v
+}
+
+func (a *analysis) stmtsHaveCollective(list []forcelang.Stmt, path map[string]bool) bool {
+	for _, st := range list {
+		switch t := st.(type) {
+		case *forcelang.BarrierStmt, *forcelang.ParDo, *forcelang.PcaseStmt,
+			*forcelang.AskforStmt, *forcelang.ReduceStmt:
+			return true
+		case *forcelang.If:
+			if a.stmtsHaveCollective(t.Then, path) || a.stmtsHaveCollective(t.Else, path) {
+				return true
+			}
+		case *forcelang.SeqDo:
+			if a.stmtsHaveCollective(t.Body, path) {
+				return true
+			}
+		case *forcelang.WhileDo:
+			if a.stmtsHaveCollective(t.Body, path) {
+				return true
+			}
+		case *forcelang.CriticalStmt:
+			if a.stmtsHaveCollective(t.Body, path) {
+				return true
+			}
+		case *forcelang.CallStmt:
+			if a.hasCollective(t.Name, path) {
+				return true
+			}
+		}
+	}
+	return false
+}
