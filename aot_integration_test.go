@@ -151,6 +151,88 @@ func TestAOTParityChunkMatrix(t *testing.T) {
 	}
 }
 
+// TestAOTParityFusion: the fusion corpus (internal/corpus.Fusion)
+// through the native tier at np ∈ {1, 2, 8}, against the tree walker
+// and the chunk tier with the fusion pass on and off.  Fusion is an
+// interpreter-side barrier optimization; the native tier must agree
+// with every configuration of it.
+func TestAOTParityFusion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds native binaries with the go toolchain")
+	}
+	for _, tc := range corpus.Fusion {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := forcelang.MustParse(tc.Src)
+			for _, np := range []int{1, 2, 8} {
+				native, err := aotRun(t, prog, np)
+				if err != nil {
+					t.Fatalf("np=%d aot: %v", np, err)
+				}
+				got := aotSortedLines(native)
+				for _, ref := range []struct {
+					name string
+					cfg  interp.Config
+				}{
+					{"tree", interp.Config{NP: np, Exec: interp.ExecTree}},
+					{"chunked-fused", interp.Config{NP: np, Exec: interp.ExecChunked}},
+					{"chunked-nofuse", interp.Config{NP: np, Exec: interp.ExecChunked, NoFuse: true}},
+				} {
+					var sb strings.Builder
+					ref.cfg.Stdout = &sb
+					if err := interp.Run(prog, ref.cfg); err != nil {
+						t.Fatalf("np=%d %s: %v", np, ref.name, err)
+					}
+					want := aotSortedLines(sb.String())
+					if len(got) != len(want) {
+						t.Fatalf("np=%d: aot %d lines, %s %d lines\naot:\n%s\n%s:\n%s",
+							np, len(got), ref.name, len(want), native, ref.name, sb.String())
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Errorf("np=%d line %d: aot %q, %s %q", np, i, got[i], ref.name, want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAOTParityFusionFaults: a fault striking mid-region reports the
+// same "force runtime: line N: ..." from the native binary and from the
+// chunk tier with fusion on and off.
+func TestAOTParityFusionFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds native binaries with the go toolchain")
+	}
+	for _, tc := range corpus.FusionFaults {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := forcelang.MustParse(tc.Src)
+			for _, np := range []int{1, 2, 8} {
+				_, aotErr := aotRun(t, prog, np)
+				if aotErr == nil {
+					t.Fatalf("np=%d aot: no error", np)
+				}
+				for _, noFuse := range []bool{false, true} {
+					var sb strings.Builder
+					err := interp.Run(prog, interp.Config{NP: np, Stdout: &sb, NoFuse: noFuse})
+					if err == nil {
+						t.Fatalf("np=%d noFuse=%v: no error", np, noFuse)
+					}
+					if err.Error() != aotErr.Error() {
+						t.Errorf("np=%d noFuse=%v: messages diverge:\naot:    %q\ninterp: %q",
+							np, noFuse, aotErr.Error(), err.Error())
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestAOTParityRuntimeErrors: uniform runtime failures (subscripts,
 // division by zero, SQRT of a negative, zero steps, async bounds)
 // produce byte-identical "force runtime: line N: ..." messages from

@@ -247,21 +247,27 @@ func expT6(c config) error {
 		return err
 	}
 	tbl2 := &stats.Table{
-		Title:  "force reuse handoff (µs): empty Run on an already-created force",
-		Header: append([]string{"machine"}, npHeaders(c.npSweep())...),
-		Notes:  []string{"machine-independent by construction: the creation cost was paid at New"},
+		Title:  "force reuse handoff: empty Run on an already-created force",
+		Header: append([]string{"machine / metric"}, npHeaders(c.npSweep())...),
+		Notes: []string{
+			"machine-independent by construction: the creation cost was paid at New",
+			"allocs/run is the runtime's steady-state heap traffic per Run — 0 is the contract the chunk tier's pools defend",
+		},
 	}
 	for _, m := range []machine.Profile{machine.Encore, machine.Native} {
-		row := []any{m.Name}
+		trow := []any{m.Name + " µs"}
+		arow := []any{m.Name + " allocs/run"}
 		for _, np := range c.npSweep() {
 			f := core.New(np, core.WithMachine(m))
-			s := stats.Time(c.runs, func() {
+			times, allocs := stats.TimeAllocs(c.runs, func() {
 				f.Run(func(p *core.Proc) {})
 			})
 			f.Close()
-			row = append(row, s.Median()*1e6)
+			trow = append(trow, times.Median()*1e6)
+			arow = append(arow, allocs.Median())
 		}
-		tbl2.AddRow(row...)
+		tbl2.AddRow(trow...)
+		tbl2.AddRow(arow...)
 	}
 	return tbl2.Render(os.Stdout)
 }
@@ -784,6 +790,7 @@ type interpCell struct {
 	SecondsMed  float64 `json:"seconds_median"`
 	MicrosPer   float64 `json:"micros_per_iter"`
 	ItersPerSec float64 `json:"iters_per_sec"`
+	AllocsRun   float64 `json:"allocs_per_run"` // heap allocations per Run (parse-to-exit, compile included)
 }
 
 // interpReport is the top-level T11 JSON document.
@@ -877,17 +884,23 @@ Join
 				"chunked = compiled plus chunk tier: uniform hoisting, bulk striped-store walker, per-span tight loops",
 			},
 		}
+		atbl := &stats.Table{
+			Title:  fmt.Sprintf("interp %s kernel: heap allocations per Run (allocs/op, compile included)", k.name),
+			Header: append([]string{"engine"}, npHeaders(c.npSweep())...),
+			Notes:  []string{"one Run = parse-to-exit; the chunk tier's per-site pools keep the loop body itself allocation-free"},
+		}
 		for _, mode := range interp.ExecModes() {
 			key := mode.String() + "/" + k.name
 			perSec[key] = map[int]float64{}
 			row := []any{mode.String()}
+			arow := []any{mode.String()}
 			for _, np := range c.npSweep() {
 				cfg := interp.Config{NP: np, Stdout: io.Discard, Exec: mode, Chunk: c.chunk}
 				if c.barSet {
 					cfg.Barrier = c.barKind
 				}
 				var runErr error
-				s := stats.Time(c.runs, func() {
+				times, allocs := stats.TimeAllocs(c.runs, func() {
 					if err := interp.Run(prog, cfg); err != nil && runErr == nil {
 						runErr = err
 					}
@@ -895,18 +908,24 @@ Join
 				if runErr != nil {
 					return runErr
 				}
-				med := s.Median()
+				med := times.Median()
 				row = append(row, med/float64(k.iters)*1e6)
+				arow = append(arow, allocs.Median())
 				perSec[key][np] = float64(k.iters) / med
 				report.Results = append(report.Results, interpCell{
 					Exec: mode.String(), Kernel: k.name, NP: np, Iters: k.iters,
 					SecondsMed: med, MicrosPer: med / float64(k.iters) * 1e6,
 					ItersPerSec: float64(k.iters) / med,
+					AllocsRun:   allocs.Median(),
 				})
 			}
 			tbl.AddRow(row...)
+			atbl.AddRow(arow...)
 		}
 		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+		if err := atbl.Render(os.Stdout); err != nil {
 			return err
 		}
 	}
@@ -1307,6 +1326,165 @@ Join
 		if cell.NP == 8 && cell.Tier != "aot" && cell.MillisMax > 100 {
 			fmt.Printf("WARNING: %s np=8 max latency %.1f ms exceeds the 100 ms acceptance bound\n",
 				cell.Tier, cell.MillisMax)
+		}
+	}
+	if c.jsonPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(c.jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d cells)\n", c.jsonPath, len(report.Results))
+	}
+	return nil
+}
+
+// fusionCell is one T14 measurement.  Config is "chunked-fused" (the
+// chunk tier with the fusion pass), "chunked-nofuse" (the same tier
+// with one barrier per construct) or "core-run" (the runtime's
+// steady-state Run handoff, the zero-allocation contract).
+type fusionCell struct {
+	Config      string  `json:"config"`
+	Kernel      string  `json:"kernel"`
+	NP          int     `json:"np"`
+	Regions     int     `json:"regions"` // fused-region executions per run (0 for core-run)
+	SecondsMed  float64 `json:"seconds_median"`
+	MicrosPer   float64 `json:"micros_per_region"`
+	AllocsPerOp float64 `json:"allocs_per_op"` // heap allocations per Run
+}
+
+// fusionReport is the top-level T14 JSON document (BENCH_fusion.json).
+type fusionReport struct {
+	Experiment string       `json:"experiment"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Runs       int          `json:"runs"`
+	Results    []fusionCell `json:"results"`
+}
+
+// expT14 is the fused-pipeline experiment.  The barrier-heavy kernel
+// repeats a region of four adjacent element-disjoint prescheduled
+// DOALLs with a trailing GSUM: unfused, every round costs four exit
+// barriers plus a reduction episode; fused, the whole region closes
+// with one join.  The loop bodies are deliberately small (64 elements)
+// so synchronization — the thing fusion removes — dominates.  The
+// core-run rows measure the runtime's steady-state Run handoff on an
+// already-created force: its allocs/op column must be 0, the
+// zero-allocation contract the interpreter's pools build on.
+func expT14(c config) error {
+	rounds, n := 4000, 8
+	if c.quick {
+		rounds = 300
+	}
+	src := fmt.Sprintf(`Force FUSEB of NP ident ME
+Shared Real A(%[1]d)
+Shared Real B(%[1]d)
+Shared Real C(%[1]d)
+Shared Real D(%[1]d)
+Shared Integer S
+Private Integer I, R
+End Declarations
+DO R = 1, %[2]d
+  Presched DO I = 1, %[1]d
+    A(I) = REAL(I) + REAL(R)
+  End Presched DO
+  Presched DO I = 1, %[1]d
+    B(I) = A(I) * 0.5
+  End Presched DO
+  Presched DO I = 1, %[1]d
+    C(I) = A(I) + B(I)
+  End Presched DO
+  Presched DO I = 1, %[1]d
+    D(I) = C(I) - B(I)
+  End Presched DO
+  GSUM S = I
+End DO
+Join
+`, n, rounds)
+	prog, err := forcelang.Parse(src)
+	if err != nil {
+		return err
+	}
+	report := fusionReport{Experiment: "fusion", GoMaxProcs: runtime.GOMAXPROCS(0), Runs: c.runs}
+	perNP := map[string]map[int]float64{} // config → np → seconds
+	tbl := &stats.Table{
+		Title:  fmt.Sprintf("fused construct pipeline: µs per region (4 DOALLs over %d elements + GSUM, %d rounds)", n, rounds),
+		Header: append([]string{"config"}, npHeaders(c.npSweep())...),
+		Notes: []string{
+			"chunked-nofuse = one exit barrier per DOALL plus a reduction episode per round",
+			"chunked-fused = the same region as four barrier-free opens and one closing join",
+		},
+	}
+	atbl := &stats.Table{
+		Title:  "heap allocations per op (allocs/op)",
+		Header: append([]string{"config"}, npHeaders(c.npSweep())...),
+		Notes:  []string{"chunked rows are per Run (compile included); core-run is per steady-state Force.Run on a reused force — 0 is the contract"},
+	}
+	for _, v := range []struct {
+		name   string
+		noFuse bool
+	}{{"chunked-nofuse", true}, {"chunked-fused", false}} {
+		perNP[v.name] = map[int]float64{}
+		row := []any{v.name}
+		arow := []any{v.name}
+		for _, np := range c.npSweep() {
+			cfg := interp.Config{NP: np, Stdout: io.Discard, NoFuse: v.noFuse, Chunk: c.chunk}
+			if c.barSet {
+				cfg.Barrier = c.barKind
+			}
+			var runErr error
+			times, allocs := stats.TimeAllocs(c.runs, func() {
+				if err := interp.Run(prog, cfg); err != nil && runErr == nil {
+					runErr = err
+				}
+			})
+			if runErr != nil {
+				return runErr
+			}
+			med := times.Median()
+			perNP[v.name][np] = med
+			row = append(row, med/float64(rounds)*1e6)
+			arow = append(arow, allocs.Median())
+			report.Results = append(report.Results, fusionCell{
+				Config: v.name, Kernel: "barrier-heavy", NP: np, Regions: rounds,
+				SecondsMed: med, MicrosPer: med / float64(rounds) * 1e6,
+				AllocsPerOp: allocs.Median(),
+			})
+		}
+		tbl.AddRow(row...)
+		atbl.AddRow(arow...)
+	}
+	arow := []any{"core-run"}
+	for _, np := range c.npSweep() {
+		f := c.force(np)
+		times, allocs := stats.TimeAllocs(c.runs, func() {
+			f.Run(func(p *core.Proc) {})
+		})
+		f.Close()
+		arow = append(arow, allocs.Median())
+		report.Results = append(report.Results, fusionCell{
+			Config: "core-run", Kernel: "empty", NP: np,
+			SecondsMed: times.Median(), AllocsPerOp: allocs.Median(),
+		})
+	}
+	atbl.AddRow(arow...)
+	if err := tbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	if err := atbl.Render(os.Stdout); err != nil {
+		return err
+	}
+	// Acceptance summary: the fusion speedup on the barrier-heavy kernel
+	// at np=1 (the bound the chunk tier's A/B gate tracks) and the
+	// runtime's steady-state allocation count.
+	if fused, unfused := perNP["chunked-fused"][1], perNP["chunked-nofuse"][1]; fused > 0 {
+		fmt.Printf("fused vs unfused, barrier-heavy, np=1: %.2fx\n", unfused/fused)
+	}
+	for _, cell := range report.Results {
+		if cell.Config == "core-run" && cell.AllocsPerOp != 0 {
+			fmt.Printf("WARNING: core-run np=%d allocates %.0f/op — the steady state must be allocation-free\n",
+				cell.NP, cell.AllocsPerOp)
 		}
 	}
 	if c.jsonPath != "" {

@@ -18,14 +18,24 @@
 //	A1  ablation: the paper's barrier over every lock kind
 //	A2  ablation: selfscheduling chunk size
 //
+//	T14 fused construct pipeline: barrier elision + folded reductions vs
+//	    the unfused chunk tier, and the runtime's steady-state allocations
+//
 // Usage:
 //
-//	forcebench [-exp all|F1|T1|...] [-quick] [-maxnp N] [-runs R] [-json FILE] [-barrier ALG] [-chunk N]
+//	forcebench [-exp all|F1|T1|...] [-quick] [-maxnp N] [-runs R] [-json FILE] [-barrier ALG] [-chunk N] [-cpuprofile FILE] [-memprofile FILE]
+//
+// -cpuprofile and -memprofile write pprof profiles of the selected
+// experiments (CPU over the whole invocation, heap at exit after a GC),
+// so harness hot paths can be inspected directly:
+//
+//	forcebench -exp T14 -quick -cpuprofile cpu.out && go tool pprof cpu.out
 //
 // -json writes the running experiment's measurements as machine-readable
 // JSON (T9: BENCH_askfor.json-style, T10: BENCH_reduce.json-style, T11:
 // BENCH_interp.json-style, T12: BENCH_aot.json-style, T13:
-// BENCH_cancel.json-style) so successive revisions can track the
+// BENCH_cancel.json-style, T14: BENCH_fusion.json-style) so successive
+// revisions can track the
 // performance trajectory; use it with a single -exp, as every
 // JSON-emitting experiment writes the same file.
 // -barrier overrides the global barrier algorithm of every force the
@@ -47,6 +57,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -104,13 +115,15 @@ func (c config) npSweep() []int {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (F1, T1..T13, A1, A2) or all")
-		quick  = flag.Bool("quick", false, "smaller problem sizes and fewer repetitions")
-		maxNP  = flag.Int("maxnp", 2*runtime.GOMAXPROCS(0), "largest force size in sweeps")
-		runs   = flag.Int("runs", 3, "timing repetitions per cell")
-		jsonP  = flag.String("json", "", "write T9/T10/T11/T12 results as JSON to this file")
-		barF   = flag.String("barrier", "", "override the barrier algorithm of timed forces (ignored by T2, A1, T6)")
-		chunkN = flag.Int("chunk", 0, "override the selfsched span size of timed forces (0 = discipline default; ignored by A2)")
+		exp     = flag.String("exp", "all", "experiment id (F1, T1..T14, A1, A2) or all")
+		quick   = flag.Bool("quick", false, "smaller problem sizes and fewer repetitions")
+		maxNP   = flag.Int("maxnp", 2*runtime.GOMAXPROCS(0), "largest force size in sweeps")
+		runs    = flag.Int("runs", 3, "timing repetitions per cell")
+		jsonP   = flag.String("json", "", "write T9/T10/T11/T12 results as JSON to this file")
+		barF    = flag.String("barrier", "", "override the barrier algorithm of timed forces (ignored by T2, A1, T6)")
+		chunkN  = flag.Int("chunk", 0, "override the selfsched span size of timed forces (0 = discipline default; ignored by A2)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	c := config{quick: *quick, maxNP: *maxNP, runs: *runs, jsonPath: *jsonP, chunk: *chunkN}
@@ -120,6 +133,20 @@ func main() {
 			fail(err)
 		}
 		c.barKind, c.barSet = bk, true
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer writeMemProfile(*memProf)
 	}
 
 	exps := experiments()
@@ -167,6 +194,7 @@ func experiments() map[string]experiment {
 		{"T11", "interpreter throughput: tree walker vs closure compiler vs chunk tier", expT11},
 		{"T12", "execution tiers: chunked interpreter vs aot native binary", expT12},
 		{"T13", "cancellation latency: cancel → Run returns, per tier", expT13},
+		{"T14", "fused construct pipeline: barrier elision and folded reductions", expT14},
 		{"A1", "ablation: two-lock barrier over lock kinds", expA1},
 		{"A2", "ablation: selfscheduling chunk size", expA2},
 	}
@@ -180,4 +208,19 @@ func experiments() map[string]experiment {
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "forcebench:", err)
 	os.Exit(1)
+}
+
+// writeMemProfile dumps the heap profile after a GC so the numbers
+// reflect live harness allocations, not garbage.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "forcebench:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "forcebench:", err)
+	}
 }

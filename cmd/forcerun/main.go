@@ -21,6 +21,16 @@
 // tier's A/B baseline) or "tree" (the original map-addressed tree
 // walker behind one shared mutex); forcebench T11 measures all three.
 //
+// -fuse on|off (default on) controls the chunk tier's fusion pass:
+// adjacent independent DOALLs fuse into one barrier region (exit
+// barriers elided between them) and a trailing global reduction folds
+// into the region's closing collective.  Fusion only rewrites regions
+// it can prove independent, so output is byte-identical either way;
+// -fuse off restores one barrier per construct for A/B timing.  With
+// -v each fusion decision — what fused, what declined and why — is
+// narrated on standard error, along with the chosen exec tier and
+// chunk size for the run.
+//
 // Two further spellings select the ahead-of-time native tier
 // (internal/aot): "aot" translates the program to Go, builds it once
 // into a content-addressed cache ($FORCE_CACHE or ~/.cache/force,
@@ -142,6 +152,7 @@ func run() error {
 		askforF = flag.String("askfor", "stealing", "Askfor pool discipline: stealing or monitor")
 		reduceF = flag.String("reduce", "slots", "global-reduction strategy: critical, slots, tree or atomic")
 		execF   = flag.String("exec", "chunked", "execution engine: chunked (chunk-compiled DOALLs), compiled (per-iteration closures) or tree (map-addressed walker)")
+		fuseF   = flag.String("fuse", "on", "fusion pass of the chunk tier: on (elide barriers across provably independent DOALLs) or off")
 		chunkN  = flag.Int("chunk", 0, "span size for the chunk/stealing selfsched disciplines (0 = discipline default)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -154,7 +165,11 @@ func run() error {
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: forcerun [-np N] [-machine NAME] [-barrier ALG] [-exec ENGINE] file.force")
+		fmt.Fprintln(os.Stderr, "usage: forcerun [-np N] [-machine NAME] [-barrier ALG] [-exec ENGINE] [-fuse on|off] file.force")
+		os.Exit(2)
+	}
+	if *fuseF != "on" && *fuseF != "off" {
+		fmt.Fprintf(os.Stderr, "forcerun: invalid -fuse mode %q (want on or off)\n", *fuseF)
 		os.Exit(2)
 	}
 	// Arm the chaos harness before anything runs; a malformed spec is a
@@ -265,8 +280,28 @@ func run() error {
 		Askfor:    pool,
 		Reduce:    rk,
 		Exec:      em,
+		NoFuse:    *fuseF == "off",
 		Chunk:     *chunkN,
 		Context:   ctx,
+	}
+	if *verbose {
+		// Narrate the interpreter run the same way tryNative narrates the
+		// native tiers: the chosen engine, the span grain the chunk/stealing
+		// disciplines will use, and — for the chunk tier — every fusion
+		// decision the compiler takes.
+		chunkEff := *chunkN
+		if chunkEff == 0 {
+			chunkEff = 16 // sched.Config default for chunked selfscheduling
+		}
+		fuseState := "off"
+		if em == interp.ExecChunked && *fuseF == "on" {
+			fuseState = "on"
+		}
+		fmt.Fprintf(os.Stderr, "forcerun: tier %s: np %d, chunk %d, fusion %s\n",
+			em, *np, chunkEff, fuseState)
+		cfg.FuseLog = func(msg string) {
+			fmt.Fprintf(os.Stderr, "forcerun: fuse: %s\n", msg)
+		}
 	}
 	if *hangTO > 0 {
 		done := make(chan struct{})

@@ -29,7 +29,13 @@
 //		   │                 over the striped store's bulk walker, with the
 //		   │                 per-iteration compiler and the original tree
 //		   │                 walker kept as A/B baselines (forcerun -exec
-//		   │                 chunked|compiled|tree, forcebench T11)
+//		   │                 chunked|compiled|tree, forcebench T11); a fuse
+//		   │                 pass between classify and chunk merges runs of
+//		   │                 adjacent provably-independent DOALLs into one
+//		   │                 region — exit barriers elided, a trailing
+//		   │                 GSUM/GPROD/GMAX/GMIN folded into the region's
+//		   │                 closing join (forcerun -fuse=on|off, forcebench
+//		   │                 T14)
 //		   └── codegen       compiler back end emitting Go against core
 //		        │
 //		        ├── aot      cached native tier: a structural hash of the
@@ -100,7 +106,7 @@
 //	    process group (forcebench T13 measures the cancel latency);
 //
 //	  - internal/faultinject is the chaos layer over the same choke
-//	    points: 16 named injection sites (barrier.enter ... aot.exec)
+//	    points: 17 named injection sites (barrier.enter ... fuse.join)
 //	    threaded through the runtime's blocking primitives, each one
 //	    atomic load when disarmed.  A seeded plan — FORCE_FAULTS env or
 //	    the programmatic API — arms panic/delay/stall injectors at a
@@ -115,7 +121,8 @@
 // the monitor-vs-stealing Askfor comparison, T10 the reduction-strategy
 // comparison, T11 the tree-walker vs closure-compiler vs chunk-tier
 // interpreter comparison, T12 the chunked-interpreter vs cached
-// native (aot) tier comparison, and T13 the cancellation-latency
-// distribution per tier machine-readably (the committed BENCH_*.json
-// baselines).
+// native (aot) tier comparison, T13 the cancellation-latency
+// distribution per tier, and T14 the fused-pipeline comparison with
+// the runtime's steady-state allocation counts machine-readably (the
+// committed BENCH_*.json baselines).
 package repro

@@ -193,13 +193,13 @@ func bad() { faultinject.Fire(siteFor(kind), pid, pc) }`
 }
 
 // TestLoadSites checks the registry parser against the real faultinject
-// package: all 16 sites, by value and by constant name.
+// package: all 17 sites, by value and by constant name.
 func TestLoadSites(t *testing.T) {
 	sites, err := loadSites("../../..")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"barrier.enter", "$BarrierEnter", "aot.exec", "$AOTExec", "engine.park", "$EnginePark"} {
+	for _, want := range []string{"barrier.enter", "$BarrierEnter", "aot.exec", "$AOTExec", "engine.park", "$EnginePark", "fuse.join", "$FusedJoin"} {
 		if !sites[want] {
 			t.Errorf("missing site %q", want)
 		}
@@ -210,7 +210,7 @@ func TestLoadSites(t *testing.T) {
 			values++
 		}
 	}
-	if values != 16 {
-		t.Errorf("found %d site values, want 16", values)
+	if values != 17 {
+		t.Errorf("found %d site values, want 17", values)
 	}
 }

@@ -96,12 +96,67 @@ type Force struct {
 	pc    *poison.Cell // fault-containment cell; shared with sub-forces
 	sites []procSite   // per-pid blocked-construct state for the stall watchdog
 
-	// inflight is the current Run's completion channel (nil between
-	// runs), installed by RunContext so Shutdown can drain gracefully.
-	inflight atomic.Pointer[chan struct{}]
+	// gate tracks the in-flight Run so Shutdown can drain gracefully.
+	// It replaces a per-Run completion channel: the waiter channel is
+	// created lazily, only when a Shutdown actually waits, so the
+	// steady-state Run path allocates nothing for it.
+	gate runGate
+
+	// fusedEps are the reusable joins closing fused DOALL+reduction
+	// constructs (FusedJoin).  Two alternate per process: a process can
+	// only reach its (k+2)-th fused join after every process has left
+	// its k-th, the sense-reversal invariant that makes a pair safe to
+	// reuse forever.  Rebuilt by recoverAborted like the barrier.
+	fusedEps [2]*reduce.NumEpisode
+
+	// procs and runBody are the preallocated per-Run dispatch state:
+	// one Proc per process reset (not reallocated) each Run, and one
+	// stable body closure reading curProgram — so a steady-state Run
+	// performs zero heap allocations.
+	procs      []Proc
+	runBody    func(id int)
+	curProgram func(p *Proc)
 
 	entries sync.Map // construct seq (uint64) -> *constructEntry
 	stats   Stats
+}
+
+// runGate tracks whether a Run is in flight and lets Shutdown wait for
+// it.  The channel exists only while someone is actually waiting.
+type runGate struct {
+	mu      sync.Mutex
+	running bool
+	waitCh  chan struct{}
+}
+
+func (g *runGate) start() {
+	g.mu.Lock()
+	g.running = true
+	g.mu.Unlock()
+}
+
+func (g *runGate) finish() {
+	g.mu.Lock()
+	g.running = false
+	if g.waitCh != nil {
+		close(g.waitCh)
+		g.waitCh = nil
+	}
+	g.mu.Unlock()
+}
+
+// waiter returns a channel closed when the in-flight Run finishes, or
+// nil when no Run is in flight.
+func (g *runGate) waiter() chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.running {
+		return nil
+	}
+	if g.waitCh == nil {
+		g.waitCh = make(chan struct{})
+	}
+	return g.waitCh
 }
 
 // procSite records where one process currently blocks: the construct
@@ -203,11 +258,31 @@ func New(np int, opts ...Option) *Force {
 	f.bar = barrier.New(f.barKind, np, f.profile.LockFactory())
 	barrier.SetPoison(f.bar, f.pc)
 	f.locks = lock.NewSet(f.profile.LockFactory())
+	f.initFusedEps()
 	// Capture the profile by value: the start hook must not reference f,
 	// or the workers would keep an abandoned force alive forever.
 	prof := f.profile
 	f.eng = engine.New(np, engine.WithWorkerStart(func(int) { prof.PayCreationCost() }))
+	f.procs = make([]Proc, np)
+	f.runBody = func(id int) {
+		f.sites[id].construct.Store(nil)
+		f.sites[id].note.Store(nil)
+		p := &f.procs[id]
+		drops := p.pendingDrops[:0]
+		*p = Proc{id: id, f: f, site: &f.sites[id], pendingDrops: drops}
+		f.curProgram(p)
+		// Reached only on normal return: a panicking process keeps its
+		// last blocked site for post-mortem inspection.  The sticky
+		// note clears too — a finished process has no "current" line.
+		f.sites[id].note.Store(nil)
+		f.sites[id].construct.Store(&siteExited)
+	}
 	return f
+}
+
+func (f *Force) initFusedEps() {
+	f.fusedEps[0] = reduce.NewNumEpisode(f.np, f.pc)
+	f.fusedEps[1] = reduce.NewNumEpisode(f.np, f.pc)
 }
 
 // Close stops the force's persistent workers.  Idempotent; the force must
@@ -411,19 +486,19 @@ func (f *Force) RunContext(ctx context.Context, program func(p *Proc)) error {
 	}
 
 	// Register the in-flight run so Shutdown can drain gracefully.
-	done := make(chan struct{})
-	f.inflight.Store(&done)
-	defer func() {
-		f.inflight.Store(nil)
-		close(done)
-	}()
+	f.gate.start()
+	defer f.gate.finish()
 
 	// The cancellation watcher: one goroutine selecting the context
 	// against run completion.  Armed only when the context can actually
-	// cancel, so Run's Background() path pays nothing.
-	var watcher sync.WaitGroup
-	stop := make(chan struct{})
+	// cancel, so Run's Background() path pays nothing — not even the
+	// stop channel or the watcher's WaitGroup (which escapes into the
+	// goroutine closure and would otherwise heap-allocate every Run).
+	var watcher *sync.WaitGroup
+	var stop chan struct{}
 	if ctx.Done() != nil {
+		stop = make(chan struct{})
+		watcher = new(sync.WaitGroup)
 		watcher.Add(1)
 		go func() {
 			defer watcher.Done()
@@ -435,18 +510,13 @@ func (f *Force) RunContext(ctx context.Context, program func(p *Proc)) error {
 		}()
 	}
 
-	f.eng.RunCell(f.pc, func(id int) {
-		f.sites[id].construct.Store(nil)
-		f.sites[id].note.Store(nil)
-		program(&Proc{id: id, f: f, site: &f.sites[id]})
-		// Reached only on normal return: a panicking process keeps its
-		// last blocked site for post-mortem inspection.  The sticky
-		// note clears too — a finished process has no "current" line.
-		f.sites[id].note.Store(nil)
-		f.sites[id].construct.Store(&siteExited)
-	})
-	close(stop)
-	watcher.Wait() // no PoisonExternal can race past this point
+	f.curProgram = program
+	f.eng.RunCell(f.pc, f.runBody)
+	f.curProgram = nil // do not pin the program until the next Run
+	if stop != nil {
+		close(stop)
+		watcher.Wait() // no PoisonExternal can race past this point
+	}
 
 	if f.pc.Poisoned() {
 		return f.settleAborted()
@@ -476,13 +546,13 @@ func (f *Force) settleAborted() error {
 // owns the ordering against *starting* Runs, as with Run/Run.
 func (f *Force) Shutdown(ctx context.Context) error {
 	var err error
-	if done := f.inflight.Load(); done != nil {
+	if done := f.gate.waiter(); done != nil {
 		select {
-		case <-*done:
+		case <-done:
 		case <-ctx.Done():
 			err = ctx.Err()
 			f.pc.PoisonExternal(err)
-			<-*done // cancellation latency is bounded; the drain completes
+			<-done // cancellation latency is bounded; the drain completes
 		}
 	}
 	f.Close()
@@ -505,6 +575,9 @@ func (f *Force) recoverAborted() {
 	f.bar = barrier.New(f.barKind, f.np, f.profile.LockFactory())
 	barrier.SetPoison(f.bar, f.pc)
 	f.locks = lock.NewSet(f.profile.LockFactory())
+	// An aborted fused join may hold contributions that never folded;
+	// rebuild the reusable pair like the barrier.
+	f.initFusedEps()
 	f.releaseEntries()
 }
 
@@ -558,6 +631,14 @@ type Proc struct {
 	f    *Force
 	seq  uint64
 	site *procSite // this process's watchdog slot on the TOP-LEVEL force
+
+	// fuse counts fused joins executed by this process (selects which
+	// of the force's two reusable episodes serves the next one);
+	// pendingDrops carries the selfscheduled construct entries of every
+	// open member of the current fused region to the FusedJoin that
+	// retires them.  The backing array is reused across regions.
+	fuse         uint64
+	pendingDrops []uint64
 }
 
 // ID returns the process identifier, in [0, NP()).
@@ -1108,5 +1189,6 @@ func newSubForce(parent *Force, np int) *Force {
 	sub.bar = barrier.New(sub.barKind, np, sub.profile.LockFactory())
 	barrier.SetPoison(sub.bar, sub.pc)
 	sub.locks = lock.NewSet(sub.profile.LockFactory())
+	sub.initFusedEps()
 	return sub
 }

@@ -19,7 +19,14 @@
 //   - Chunk: the PR-6 chunk matrix — programs chosen to hit the chunk
 //     tier's edges (strides, empty ranges, two-index DOALLs,
 //     disjointness proofs and their failures, accumulator folding,
-//     final loop-variable values).
+//     final loop-variable values);
+//   - Fusion / FusionFaults: the PR-10 fusion matrix — programs shaped
+//     for the chunk tier's fusion pass (adjacent independent DOALLs,
+//     overlapping must-NOT-fuse pairs, foldable reduction tails, a
+//     reduction feeding a later DOALL, and a fault striking inside a
+//     fused region).  Every tier, with fusion on and off, must print
+//     the same lines and report the same errors: fusion is a barrier
+//     count optimization, never a semantics change.
 package corpus
 
 // Program is one acceptance program.  NP is the force size the program
@@ -690,6 +697,211 @@ I = 0 - 9
 Presched DO I = 1, 37
 End Presched DO
 Print 'me', ME, I
+Join
+`},
+}
+
+// Fusion is the fusion-pass matrix: programs shaped so the chunk tier's
+// fusion pass fires (or must provably decline).  Output must be
+// byte-identical across every execution tier, at np in {1, 2, 8}, with
+// fusion on and off.
+var Fusion = []Program{
+	// Three adjacent prescheduled DOALLs chained through disjoint
+	// shared arrays: the region fuses into one join, two exit barriers
+	// elided, because iteration i of every member runs on the same
+	// process and only touches its own elements.
+	{"fuse-presched-chain", 0, `Force FCHAIN of NP ident ME
+Shared Real A(96)
+Shared Real B(96)
+Shared Real C(96)
+Private Integer I
+Private Real T
+End Declarations
+Presched DO I = 1, 96
+  A(I) = REAL(I) * 0.5
+End Presched DO
+Presched DO I = 1, 96
+  B(I) = A(I) + 1.0
+End Presched DO
+Presched DO I = 1, 96
+  C(I) = A(I) + B(I)
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 96
+    T = T + C(I)
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+	// The second DOALL reads A mirrored (A(97-I)): the combined uses of
+	// A are NOT element-disjoint across iterations, so the region must
+	// keep its barrier — fusing would let one process read elements a
+	// peer has not written yet.
+	{"fuse-overlap-declines", 0, `Force FMIRROR of NP ident ME
+Shared Real A(96)
+Shared Real B(96)
+Private Integer I
+Private Real T
+End Declarations
+Presched DO I = 1, 96
+  A(I) = REAL(I)
+End Presched DO
+Presched DO I = 1, 96
+  B(I) = A(97 - I) * 2.0
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 96
+    T = T + B(I)
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+	// A DOALL pair with a trailing GSUM of the (per-process final)
+	// index variable: the reduction folds into the region's closing
+	// collective instead of running its own episode.
+	{"fuse-gsum-tail", 0, `Force FGSUM of NP ident ME
+Shared Real A(80)
+Shared Real B(80)
+Shared Integer S
+Private Integer I
+Private Real T
+End Declarations
+Presched DO I = 1, 80
+  A(I) = REAL(I) * 2.0
+End Presched DO
+Presched DO I = 1, 80
+  B(I) = A(I) + 3.0
+End Presched DO
+GSUM S = I
+Barrier
+  T = 0.0
+  DO I = 1, 80
+    T = T + A(I) + B(I)
+  End DO
+  Print S, NINT(T)
+End Barrier
+Join
+`},
+	// A REAL GMAX tail: extrema fold bit-for-bit in any order, so the
+	// REAL reduction folds into the join under every reduce strategy.
+	{"fuse-gmax-real", 0, `Force FGMAX of NP ident ME
+Shared Real A(72)
+Shared Real TOP
+Private Integer I
+Private Real T
+End Declarations
+Presched DO I = 1, 72
+  A(I) = REAL(I) * 1.5
+End Presched DO
+GMAX TOP = REAL(I) * 0.5
+Barrier
+  T = 0.0
+  DO I = 1, 72
+    T = T + A(I)
+  End DO
+  Print TOP, NINT(T)
+End Barrier
+Join
+`},
+	// A folded reduction whose result feeds the next DOALL: the second
+	// region opens after the join, so every process reads the same
+	// reduced value.
+	{"fuse-reduce-feeds-doall", 0, `Force FFEED of NP ident ME
+Shared Real A(60)
+Shared Real B(60)
+Shared Integer S
+Private Integer I
+Private Real T
+End Declarations
+Presched DO I = 1, 60
+  A(I) = REAL(I)
+End Presched DO
+GSUM S = ME + 1
+Presched DO I = 1, 60
+  B(I) = A(I) + REAL(S)
+End Presched DO
+Barrier
+  T = 0.0
+  DO I = 1, 60
+    T = T + B(I)
+  End DO
+  Print S, NINT(T)
+End Barrier
+Join
+`},
+	// Two selfscheduled DOALLs with no cross-member references: safe to
+	// fuse even though span assignment is dynamic, because no datum
+	// written by one member is touched by the other.
+	{"fuse-selfsched-pair", 0, `Force FSELF of NP ident ME
+Shared Real A(120)
+Shared Real B(120)
+Private Integer I
+Private Real T
+End Declarations
+Selfsched DO I = 1, 120
+  A(I) = REAL(I) * 3.0
+End Selfsched DO
+Selfsched DO I = 1, 120
+  B(I) = REAL(121 - I)
+End Selfsched DO
+Barrier
+  T = 0.0
+  DO I = 1, 120
+    T = T + A(I) + B(I)
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+	// Selfscheduled members with a cross-member flow (B(I) = A(I)):
+	// iteration i of different members may run on different processes,
+	// so the region must NOT fuse even though the uses are disjoint —
+	// the disjointness argument only holds under prescheduling.
+	{"fuse-selfsched-conflict-declines", 0, `Force FSCON of NP ident ME
+Shared Real A(90)
+Shared Real B(90)
+Private Integer I
+Private Real T
+End Declarations
+Selfsched DO I = 1, 90
+  A(I) = REAL(I) * 2.0
+End Selfsched DO
+Selfsched DO I = 1, 90
+  B(I) = A(I) + 1.0
+End Selfsched DO
+Barrier
+  T = 0.0
+  DO I = 1, 90
+    T = T + B(I)
+  End DO
+  Print NINT(T)
+End Barrier
+Join
+`},
+}
+
+// FusionFaults is the fused-region fault matrix: the error strikes in
+// the middle of a fused region (here the second member, on only the
+// process owning the faulting index once np > 1), and every tier — with
+// fusion on and off — must abort the whole force with the identical
+// "force runtime: line N: ..." message naming the faulting member's
+// line, not the region's.
+var FusionFaults = []Program{
+	{"fault-in-second-member", 0, `Force FFAULT of NP ident ME
+Shared Real A(40)
+Shared Real B(40)
+Private Integer I
+End Declarations
+Presched DO I = 1, 40
+  A(I) = REAL(I)
+End Presched DO
+Presched DO I = 1, 40
+  B(I) = REAL(100 / (I - 20))
+End Presched DO
 Join
 `},
 }

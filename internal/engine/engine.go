@@ -30,6 +30,12 @@ import (
 type Engine struct {
 	np int
 	sh *workerShared
+	// jb is the engine's reusable job descriptor: Run is never
+	// concurrent with itself (documented above), so every dispatch can
+	// reuse one job instead of allocating — part of the runtime's
+	// zero-allocation steady state.  Cleared after each dispatch so a
+	// finished Run's body closure is not pinned until the next one.
+	jb job
 }
 
 // workerShared is the state workers reference.  It deliberately does not
@@ -145,7 +151,8 @@ func (e *Engine) NP() int { return e.np }
 // with the first recorded panic value after all workers have stopped —
 // the same whole-force failure semantics the spawn-per-run driver had.
 func (e *Engine) Run(body func(pid int)) {
-	e.dispatch(&job{body: body})
+	e.jb.body, e.jb.cell = body, nil
+	e.dispatch(&e.jb)
 }
 
 // RunCell is Run under the fault-containment protocol: the first
@@ -155,7 +162,8 @@ func (e *Engine) Run(body func(pid int)) {
 // boundary.  RunCell itself returns normally; the caller owns the cell
 // and decides how to surface cell.Value().
 func (e *Engine) RunCell(cell *poison.Cell, body func(pid int)) {
-	e.dispatch(&job{body: body, cell: cell})
+	e.jb.body, e.jb.cell = body, cell
+	e.dispatch(&e.jb)
 }
 
 func (e *Engine) dispatch(j *job) {
@@ -169,8 +177,15 @@ func (e *Engine) dispatch(j *job) {
 		ch <- j
 	}
 	j.wg.Wait()
+	var first any
 	if len(j.panics) > 0 {
-		panic(j.panics[0])
+		first = j.panics[0]
+	}
+	j.body, j.cell = nil, nil
+	clear(j.panics)
+	j.panics = j.panics[:0]
+	if first != nil {
+		panic(first)
 	}
 }
 

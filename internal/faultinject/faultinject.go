@@ -70,6 +70,7 @@ const (
 	EngineHand     = "engine.hand" // the hand-slot raid of last resort
 	AOTBuild       = "aot.build"   // the native tier's go-build cold path
 	AOTExec        = "aot.exec"    // about to exec the cached native binary
+	FusedJoin      = "fuse.join"   // the single collective closing a fused DOALL+reduction
 )
 
 // Sites lists every injection site, in sweep order.
@@ -80,6 +81,7 @@ var Sites = []string{
 	AskforPut, AskforTake,
 	EnginePark, EngineSteal, EngineHand,
 	AOTBuild, AOTExec,
+	FusedJoin,
 }
 
 // Kind selects an injector.

@@ -17,10 +17,11 @@ package interp
 //   - accesses to disjoint-proven shared arrays go through one
 //     stripeWalker that holds a single stripe lock across consecutive
 //     elements (store.go); everything else keeps per-element striping.
-//   - accumulator scalars (S = S + e) add into a private per-chunk slot
-//     and fold into the shared cell with one atomic add at chunk end —
-//     before the construct's exit barrier, so post-loop readers see the
-//     total.
+//   - accumulator scalars (S = S + e, S = MAX(S, e), S = MIN(S, e))
+//     accumulate into a private per-chunk slot and fold into the shared
+//     cell with one atomic RMW at chunk end — an add for sums, a strict
+//     compare-and-swap for extrema — before the construct's exit
+//     barrier, so post-loop readers see the total.
 //   - poison is checked once per span by the runtime and every 256
 //     iterations inside the chunk, keeping PR 4's abort latency in the
 //     milliseconds even for giant prescheduled spans.
@@ -31,6 +32,7 @@ package interp
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/forcelang"
 	"repro/internal/sched"
@@ -50,16 +52,48 @@ type kctx struct {
 	uniR []float64
 	uniB []bool
 	w    stripeWalker
-	sums []int64
+	accI []int64
+	accR []float64
 }
 
-// flush folds the accumulated deltas into their shared cells and resets
-// the slots; it must run before the construct's exit barrier.
-func (kc *kctx) flush(cells []*sharedScalar) {
-	for si, d := range kc.sums {
-		if d != 0 {
-			cells[si].addInt(d)
-			kc.sums[si] = 0
+// accCell pairs one accumulator's shared cell with its fold operator,
+// precomputed per construct so flush needs no plan lookups.
+type accCell struct {
+	cell *sharedScalar
+	op   accOp
+	real bool
+}
+
+// flush folds the accumulated contributions into their shared cells
+// and re-seeds the slots; it must run before the construct's exit
+// barrier.  Sum deltas fold with one atomic add; extremum partials
+// fold with the strict compare-and-swap RMWs, so an identity-valued
+// partial (a chunk that never ran the statement) never disturbs the
+// cell.
+func (kc *kctx) flush(accs []accCell) {
+	for si, ac := range accs {
+		switch {
+		case ac.op == accSum:
+			if d := kc.accI[si]; d != 0 {
+				ac.cell.addInt(d)
+				kc.accI[si] = 0
+			}
+		case ac.real:
+			if ac.op == accMax {
+				ac.cell.maxReal(kc.accR[si])
+				kc.accR[si] = math.Inf(-1)
+			} else {
+				ac.cell.minReal(kc.accR[si])
+				kc.accR[si] = math.Inf(1)
+			}
+		default:
+			if ac.op == accMax {
+				ac.cell.maxInt(kc.accI[si])
+				kc.accI[si] = math.MinInt64
+			} else {
+				ac.cell.minInt(kc.accI[si])
+				kc.accI[si] = math.MaxInt64
+			}
 		}
 	}
 }
@@ -103,11 +137,25 @@ func (c *compiler) tryChunkParDo(t *forcelang.ParDo, lay *unitLayout) stmtFn {
 	if reason != "" {
 		return nil
 	}
+	return c.chunkParDo(t, lay, plan, false)
+}
+
+// chunkParDo compiles the chunk-tier execution of t against its plan.
+// When open is true the construct is emitted as a member of a fused
+// region: spans run through DoAllChunkedOpen and no exit barrier is
+// executed — the caller must close the region with a FusedJoin on every
+// process.  Chunk contexts are recycled through a per-site pool: a
+// construct inside a sequential loop executes many times per run, and
+// every execution would otherwise reallocate the context and its slot
+// slices.  A context is returned to the pool only on normal completion
+// (flushed accumulators, released walker), so a poisoned unwind simply
+// abandons it.
+func (c *compiler) chunkParDo(t *forcelang.ParDo, lay *unitLayout, plan *chunkPlan, open bool) stmtFn {
 	k := &kcompiler{c: c, lay: lay, plan: plan}
 	body := k.stmts(t.Body)
-	sumCells := make([]*sharedScalar, len(plan.sumSyms))
-	for i, sym := range plan.sumSyms {
-		sumCells[i] = c.in.scalar(sym.unit, sym.slot)
+	accCells := make([]accCell, len(plan.accSyms))
+	for i, rec := range plan.accSyms {
+		accCells[i] = accCell{cell: c.in.scalar(rec.sym.unit, rec.sym.slot), op: rec.op, real: rec.real}
 	}
 	fromF, toF, stepF := c.cInt(t.From, lay), c.cInt(t.To, lay), c.stepFn(t.Step, lay)
 	storeVar := c.intVarStore(t.Var, lay, t.Pos())
@@ -120,6 +168,7 @@ func (c *compiler) tryChunkParDo(t *forcelang.ParDo, lay *unitLayout) stmtFn {
 		}
 		return pr.in.cfg.Selfsched
 	}
+	pool := &sync.Pool{New: func() any { return newKctx(plan) }}
 
 	if t.Inner == nil {
 		return func(pr *cproc, fr *frame) {
@@ -130,7 +179,7 @@ func (c *compiler) tryChunkParDo(t *forcelang.ParDo, lay *unitLayout) stmtFn {
 				panic(rtErrf(line, "loop step is zero"))
 			}
 			r := sched.Range{Start: int(from), Last: int(to), Incr: int(step)}
-			kc := newKctx(plan)
+			kc := pool.Get().(*kctx)
 			evalUniforms(plan, pr, fr, kc)
 			base, incr := int64(r.Start), int64(r.Incr)
 			chunkFn := func(lo, hi, stride int) {
@@ -156,10 +205,18 @@ func (c *compiler) tryChunkParDo(t *forcelang.ParDo, lay *unitLayout) stmtFn {
 				}
 				kc.w.release()
 				storeVar(pr, fr, i-di)
-				kc.flush(sumCells)
+				kc.flush(accCells)
 			}
-			pr.p.DoAllChunked(selfKind(pr), r, chunkFn)
+			if open {
+				pr.p.DoAllChunkedOpen(selfKind(pr), r, chunkFn)
+			} else {
+				pr.p.DoAllChunked(selfKind(pr), r, chunkFn)
+			}
+			pool.Put(kc)
 		}
+	}
+	if open {
+		panic(compileErrf("line %d: internal: two-index DOALL as fused member", t.Pos()))
 	}
 
 	ifromF, itoF, istepF := c.cInt(t.Inner.From, lay), c.cInt(t.Inner.To, lay), c.stepFn(t.Inner.Step, lay)
@@ -179,7 +236,7 @@ func (c *compiler) tryChunkParDo(t *forcelang.ParDo, lay *unitLayout) stmtFn {
 		}
 		r := sched.Range{Start: int(from), Last: int(to), Incr: int(step)}
 		r2 := sched.Range{Start: int(ifrom), Last: int(ito), Incr: int(istep)}
-		kc := newKctx(plan)
+		kc := pool.Get().(*kctx)
 		evalUniforms(plan, pr, fr, kc)
 		n2 := r2.Count()
 		chunkFn := func(lo, hi, stride int) {
@@ -201,18 +258,41 @@ func (c *compiler) tryChunkParDo(t *forcelang.ParDo, lay *unitLayout) stmtFn {
 			kc.w.release()
 			storeVar(pr, fr, li)
 			storeInner(pr, fr, lj)
-			kc.flush(sumCells)
+			kc.flush(accCells)
 		}
 		pr.p.DoAll2Chunked(selfKind(pr), r, r2, chunkFn)
+		pool.Put(kc)
 	}
 }
 
 func newKctx(plan *chunkPlan) *kctx {
-	return &kctx{
+	kc := &kctx{
 		uniI: make([]int64, len(plan.uniInt)),
 		uniR: make([]float64, len(plan.uniReal)),
 		uniB: make([]bool, len(plan.uniBool)),
-		sums: make([]int64, len(plan.sumSyms)),
+		accI: make([]int64, len(plan.accSyms)),
+		accR: make([]float64, len(plan.accSyms)),
+	}
+	seedAccs(plan.accSyms, kc)
+	return kc
+}
+
+// seedAccs installs each accumulator's fold identity: 0 for sums,
+// MinInt64 / -Inf for MAX, MaxInt64 / +Inf for MIN.
+func seedAccs(recs []accRec, kc *kctx) {
+	for si, rec := range recs {
+		switch {
+		case rec.op == accSum:
+			kc.accI[si] = 0
+		case rec.real && rec.op == accMax:
+			kc.accR[si] = math.Inf(-1)
+		case rec.real:
+			kc.accR[si] = math.Inf(1)
+		case rec.op == accMax:
+			kc.accI[si] = math.MinInt64
+		default:
+			kc.accI[si] = math.MaxInt64
+		}
 	}
 }
 
@@ -291,16 +371,8 @@ func (k *kcompiler) assign(t *forcelang.Assign) kstmtFn {
 			return func(pr *cproc, fr *frame, kc *kctx) { fr.priv[slot] = ev(pr, fr, kc) }
 		case scShared:
 			cell := k.c.in.scalar(sym.unit, sym.slot)
-			if si, isSum := k.plan.sums[t.Target.Name]; isSum {
-				delta, neg, ok := uniform.AccumDelta(t.Target.Name, t.Expr)
-				if !ok {
-					panic(compileErrf("line %d: internal: accumulator shape lost for %s", t.Pos(), t.Target.Name))
-				}
-				dv := k.kInt(delta)
-				if neg {
-					return func(pr *cproc, fr *frame, kc *kctx) { kc.sums[si] -= dv(pr, fr, kc) }
-				}
-				return func(pr *cproc, fr *frame, kc *kctx) { kc.sums[si] += dv(pr, fr, kc) }
+			if si, isAcc := k.plan.accs[t.Target.Name]; isAcc {
+				return k.accAssign(t, si)
 			}
 			switch tt {
 			case forcelang.TInt:
@@ -340,6 +412,58 @@ func (k *kcompiler) assign(t *forcelang.Assign) kstmtFn {
 		}
 	}
 	panic(compileErrf("line %d: internal: chunked array assignment to %s", t.Pos(), t.Target.Name))
+}
+
+// accAssign compiles one accumulator statement into its private-slot
+// update.  The extremum update replaces the partial only on a strict
+// compare, the exact test MAX(S, e) / MIN(S, e) performs per
+// iteration — so NaN contributions are dropped and a +0.0 never
+// replaces a -0.0, matching the per-iteration path bit for bit.
+func (k *kcompiler) accAssign(t *forcelang.Assign, si int) kstmtFn {
+	rec := k.plan.accSyms[si]
+	if rec.op == accSum {
+		delta, neg, ok := uniform.AccumDelta(t.Target.Name, t.Expr)
+		if !ok {
+			panic(compileErrf("line %d: internal: accumulator shape lost for %s", t.Pos(), t.Target.Name))
+		}
+		dv := k.kInt(delta)
+		if neg {
+			return func(pr *cproc, fr *frame, kc *kctx) { kc.accI[si] -= dv(pr, fr, kc) }
+		}
+		return func(pr *cproc, fr *frame, kc *kctx) { kc.accI[si] += dv(pr, fr, kc) }
+	}
+	arg, isMax, ok := uniform.AccumMinMax(t.Target.Name, t.Expr)
+	if !ok {
+		panic(compileErrf("line %d: internal: accumulator shape lost for %s", t.Pos(), t.Target.Name))
+	}
+	if rec.real {
+		av := k.kReal(arg)
+		if isMax {
+			return func(pr *cproc, fr *frame, kc *kctx) {
+				if v := av(pr, fr, kc); v > kc.accR[si] {
+					kc.accR[si] = v
+				}
+			}
+		}
+		return func(pr *cproc, fr *frame, kc *kctx) {
+			if v := av(pr, fr, kc); v < kc.accR[si] {
+				kc.accR[si] = v
+			}
+		}
+	}
+	av := k.kInt(arg)
+	if isMax {
+		return func(pr *cproc, fr *frame, kc *kctx) {
+			if v := av(pr, fr, kc); v > kc.accI[si] {
+				kc.accI[si] = v
+			}
+		}
+	}
+	return func(pr *cproc, fr *frame, kc *kctx) {
+		if v := av(pr, fr, kc); v < kc.accI[si] {
+			kc.accI[si] = v
+		}
+	}
 }
 
 func (k *kcompiler) kStep(step forcelang.Expr) kintFn {

@@ -154,7 +154,7 @@ Join
 	if plan == nil {
 		t.Fatalf("accumulator body fell back: %s", reason)
 	}
-	if _, ok := plan.sums["S"]; !ok {
+	if _, ok := plan.accs["S"]; !ok {
 		t.Error("S = S + I not folded to a private sum")
 	}
 
@@ -172,8 +172,75 @@ Join
 	if plan == nil {
 		t.Fatalf("read-elsewhere body fell back: %s", reason)
 	}
-	if _, ok := plan.sums["S"]; ok {
+	if _, ok := plan.accs["S"]; ok {
 		t.Error("S read outside its own update must not fold")
+	}
+}
+
+// TestClassifyMinMaxAccumulator pins the extremum accumulators:
+// S = MAX(S, e) / S = MIN(S, e) fold for INTEGER and REAL shared
+// scalars; the argument-swapped form, a type-promoting form, and mixed
+// operators on one scalar all decline.
+func TestClassifyMinMaxAccumulator(t *testing.T) {
+	head := `Force C of NP ident ME
+Shared Integer S
+Shared Real R
+Private Integer I
+End Declarations
+`
+	tail := "End Presched DO\nJoin\n"
+	folds := map[string]struct {
+		stmt string
+		name string
+		op   accOp
+		real bool
+	}{
+		"int max":  {"S = MAX(S, I)", "S", accMax, false},
+		"int min":  {"S = MIN(S, I*2)", "S", accMin, false},
+		"real max": {"R = MAX(R, REAL(I))", "R", accMax, true},
+		"real min": {"R = MIN(R, REAL(I)*0.5)", "R", accMin, true},
+	}
+	for label, tc := range folds {
+		plan, reason := classify(t, head+"Presched DO I = 1, 64\n  "+tc.stmt+"\n"+tail)
+		if plan == nil {
+			t.Fatalf("%s fell back: %s", label, reason)
+		}
+		si, ok := plan.accs[tc.name]
+		if !ok {
+			t.Errorf("%s: %q not folded", label, tc.stmt)
+			continue
+		}
+		rec := plan.accSyms[si]
+		if rec.op != tc.op || rec.real != tc.real {
+			t.Errorf("%s: folded as op=%d real=%v, want op=%d real=%v",
+				label, rec.op, rec.real, tc.op, tc.real)
+		}
+	}
+	declines := map[string]string{
+		// MAX keeps its first argument unless the second is strictly
+		// greater, so only the self-first order composes with a fold.
+		"swapped args": "S = MAX(I, S)",
+		// INTEGER target fed by a promoted REAL MAX: the store would
+		// truncate, which the fold cannot replay.
+		"promoting":  "S = MAX(S, R)",
+		"reads self": "S = MAX(S, S - I)",
+	}
+	for label, stmt := range declines {
+		plan, reason := classify(t, head+"Presched DO I = 1, 64\n  "+stmt+"\n"+tail)
+		if plan == nil {
+			t.Fatalf("%s fell back entirely: %s", label, reason)
+		}
+		if _, ok := plan.accs["S"]; ok {
+			t.Errorf("%s: %q wrongly folded", label, stmt)
+		}
+	}
+	// Mixed operators on one scalar cannot share a private partial.
+	plan, reason := classify(t, head+"Presched DO I = 1, 64\n  S = S + I\n  S = MAX(S, I)\n"+tail)
+	if plan == nil {
+		t.Fatalf("mixed-op body fell back: %s", reason)
+	}
+	if _, ok := plan.accs["S"]; ok {
+		t.Error("mixed sum/MAX on one scalar wrongly folded")
 	}
 }
 

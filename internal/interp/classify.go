@@ -20,10 +20,15 @@ package interp
 //     through the striped store's bulk walker; everything else keeps the
 //     per-element stripe discipline (same-element writes stay correct,
 //     they just do not amortize).
-//   - which shared INTEGER scalars are pure accumulators: every
-//     appearance in the body is `S = S + e` or `S = S - e` with an
-//     INTEGER right-hand side not reading S.  Their deltas accumulate
-//     privately per chunk and fold into the cell with one atomic add.
+//   - which shared scalars are pure accumulators: every appearance in
+//     the body is one accumulator shape over the same operator —
+//     `S = S + e` / `S = S - e` with an INTEGER right-hand side (sums
+//     round under REAL, so only INTEGER sums fold exactly), or
+//     `S = MAX(S, e)` / `S = MIN(S, e)` for INTEGER and REAL alike
+//     (extrema keep one operand bit-for-bit, so they fold exactly) —
+//     with e never reading S.  Their contributions accumulate
+//     privately per chunk and fold into the cell with one atomic RMW:
+//     an add for sums, a compare-and-swap race for extrema.
 //
 // A body that reads or writes subroutine parameters disables the bulk
 // walker and the accumulator folding (a parameter may alias any shared
@@ -54,10 +59,10 @@ type chunkPlan struct {
 	// disjoint holds the written shared arrays proven element-disjoint
 	// across iterations; their accesses compile to walker accesses.
 	disjoint map[string]bool
-	// sums maps accumulator scalars to their private-slot index.
-	sums map[string]int
-	// sumSyms holds the accumulator symbols in slot order.
-	sumSyms []symbol
+	// accs maps accumulator scalars to their private-slot index.
+	accs map[string]int
+	// accSyms holds the accumulator records in slot order.
+	accSyms []accRec
 
 	// Hoisted uniform subexpressions, evaluated once per construct
 	// execution by the ordinary (per-iteration) closure compiler and
@@ -66,6 +71,24 @@ type chunkPlan struct {
 	uniInt  []intFn
 	uniReal []realFn
 	uniBool []boolFn
+}
+
+// accOp is the fold operator of one accumulator scalar.
+type accOp uint8
+
+const (
+	accSum accOp = iota
+	accMax
+	accMin
+)
+
+// accRec is one accumulator scalar's plan entry: its symbol, its fold
+// operator, and whether the partial is a float64 (REAL extrema) or an
+// int64 (INTEGER sums and extrema).
+type accRec struct {
+	sym  symbol
+	op   accOp
+	real bool
 }
 
 // arrayUse records one subscripted access during classification.
@@ -81,13 +104,16 @@ type classifier struct {
 	plan *chunkPlan
 
 	// reads counts scalar (unsubscripted) reads per name; selfRefs and
-	// writes count, per shared INTEGER scalar, the reads and writes
-	// accounted for by well-formed accumulator statements.  tainted
-	// marks scalars with a non-accumulator write.
+	// writes count, per shared scalar, the reads and writes accounted
+	// for by well-formed accumulator statements.  accOps records the
+	// operator each candidate accumulates under; tainted marks scalars
+	// with a non-accumulator write (or with mixed operators — a sum and
+	// a MAX of the same scalar cannot share one private partial).
 	reads    map[string]int
 	selfRefs map[string]int
 	accWrite map[string]int
 	writes   map[string]int
+	accOps   map[string]accOp
 	tainted  map[string]bool
 
 	arrays map[string][]arrayUse
@@ -100,7 +126,7 @@ func classifyParDo(prog *forcelang.Program, t *forcelang.ParDo, lay *unitLayout)
 		outer:    t.Var,
 		written:  map[string]bool{},
 		disjoint: map[string]bool{},
-		sums:     map[string]int{},
+		accs:     map[string]int{},
 	}
 	if t.Inner != nil {
 		plan.inner = t.Inner.Var
@@ -125,6 +151,7 @@ func classifyParDo(prog *forcelang.Program, t *forcelang.ParDo, lay *unitLayout)
 		selfRefs: map[string]int{},
 		accWrite: map[string]int{},
 		writes:   map[string]int{},
+		accOps:   map[string]accOp{},
 		tainted:  map[string]bool{},
 		arrays:   map[string][]arrayUse{},
 	}
@@ -135,7 +162,7 @@ func classifyParDo(prog *forcelang.Program, t *forcelang.ParDo, lay *unitLayout)
 		return nil, "body writes its loop index"
 	}
 	cl.planArrays()
-	cl.planSums()
+	cl.planAccs()
 	return plan, ""
 }
 
@@ -198,30 +225,66 @@ func (cl *classifier) assign(t *forcelang.Assign) string {
 		return ""
 	}
 	cl.writes[t.Target.Name]++
-	// Accumulator shape: S = S + e | S = e + S | S = S - e, with an
-	// INTEGER shared scalar S and an RHS that is statically INTEGER and
-	// never reads S outside the self-reference.
-	if sym.class == scShared && sym.decl.Type == forcelang.TInt {
-		delta, _, ok := uniform.AccumDelta(t.Target.Name, t.Expr)
-		// The whole RHS must be statically INTEGER: a REAL-promoted sum
-		// is computed in float64 and truncated on store, which private
-		// integer deltas cannot reproduce.
-		if ok {
-			if et, err := forcelang.TypeOf(cl.prog, cl.lay.scope, t.Expr); err != nil || et != forcelang.TInt {
-				ok = false
-			}
-		}
-		if ok && !uniform.RefersTo(delta, t.Target.Name) {
+	if op, ok := cl.matchAccum(sym, t); ok {
+		if prev, seen := cl.accOps[t.Target.Name]; seen && prev != op {
+			cl.tainted[t.Target.Name] = true
+		} else {
+			cl.accOps[t.Target.Name] = op
 			cl.selfRefs[t.Target.Name]++
 			cl.accWrite[t.Target.Name]++
-		} else {
-			cl.tainted[t.Target.Name] = true
 		}
 	} else {
 		cl.tainted[t.Target.Name] = true
 	}
 	cl.expr(t.Expr)
 	return ""
+}
+
+// matchAccum matches one scalar assignment against the foldable
+// accumulator shapes: S = S + e | S = e + S | S = S - e over an
+// INTEGER shared scalar, or S = MAX(S, e) | S = MIN(S, e) over an
+// INTEGER or REAL shared scalar, in both cases with e never reading S.
+func (cl *classifier) matchAccum(sym symbol, t *forcelang.Assign) (accOp, bool) {
+	if sym.class != scShared {
+		return 0, false
+	}
+	name := t.Target.Name
+	if delta, _, ok := uniform.AccumDelta(name, t.Expr); ok {
+		// Sums fold only when the target and the whole RHS are
+		// statically INTEGER: a REAL-promoted sum is computed in
+		// float64 and rounded at every iteration, which privately
+		// accumulated deltas cannot reproduce.
+		if sym.decl.Type != forcelang.TInt {
+			return 0, false
+		}
+		if et, err := forcelang.TypeOf(cl.prog, cl.lay.scope, t.Expr); err != nil || et != forcelang.TInt {
+			return 0, false
+		}
+		if uniform.RefersTo(delta, name) {
+			return 0, false
+		}
+		return accSum, true
+	}
+	if arg, isMax, ok := uniform.AccumMinMax(name, t.Expr); ok {
+		// Extrema fold exactly for INTEGER and REAL alike — MAX/MIN
+		// keep one operand bit-for-bit — but the promoted intrinsic
+		// type must equal the target's declared type, so the store
+		// performs no conversion the fold would have to replay.
+		if sym.decl.Type != forcelang.TInt && sym.decl.Type != forcelang.TReal {
+			return 0, false
+		}
+		if et, err := forcelang.TypeOf(cl.prog, cl.lay.scope, t.Expr); err != nil || et != sym.decl.Type {
+			return 0, false
+		}
+		if uniform.RefersTo(arg, name) {
+			return 0, false
+		}
+		if isMax {
+			return accMax, true
+		}
+		return accMin, true
+	}
+	return 0, false
 }
 
 // expr records every reference inside e: scalar reads, parameter uses
@@ -298,10 +361,10 @@ func (cl *classifier) disjointUses(uses []arrayUse) bool {
 	return sp.Disjoint(refs)
 }
 
-// planSums promotes shared INTEGER scalars to private accumulation when
-// every appearance in the body is accounted for by accumulator
-// statements.
-func (cl *classifier) planSums() {
+// planAccs promotes shared scalars to private accumulation when every
+// appearance in the body is accounted for by accumulator statements
+// over one operator.
+func (cl *classifier) planAccs() {
 	if cl.plan.noBulk {
 		return
 	}
@@ -311,11 +374,16 @@ func (cl *classifier) planSums() {
 		}
 		if cl.writes[name] != n || cl.reads[name] != cl.selfRefs[name] {
 			// The scalar is read (or written) outside its accumulator
-			// statements: mid-loop values are observable, so the deltas
-			// cannot be deferred.
+			// statements: mid-loop values are observable, so the
+			// contributions cannot be deferred.
 			continue
 		}
-		cl.plan.sums[name] = len(cl.plan.sumSyms)
-		cl.plan.sumSyms = append(cl.plan.sumSyms, cl.lay.syms[name])
+		sym := cl.lay.syms[name]
+		cl.plan.accs[name] = len(cl.plan.accSyms)
+		cl.plan.accSyms = append(cl.plan.accSyms, accRec{
+			sym:  sym,
+			op:   cl.accOps[name],
+			real: sym.decl.Type == forcelang.TReal,
+		})
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/forcelang"
@@ -49,7 +50,11 @@ func compileProgram(in *cinstance) (cp *cprogram, err error) {
 	}()
 	c := &compiler{in: in, res: in.res, units: map[string]*cunit{}}
 	for name, lay := range in.res.units {
-		c.units[name] = &cunit{lay: lay}
+		cu := &cunit{lay: lay}
+		if len(lay.privArrs) == 0 {
+			cu.pool = &sync.Pool{New: func() any { return &frame{} }}
+		}
+		c.units[name] = cu
 	}
 	for _, cu := range c.units {
 		body := in.res.prog.Body
@@ -73,6 +78,9 @@ func (c *compiler) typ(e forcelang.Expr, lay *unitLayout) forcelang.Type {
 // --- statements --------------------------------------------------------
 
 func (c *compiler) stmts(list []forcelang.Stmt, lay *unitLayout) []stmtFn {
+	if c.fuseEnabled() {
+		return c.fusedStmts(list, lay)
+	}
 	out := make([]stmtFn, len(list))
 	for i, st := range list {
 		out[i] = c.stmt(st, lay)
@@ -447,11 +455,12 @@ func (c *compiler) call(t *forcelang.CallStmt, lay *unitLayout) stmtFn {
 		binders[i] = c.bindArg(&t.Args[i], target.lay.params[i].decl, lay)
 	}
 	return func(pr *cproc, fr *frame) {
-		nf := target.newFrame(int64(pr.p.ID()))
+		nf := target.getFrame(int64(pr.p.ID()))
 		for i, bind := range binders {
 			nf.params[i] = bind(pr, fr)
 		}
 		runBody(target.body, pr, nf)
+		target.putFrame(nf)
 	}
 }
 

@@ -6,6 +6,8 @@ package interp
 // compiler in compile.go produces closures over these structures.
 
 import (
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/forcelang"
 )
@@ -51,6 +53,15 @@ type cproc struct {
 type cunit struct {
 	lay  *unitLayout
 	body []stmtFn
+	// pool recycles this unit's frames between calls, but only when
+	// recycling is semantically free: a unit with private arrays would
+	// have to re-zero them on every call, which costs what the
+	// allocation did, so such units always take fresh frames.  Pooled
+	// frames are fully re-initialized on get — private scalars recopied
+	// from the typed-zero template, every parameter rebound by the call
+	// — so reuse is unobservable.  A panicking call skips the put and
+	// abandons the frame.
+	pool *sync.Pool
 }
 
 // newFrame builds a fresh frame for the unit: typed-zero private scalars
@@ -73,6 +84,34 @@ func (u *cunit) newFrame(me int64) *frame {
 		fr.params = make([]cparam, n)
 	}
 	return fr
+}
+
+// getFrame builds or recycles a frame for one call (or one process's
+// main-body run).
+func (u *cunit) getFrame(me int64) *frame {
+	if u.pool == nil {
+		return u.newFrame(me)
+	}
+	fr := u.pool.Get().(*frame)
+	lay := u.lay
+	if cap(fr.priv) < len(lay.privInit) {
+		fr.priv = make([]value, len(lay.privInit))
+	}
+	fr.priv = fr.priv[:len(lay.privInit)]
+	copy(fr.priv, lay.privInit)
+	fr.priv[0] = intVal(me)
+	if n := len(lay.params); len(fr.params) != n {
+		fr.params = make([]cparam, n)
+	}
+	return fr
+}
+
+// putFrame returns a frame to the unit's pool; the caller must not
+// retain it.
+func (u *cunit) putFrame(fr *frame) {
+	if u.pool != nil {
+		u.pool.Put(fr)
+	}
 }
 
 // cprogram is a fully compiled program.
@@ -174,9 +213,10 @@ func runCompiled(prog *forcelang.Program, cfg Config) (err error) {
 	}()
 	return f.RunContext(runCtx(cfg), func(p *core.Proc) {
 		pr := &cproc{in: in, p: p}
-		fr := cp.main.newFrame(int64(p.ID()))
+		fr := cp.main.getFrame(int64(p.ID()))
 		for _, st := range cp.main.body {
 			st(pr, fr)
 		}
+		cp.main.putFrame(fr)
 	})
 }

@@ -106,6 +106,17 @@ type Config struct {
 	// compiler (zero value), the per-iteration closure compiler
 	// (ExecCompiled), or the original tree walker (ExecTree).
 	Exec ExecMode
+	// NoFuse disables the fusion pass of the chunk tier: adjacent
+	// independent DOALLs and a trailing reduction keep their own exit
+	// barriers and reduce episodes instead of sharing one fused join.
+	// Fusion is otherwise on whenever the chunk tier is (Exec ==
+	// ExecChunked and no iteration-level trace).
+	NoFuse bool
+	// FuseLog, when non-nil, receives one line per fusion decision the
+	// compiler takes: each fused region and each declined candidate,
+	// with the reason.  Decisions are compile-time, so the log is
+	// emitted once per Run, not per construct execution.
+	FuseLog func(msg string)
 	// Chunk sets sched.Config.ChunkSize for the Chunk and Stealing
 	// selfscheduling disciplines (0 keeps each discipline's default).
 	// It does not affect the prescheduled or lock/atomic selfscheduled

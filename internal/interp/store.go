@@ -81,6 +81,65 @@ func (c *sharedScalar) storeBool(b bool) {
 // privately accumulated sum folds into the cell with one atomic RMW.
 func (c *sharedScalar) addInt(delta int64) { c.bits.Add(uint64(delta)) }
 
+// The extremum folds below mirror the MAX/MIN intrinsics exactly: the
+// cell is replaced only when the incoming value is *strictly* greater
+// (less), the comparison MAX(S, e) performs per iteration.  For REAL
+// that strictness matters: a NaN contribution never beats S (NaN
+// comparisons are false), and a +0.0 never replaces a -0.0, the same
+// outcomes the per-iteration intrinsic produces.
+
+// maxInt atomically folds x into an INTEGER cell under MAX.
+func (c *sharedScalar) maxInt(x int64) {
+	for {
+		old := c.bits.Load()
+		if !(x > int64(old)) {
+			return
+		}
+		if c.bits.CompareAndSwap(old, uint64(x)) {
+			return
+		}
+	}
+}
+
+// minInt atomically folds x into an INTEGER cell under MIN.
+func (c *sharedScalar) minInt(x int64) {
+	for {
+		old := c.bits.Load()
+		if !(x < int64(old)) {
+			return
+		}
+		if c.bits.CompareAndSwap(old, uint64(x)) {
+			return
+		}
+	}
+}
+
+// maxReal atomically folds x into a REAL cell under MAX.
+func (c *sharedScalar) maxReal(x float64) {
+	for {
+		old := c.bits.Load()
+		if !(x > math.Float64frombits(old)) {
+			return
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+	}
+}
+
+// minReal atomically folds x into a REAL cell under MIN.
+func (c *sharedScalar) minReal(x float64) {
+	for {
+		old := c.bits.Load()
+		if !(x < math.Float64frombits(old)) {
+			return
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+	}
+}
+
 // stripeCount bounds the number of locks striped over one shared array.
 const stripeCount = 64
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -91,6 +92,31 @@ func Time(runs int, fn func()) *Sample {
 		s.Add(time.Since(start).Seconds())
 	}
 	return s
+}
+
+// TimeAllocs runs fn repeatedly (after one warmup) and returns per-run
+// wall times (seconds) and per-run heap allocation counts
+// (runtime.MemStats.Mallocs deltas).  The counter is process-global, so
+// the caller must not run anything else concurrently during the
+// measurement; the warmup run absorbs lazy initialization so the
+// remaining runs measure the steady state.
+func TimeAllocs(runs int, fn func()) (times, allocs *Sample) {
+	if runs <= 0 {
+		runs = 1
+	}
+	fn() // warmup
+	times, allocs = &Sample{}, &Sample{}
+	var before, after runtime.MemStats
+	for i := 0; i < runs; i++ {
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		fn()
+		elapsed := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		times.Add(elapsed)
+		allocs.Add(float64(after.Mallocs - before.Mallocs))
+	}
+	return times, allocs
 }
 
 // Speedup returns sequentialTime / parallelTime (0 when parallel is 0).

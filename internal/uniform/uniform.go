@@ -100,6 +100,90 @@ func AccumDelta(name string, e forcelang.Expr) (delta forcelang.Expr, negate boo
 	return nil, false, false
 }
 
+// AccumMinMax matches e against the extremum-accumulator shapes for
+// scalar name (S = MAX(S, e) and the MIN twin), returning the
+// contributed expression and which extremum is kept.  Only the
+// self-first argument order is accepted: MAX keeps its first argument
+// unless the second is *strictly* greater, so for REAL operands
+// MAX(S, e) and MAX(e, S) disagree on NaN and signed-zero inputs, and
+// only the self-first form composes exactly with a privately folded
+// partial (contributions that never exceed S leave S bit-identical).
+// Like AccumDelta this is purely syntactic; callers still check types
+// and that arg does not read S.
+func AccumMinMax(name string, e forcelang.Expr) (arg forcelang.Expr, isMax bool, ok bool) {
+	in, isIntr := e.(*forcelang.Intrinsic)
+	if !isIntr || len(in.Args) != 2 {
+		return nil, false, false
+	}
+	switch in.Name {
+	case "MAX", "MIN":
+	default:
+		return nil, false, false
+	}
+	r, okRef := in.Args[0].(*forcelang.Ref)
+	if !okRef || r.Name != name || len(r.Subs) != 0 {
+		return nil, false, false
+	}
+	return in.Args[1], in.Name == "MAX", true
+}
+
+// RefSets is the name-level footprint of a statement list: every scalar
+// or array name it reads and writes.  Subscript expressions count as
+// reads of their names; assignment targets and sequential-DO indices
+// count as writes (a subscripted target's subscripts still read).  The
+// footprint deliberately ignores element granularity — callers wanting
+// element-level facts refine array conflicts through Space.Disjoint.
+type RefSets struct {
+	Reads  map[string]bool
+	Writes map[string]bool
+}
+
+// CollectRefSets gathers the footprint of a statement list.  It models
+// only the chunk-certified statement subset (assignment, IF, sequential
+// DO); ok is false when anything else appears, and the caller must then
+// assume an unbounded footprint.
+func CollectRefSets(body []forcelang.Stmt) (RefSets, bool) {
+	rs := RefSets{Reads: map[string]bool{}, Writes: map[string]bool{}}
+	return rs, collectStmts(body, &rs)
+}
+
+func collectStmts(body []forcelang.Stmt, rs *RefSets) bool {
+	for _, st := range body {
+		if !collectStmt(st, rs) {
+			return false
+		}
+	}
+	return true
+}
+
+func collectStmt(st forcelang.Stmt, rs *RefSets) bool {
+	read := func(e forcelang.Expr) {
+		Walk(e, func(r *forcelang.Ref) { rs.Reads[r.Name] = true })
+	}
+	switch t := st.(type) {
+	case *forcelang.Assign:
+		rs.Writes[t.Target.Name] = true
+		for _, s := range t.Target.Subs {
+			read(s)
+		}
+		read(t.Expr)
+		return true
+	case *forcelang.If:
+		read(t.Cond)
+		return collectStmts(t.Then, rs) && collectStmts(t.Else, rs)
+	case *forcelang.SeqDo:
+		rs.Writes[t.Var] = true
+		read(t.From)
+		read(t.To)
+		if t.Step != nil {
+			read(t.Step)
+		}
+		return collectStmts(t.Body, rs)
+	default:
+		return false
+	}
+}
+
 // RefersTo reports whether e reads the scalar name anywhere.
 func RefersTo(e forcelang.Expr, name string) bool {
 	found := false
